@@ -1,0 +1,29 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark module regenerates the quantitative content of one paper
+figure (or one ablation from DESIGN.md): it asserts the *shape* of the
+paper's claim and records a human-readable report under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the measured numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record_report():
+    """Write a named experiment report to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text if text.endswith("\n") else text + "\n")
+        print(f"\n--- {name} ---\n{text}")
+        return path
+
+    return _record

@@ -1,0 +1,59 @@
+"""Ablation — gate commutation rules (reference [58]).
+
+"Quantum circuit compilers using gate commutation rules" relax the
+dependency DAG so commuting gates can execute in either order; the
+router then satisfies whichever commuting gate is cheapest first.  The
+benchmark measures the SWAP savings across a workload suite.
+"""
+
+import pytest
+
+from repro.devices import grid_device, ibm_qx5, linear_device
+from repro.mapping.routing import route_sabre
+from repro.verify import equivalent_mapped
+from repro.workloads import qft, random_circuit
+
+
+def _suite():
+    return [qft(8)] + [
+        random_circuit(8, 30, seed=s, two_qubit_fraction=0.6) for s in range(5)
+    ]
+
+
+def test_commutation_report(record_report):
+    lines = [
+        "commutation-rule ablation (added SWAPs, sabre router):",
+        "",
+        f"{'device':<12} {'workload':<14} {'strict':>7} {'commuting':>10}",
+    ]
+    totals = {"strict": 0, "commuting": 0}
+    for device in (ibm_qx5(), grid_device(3, 3), linear_device(8)):
+        for circuit in _suite():
+            if circuit.num_qubits > device.num_qubits:
+                continue
+            strict = route_sabre(circuit, device)
+            relaxed = route_sabre(circuit, device, commutation=True)
+            assert equivalent_mapped(
+                circuit, relaxed.circuit, relaxed.initial, relaxed.final
+            )
+            totals["strict"] += strict.added_swaps
+            totals["commuting"] += relaxed.added_swaps
+            lines.append(
+                f"{device.name:<12} {circuit.name:<14} "
+                f"{strict.added_swaps:>7} {relaxed.added_swaps:>10}"
+            )
+    saving = 1 - totals["commuting"] / max(totals["strict"], 1)
+    assert totals["commuting"] <= totals["strict"]
+    lines += [
+        "",
+        f"total: strict {totals['strict']}, commuting {totals['commuting']} "
+        f"({saving:.0%} fewer SWAPs)",
+    ]
+    record_report("ablation_commutation", "\n".join(lines))
+
+
+def test_commutation_routing_speed(benchmark):
+    device = ibm_qx5()
+    circuit = qft(8)
+    result = benchmark(lambda: route_sabre(circuit, device, commutation=True))
+    assert result.added_swaps > 0

@@ -1,0 +1,64 @@
+"""Ablation — the look-ahead feature (Section III-B "solution features").
+
+"... the look-ahead feature that considers not only the current
+two-qubit gates that need to be routed and scheduled but also some of
+the future ones with some weights."  The benchmark sweeps the SABRE
+extended-set size and the A* look-ahead depth, showing look-ahead
+reduces SWAP counts on routing-hostile workloads.
+"""
+
+import pytest
+
+from repro.devices import grid_device, ibm_qx5
+from repro.mapping.routing import route_astar, route_sabre
+from repro.workloads import qft, random_circuit
+
+WINDOWS = [0, 5, 20, 50]
+
+
+def _suite():
+    return [
+        qft(8),
+        random_circuit(12, 60, seed=1, two_qubit_fraction=0.7),
+        random_circuit(12, 60, seed=2, two_qubit_fraction=0.7),
+        random_circuit(12, 60, seed=3, two_qubit_fraction=0.7),
+    ]
+
+
+def test_lookahead_report(record_report):
+    device = ibm_qx5()
+    lines = [
+        "SABRE look-ahead window ablation on ibm_qx5 (added SWAPs):",
+        "",
+        f"{'workload':<16}" + "".join(f"{w:>8}" for w in WINDOWS),
+    ]
+    totals = {w: 0 for w in WINDOWS}
+    for circuit in _suite():
+        row = [f"{circuit.name:<16}"]
+        for window in WINDOWS:
+            result = route_sabre(circuit, device, lookahead=window)
+            totals[window] += result.added_swaps
+            row.append(f"{result.added_swaps:>8}")
+        lines.append("".join(row))
+    lines += ["", f"{'TOTAL':<16}" + "".join(f"{totals[w]:>8}" for w in WINDOWS)]
+
+    # Shape: some look-ahead beats none in aggregate.
+    assert min(totals[w] for w in WINDOWS if w > 0) <= totals[0]
+
+    astar_lines = ["", "A* layer look-ahead on grid 3x4 (added SWAPs):", ""]
+    grid = grid_device(3, 4)
+    for depth in (0, 1, 2):
+        total = sum(
+            route_astar(c, grid, lookahead_layers=depth).added_swaps
+            for c in _suite()[1:]
+        )
+        astar_lines.append(f"  lookahead_layers={depth}: {total}")
+    record_report("ablation_lookahead", "\n".join(lines + astar_lines))
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+def test_lookahead_speed(benchmark, window):
+    device = ibm_qx5()
+    circuit = random_circuit(12, 60, seed=1, two_qubit_fraction=0.7)
+    result = benchmark(lambda: route_sabre(circuit, device, lookahead=window))
+    assert result.added_swaps > 0

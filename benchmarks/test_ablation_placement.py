@@ -1,0 +1,67 @@
+"""Ablation — initial placement strategies (Section III-A task 2).
+
+"The task of initializing the qubit placement is expected to play an
+important role in near term devices."  The benchmark routes a workload
+suite on Surface-17 from each placement strategy and reports the SWAP
+counts; better placements should need fewer SWAPs.
+"""
+
+import pytest
+
+from repro.devices import surface17
+from repro.mapping.placement import PLACERS
+from repro.mapping.routing import route
+from repro.workloads import fig1_circuit, ghz, qft, random_circuit
+
+STRATEGIES = [
+    "trivial", "random", "spectral", "greedy", "assignment", "annealing",
+    "routed",
+]
+
+
+def _suite():
+    return [
+        fig1_circuit(),
+        ghz(6),
+        qft(5),
+        random_circuit(6, 24, seed=8, two_qubit_fraction=0.6),
+        random_circuit(8, 30, seed=9, two_qubit_fraction=0.6),
+    ]
+
+
+def test_placement_ablation_report(record_report):
+    device = surface17()
+    lines = [
+        "initial-placement ablation on Surface-17 (added SWAPs, sabre router):",
+        "",
+        f"{'workload':<16}" + "".join(f"{s:>12}" for s in STRATEGIES),
+    ]
+    totals = {s: 0 for s in STRATEGIES}
+    for circuit in _suite():
+        row = [f"{circuit.name:<16}"]
+        for strategy in STRATEGIES:
+            placement = PLACERS[strategy](circuit, device)
+            result = route(circuit, device, "sabre", placement)
+            totals[strategy] += result.added_swaps
+            row.append(f"{result.added_swaps:>12}")
+        lines.append("".join(row))
+    lines += [
+        "",
+        f"{'TOTAL':<16}" + "".join(f"{totals[s]:>12}" for s in STRATEGIES),
+    ]
+
+    # Shape claims: informed placement beats trivial/random in aggregate;
+    # the routed refinement is the best of all.
+    assert totals["greedy"] <= totals["trivial"]
+    assert totals["assignment"] <= totals["random"]
+    assert totals["routed"] == min(totals.values())
+
+    record_report("ablation_placement", "\n".join(lines))
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_placer_speed(benchmark, strategy):
+    device = surface17()
+    circuit = random_circuit(6, 24, seed=8, two_qubit_fraction=0.6)
+    placement = benchmark(lambda: PLACERS[strategy](circuit, device))
+    assert placement.num_program == 6

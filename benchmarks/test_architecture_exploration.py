@@ -1,0 +1,64 @@
+"""Experiment sec7-explore — application-aware architectures (Sec. VII/[69]).
+
+"These optimizations should consider both the quantum device and the
+quantum application characteristics ... an approach which takes the
+planned quantum functionality into account when determining an
+architecture."  The benchmark lets the explorer add a small resonator
+budget to a linear chip for a concrete workload suite and reports the
+mapping-cost reduction, plus a topology ranking for the same suite.
+"""
+
+import pytest
+
+from repro.devices import get_device, linear_device
+from repro.explore import augment_topology, compare_topologies
+from repro.workloads import qft, random_circuit
+
+
+def _suite():
+    return [
+        qft(6),
+        random_circuit(6, 24, seed=1, two_qubit_fraction=0.7),
+        random_circuit(6, 24, seed=2, two_qubit_fraction=0.7),
+    ]
+
+
+def test_exploration_report(record_report):
+    base = linear_device(6)
+    result = augment_topology(
+        base, _suite(), edge_budget=2, max_candidate_distance=5
+    )
+    assert result.added_edges
+    assert result.cost < result.base_cost
+
+    ranking = compare_topologies(
+        _suite(),
+        [
+            linear_device(6),
+            result.device,
+            get_device("ring", num_qubits=6),
+            get_device("grid", rows=2, cols=3),
+            get_device("all_to_all", num_qubits=6),
+        ],
+    )
+    assert ranking[0][0] == "ions6"
+    # The augmented device must rank better than its base.
+    names = [name for name, _ in ranking]
+    assert names.index(result.device.name) < names.index("linear6")
+
+    lines = [
+        result.summary(),
+        "",
+        "topology ranking for the same workload suite (total SWAPs):",
+    ]
+    lines += [f"  {name:<12} {cost:.0f}" for name, cost in ranking]
+    record_report("architecture_exploration", "\n".join(lines))
+
+
+def test_exploration_speed(benchmark):
+    base = linear_device(5)
+    suite = [random_circuit(5, 15, seed=3, two_qubit_fraction=0.7)]
+    result = benchmark(
+        lambda: augment_topology(base, suite, edge_budget=1)
+    )
+    assert result.base_cost >= result.cost

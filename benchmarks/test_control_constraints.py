@@ -1,0 +1,93 @@
+"""Experiment sec5-control — the cost of shared control electronics.
+
+Section V: the classical-control constraints "may severely affect the
+scheduling of quantum operations as it will limit the possible
+parallelism leading to larger circuit depths".  The benchmark schedules
+a workload suite on Surface-17 with each constraint family toggled
+(the DESIGN.md ablation) and reports the latency inflation.
+"""
+
+import pytest
+
+from repro.decompose import decompose_circuit
+from repro.devices import surface17
+from repro.mapping.control import schedule_with_constraints
+from repro.mapping.routing import route
+from repro.workloads import fig1_circuit, ghz, qft, random_circuit
+
+CONFIGS = [
+    ("none", dict(awg=False, feedlines=False, parking=False)),
+    ("awg only", dict(awg=True, feedlines=False, parking=False)),
+    ("feedlines only", dict(awg=False, feedlines=True, parking=False)),
+    ("parking only", dict(awg=False, feedlines=False, parking=True)),
+    ("all", dict(awg=True, feedlines=True, parking=True)),
+]
+
+
+def _native_suite(device):
+    circuits = [
+        fig1_circuit(),
+        ghz(6),
+        qft(5),
+        random_circuit(6, 25, seed=5, two_qubit_fraction=0.5),
+    ]
+    suite = []
+    for circuit in circuits:
+        measured = circuit.copy()
+        measured.measure_all()
+        routed = route(measured, device, "sabre").circuit
+        suite.append((circuit.name, decompose_circuit(routed, device)))
+    return suite
+
+
+def test_control_constraint_report(record_report):
+    device = surface17()
+    suite = _native_suite(device)
+    lines = [
+        "control-electronics constraint ablation on Surface-17",
+        "(latency in cycles; workloads routed+decomposed, all qubits measured)",
+        "",
+        f"{'workload':<14}" + "".join(f"{name:>16}" for name, _ in CONFIGS),
+    ]
+    inflations = []
+    for name, native in suite:
+        latencies = []
+        for _, flags in CONFIGS:
+            schedule = schedule_with_constraints(native, device, **flags)
+            assert schedule.validate() == []
+            latencies.append(schedule.latency)
+        baseline, full = latencies[0], latencies[-1]
+        # Constraints can only delay gates.
+        assert all(latency >= baseline for latency in latencies)
+        assert full >= max(latencies[1:-1])  # all >= each single family
+        inflations.append(full / baseline)
+        lines.append(f"{name:<14}" + "".join(f"{lat:>16}" for lat in latencies))
+
+    mean_inflation = sum(inflations) / len(inflations)
+    assert mean_inflation >= 1.0
+    lines += [
+        "",
+        f"mean latency inflation (all constraints vs none): "
+        f"{mean_inflation:.2f}x",
+    ]
+    record_report("control_constraints", "\n".join(lines))
+
+
+def test_constraint_scheduler_speed(benchmark):
+    device = surface17()
+    circuit = random_circuit(8, 40, seed=6, two_qubit_fraction=0.5)
+    routed = route(circuit, device, "sabre").circuit
+    native = decompose_circuit(routed, device)
+    schedule = benchmark(lambda: schedule_with_constraints(native, device))
+    assert schedule.validate() == []
+
+
+def test_dependency_only_scheduler_speed(benchmark):
+    from repro.mapping.scheduler import asap_schedule
+
+    device = surface17()
+    circuit = random_circuit(8, 40, seed=6, two_qubit_fraction=0.5)
+    routed = route(circuit, device, "sabre").circuit
+    native = decompose_circuit(routed, device)
+    schedule = benchmark(lambda: asap_schedule(native, device))
+    assert schedule.validate() == []

@@ -1,0 +1,49 @@
+"""Experiment fig1 — the paper's running example circuit (Fig. 1).
+
+Regenerates Fig. 1(a) (the full circuit diagram) and Fig. 1(b) (the
+CNOT-only skeleton), and pins the structural facts the later figures
+rely on.
+"""
+
+from repro.viz import draw_circuit
+from repro.workloads import fig1_circuit, fig1_cnot_skeleton
+
+
+def test_fig1_report(record_report):
+    circuit = fig1_circuit()
+    skeleton = fig1_cnot_skeleton()
+    assert circuit.num_qubits == 4
+    assert circuit.count("cnot") == 5
+    assert skeleton.size() == 5
+    first = next(g for g in circuit if g.name == "cnot")
+    assert first.qubits == (2, 3)  # paper labels: control q3, target q4
+
+    report = "\n".join(
+        [
+            "Fig. 1(a) - example quantum circuit (q0..q3 = paper's q1..q4):",
+            draw_circuit(circuit),
+            "",
+            "Fig. 1(b) - single-qubit gates removed:",
+            draw_circuit(skeleton),
+            "",
+            f"gates: {circuit.size()}  depth: {circuit.depth()}  "
+            f"CNOTs: {circuit.count('cnot')}",
+        ]
+    )
+    record_report("fig1_example", report)
+
+
+def test_fig1_construction_speed(benchmark):
+    result = benchmark(fig1_circuit)
+    assert result.size() > 0
+
+
+def test_fig1_analysis_speed(benchmark):
+    circuit = fig1_circuit()
+
+    def analyse():
+        return circuit.depth(), circuit.moments(), circuit.interaction_pairs()
+
+    depth, moments, pairs = benchmark(analyse)
+    assert depth == len(moments)
+    assert len(pairs) == 4

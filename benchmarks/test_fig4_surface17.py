@@ -1,0 +1,58 @@
+"""Experiment fig4 — the Surface-17 device model (Fig. 4).
+
+Regenerates the topology/constraint description of the chip and pins
+the interaction and feedline facts stated in Section V.
+"""
+
+import networkx as nx
+
+from repro.devices import Device, surface17
+from repro.viz import draw_device
+
+
+def test_fig4_report(record_report):
+    device = surface17()
+    assert device.num_qubits == 17
+    assert device.connected(1, 5)
+    assert not device.connected(1, 7)
+    feedline = device.constraints.feedline
+    group0 = {q for q, f in feedline.items() if f == feedline[0]}
+    assert group0 == {0, 2, 3, 6, 9, 12}
+    assert nx.is_bipartite(device.undirected)
+
+    report = "\n".join(
+        [
+            "Fig. 4 - Surface-17 device model:",
+            draw_device(device),
+            "",
+            f"connections: {len(device.undirected_edges())}",
+            "paper facts: qubits 1-5 coupled: "
+            f"{device.connected(1, 5)}; 1-7 coupled: {device.connected(1, 7)}",
+            f"feedline containing qubit 0: {sorted(group0)} "
+            "(paper: {0, 2, 3, 6, 9, 12})",
+            "every coupled pair crosses frequency groups: "
+            + str(
+                all(
+                    device.constraints.frequency_group[a]
+                    != device.constraints.frequency_group[b]
+                    for a, b in device.undirected_edges()
+                )
+            ),
+        ]
+    )
+    record_report("fig4_surface17", report)
+
+
+def test_fig4_device_build_speed(benchmark):
+    device = benchmark(surface17)
+    assert device.num_qubits == 17
+
+
+def test_fig4_config_roundtrip_speed(benchmark):
+    device = surface17()
+
+    def roundtrip():
+        return Device.from_json(device.to_json())
+
+    restored = benchmark(roundtrip)
+    assert restored.edges == device.edges

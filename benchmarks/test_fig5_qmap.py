@@ -1,0 +1,57 @@
+"""Experiment fig5 — Qmap maps the example circuit onto Surface-17 (Fig. 5).
+
+Paper: "using Qmap to map it into the Surface-17 processor ... only one
+SWAP is added to comply to the coupling restrictions."  The benchmark
+asserts the single-SWAP result, verifies semantics, and records the
+routed circuit (the pre-decomposition view the figure shows).
+"""
+
+from repro.devices import surface17
+from repro.mapping import qmap
+from repro.verify import equivalent_mapped
+from repro.viz import draw_circuit
+from repro.workloads import fig1_circuit
+
+
+def test_fig5_report(record_report):
+    device = surface17()
+    circuit = fig1_circuit()
+    result = qmap(circuit, device)
+
+    assert result.added_swaps == 1  # the paper's headline number
+    assert device.conforms(result.native)
+    assert equivalent_mapped(
+        circuit, result.native, result.routed.initial, result.routed.final
+    )
+
+    used = sorted(
+        result.routed.initial.phys(q) for q in range(circuit.num_qubits)
+    )
+    report = "\n".join(
+        [
+            "Fig. 5 - Qmap result on Surface-17 (connectivity constraint):",
+            f"added SWAPs: {result.added_swaps}   (paper: 1)",
+            f"initial placement: {result.routed.initial}",
+            f"final placement:   {result.routed.final}",
+            f"physical qubits used: {used}",
+            "",
+            "routed circuit (before native decomposition, physical qubits):",
+            draw_circuit(result.routed.circuit, qubit_prefix="Q"),
+        ]
+    )
+    record_report("fig5_qmap", report)
+
+
+def test_fig5_qmap_speed(benchmark):
+    device = surface17()
+    circuit = fig1_circuit()
+    result = benchmark(lambda: qmap(circuit, device, placer="assignment"))
+    assert result.added_swaps <= 2
+
+
+def test_fig5_routed_placer_speed(benchmark):
+    """The optimal-placement block is the expensive part; track it."""
+    device = surface17()
+    circuit = fig1_circuit()
+    result = benchmark(lambda: qmap(circuit, device))
+    assert result.added_swaps == 1

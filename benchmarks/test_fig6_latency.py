@@ -1,0 +1,88 @@
+"""Experiment fig6 — native decompositions and the 26-cycle latency claim.
+
+Fig. 6 shows the Surface-17 native decompositions (CNOT -> Ry(-90), CZ,
+Ry(90); SWAP -> three such CNOTs; H -> Y90 then X).  Section V then
+reports that the mapped, decomposed, constraint-scheduled example
+circuit has a latency of "26 cycles (20 ns per cycle) that is an ~2x
+increase compared to the circuit latency before mapping".
+
+Absolute cycle counts depend on the reconstructed Fig. 1 artwork; the
+reproduced claims are the decomposition identities (exact, unitary
+checked), the 20 ns cycle, and the latency increase factor ~2x.
+"""
+
+import pytest
+
+from repro.core import Circuit
+from repro.decompose import decompose_circuit
+from repro.decompose.rules import expand_cnot_to_cz, expand_swap_to_cz, hadamard_as_xy
+from repro.devices import surface17
+from repro.mapping import qmap
+from repro.mapping.scheduler import asap_schedule
+from repro.verify import equivalent_circuits
+from repro.workloads import fig1_circuit
+
+
+def test_fig6_decompositions_exact():
+    assert equivalent_circuits(
+        Circuit(2).cnot(0, 1), Circuit(2, expand_cnot_to_cz(0, 1))
+    )
+    assert equivalent_circuits(
+        Circuit(2).swap(0, 1), Circuit(2, expand_swap_to_cz(0, 1))
+    )
+    assert equivalent_circuits(Circuit(1).h(0), Circuit(1, hadamard_as_xy(0)))
+
+
+def test_fig6_report(record_report):
+    device = surface17()
+    circuit = fig1_circuit()
+
+    result = qmap(circuit, device)
+    mapped_latency = result.latency
+
+    baseline = asap_schedule(decompose_circuit(circuit, device), device)
+    factor = mapped_latency / baseline.latency
+
+    assert device.cycle_time_ns == 20.0
+    assert 1.2 <= factor <= 2.5  # the paper's "~2x" shape
+    assert result.schedule.validate() == []
+
+    dependency_only = qmap(circuit, device, control_constraints=False)
+    assert dependency_only.latency <= mapped_latency
+
+    report = "\n".join(
+        [
+            "Fig. 6 - native decomposition & latency on Surface-17:",
+            "",
+            "decomposition identities (unitary-verified):",
+            "  CNOT(c,t) = Ry(-90)_t . CZ . Ry(+90)_t",
+            "  SWAP      = 3 such CNOTs (9 native gates)",
+            "  H         = Y90 then X",
+            "",
+            f"unmapped native circuit latency (dependencies only): "
+            f"{baseline.latency} cycles",
+            f"mapped + constraint-scheduled latency: {mapped_latency} cycles "
+            f"({mapped_latency * 20} ns at 20 ns/cycle)   [paper: 26 cycles]",
+            f"increase factor: {factor:.2f}x   [paper: ~2x]",
+            f"without control-electronics constraints: "
+            f"{dependency_only.latency} cycles",
+        ]
+    )
+    record_report("fig6_latency", report)
+
+
+def test_fig6_decompose_speed(benchmark):
+    device = surface17()
+    circuit = fig1_circuit()
+    native = benchmark(lambda: decompose_circuit(circuit, device))
+    assert all(device.is_native(g) for g in native.gates)
+
+
+def test_fig6_constraint_scheduler_speed(benchmark):
+    from repro.mapping.control import schedule_with_constraints
+
+    device = surface17()
+    result = qmap(fig1_circuit(), device)
+    native = result.native
+    schedule = benchmark(lambda: schedule_with_constraints(native, device))
+    assert schedule.validate() == []

@@ -1,0 +1,109 @@
+"""Grand comparison — the paper-style evaluation sweep.
+
+Every mapping paper the overview surveys reports a matrix of
+benchmark circuits x devices x mappers.  This harness runs the full
+algorithm suite through four routers on four devices, verifies every
+output, and aggregates the three Section III-B cost metrics.
+"""
+
+import pytest
+
+from repro.core.pipeline import compile_circuit
+from repro.devices import get_device
+from repro.verify import equivalent_mapped
+from repro.workloads import (
+    bernstein_vazirani,
+    ghz,
+    hidden_shift,
+    phase_estimation,
+    qft,
+    random_circuit,
+    w_state,
+)
+
+ROUTERS = ["naive", "sabre", "astar", "latency"]
+DEVICES = [
+    ("ibm_qx5", {}),
+    ("surface17", {}),
+    ("grid", {"rows": 3, "cols": 3}),
+    ("linear", {"num_qubits": 9}),
+]
+
+
+def _workloads():
+    return [
+        ghz(6),
+        w_state(5),
+        qft(5),
+        bernstein_vazirani("10110"),
+        phase_estimation(3, 0.625),
+        hidden_shift("101001"),
+        random_circuit(7, 28, seed=5, two_qubit_fraction=0.6),
+    ]
+
+
+def test_grand_comparison_report(record_report):
+    sections = []
+    totals = {router: {"swaps": 0, "gates": 0, "cycles": 0} for router in ROUTERS}
+    for device_name, params in DEVICES:
+        device = get_device(device_name, **params)
+        lines = [
+            f"target: {device.name}",
+            f"{'workload':<14}"
+            + "".join(f"{router:>18}" for router in ROUTERS)
+            + "   (swaps/gates/cycles)",
+        ]
+        for circuit in _workloads():
+            row = [f"{circuit.name:<14}"]
+            for router in ROUTERS:
+                result = compile_circuit(
+                    circuit, device, placer="greedy", router=router
+                )
+                assert device.conforms(result.native)
+                if all(g.is_unitary or g.is_barrier for g in result.native.gates):
+                    assert equivalent_mapped(
+                        circuit, result.native,
+                        result.routed.initial, result.routed.final,
+                    )
+                totals[router]["swaps"] += result.added_swaps
+                totals[router]["gates"] += result.native.size()
+                totals[router]["cycles"] += result.latency
+                row.append(
+                    f"{result.added_swaps:>6}/{result.native.size():>5}"
+                    f"/{result.latency:>4}"
+                )
+            lines.append("".join(row))
+        sections.append("\n".join(lines))
+
+    summary = [
+        "aggregate over all devices and workloads:",
+        f"{'router':<10} {'swaps':>7} {'gates':>8} {'cycles':>8}",
+    ]
+    for router in ROUTERS:
+        t = totals[router]
+        summary.append(
+            f"{router:<10} {t['swaps']:>7} {t['gates']:>8} {t['cycles']:>8}"
+        )
+    # Shape claims: every heuristic beats the naive baseline on SWAPs,
+    # and the latency router is no worse than naive on cycles.
+    for router in ("sabre", "astar", "latency"):
+        assert totals[router]["swaps"] <= totals["naive"]["swaps"]
+    assert totals["latency"]["cycles"] <= totals["naive"]["cycles"]
+
+    sections.append("\n".join(summary))
+    record_report("grand_comparison", "\n\n".join(sections))
+
+
+@pytest.mark.parametrize("router", ROUTERS)
+def test_suite_compile_speed(benchmark, router):
+    device = get_device("ibm_qx5")
+    suite = _workloads()
+
+    def compile_all():
+        return [
+            compile_circuit(c, device, placer="greedy", router=router)
+            for c in suite
+        ]
+
+    results = benchmark(compile_all)
+    assert len(results) == len(suite)

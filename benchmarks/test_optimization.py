@@ -1,0 +1,68 @@
+"""Ablation — post-mapping peephole optimisation.
+
+Mapping inflates circuits with SWAP decompositions and direction-flip
+Hadamards that are often locally redundant (Sec. III-B lists dedicated
+optimisation among mapper "solution features").  The benchmark measures
+the gate-count reduction of the peephole passes on mapped circuits.
+"""
+
+import pytest
+
+from repro.core.pipeline import compile_circuit
+from repro.devices import ibm_qx4, ibm_qx5, surface17
+from repro.verify import equivalent_mapped
+from repro.workloads import fig1_circuit, ghz, qft, random_circuit
+
+
+def _cases():
+    return [
+        (ibm_qx4(), fig1_circuit()),
+        (ibm_qx5(), qft(6)),
+        (ibm_qx5(), random_circuit(8, 30, seed=3, two_qubit_fraction=0.6)),
+        (surface17(), ghz(6)),
+        (surface17(), random_circuit(6, 24, seed=4, two_qubit_fraction=0.6)),
+    ]
+
+
+def test_optimization_report(record_report):
+    lines = [
+        "post-mapping peephole optimisation (gate count / depth):",
+        "",
+        f"{'device':<12} {'workload':<14} {'plain':>12} {'optimised':>12} "
+        f"{'saved':>7}",
+    ]
+    total_plain = total_opt = 0
+    for device, circuit in _cases():
+        plain = compile_circuit(circuit, device, placer="greedy", router="sabre")
+        optimised = compile_circuit(
+            circuit, device, placer="greedy", router="sabre", optimize=True
+        )
+        assert device.conforms(optimised.native)
+        assert equivalent_mapped(
+            circuit, optimised.native,
+            optimised.routed.initial, optimised.routed.final,
+        )
+        assert optimised.native.size() <= plain.native.size()
+        total_plain += plain.native.size()
+        total_opt += optimised.native.size()
+        saved = 1 - optimised.native.size() / max(plain.native.size(), 1)
+        lines.append(
+            f"{device.name:<12} {circuit.name:<14} "
+            f"{plain.native.size():>5}/{plain.native.depth():<6} "
+            f"{optimised.native.size():>5}/{optimised.native.depth():<6} "
+            f"{saved:>6.0%}"
+        )
+    overall = 1 - total_opt / total_plain
+    assert overall > 0.05  # the passes must find real redundancy
+    lines += ["", f"overall gate-count reduction: {overall:.0%}"]
+    record_report("optimization", "\n".join(lines))
+
+
+def test_optimizer_speed(benchmark):
+    from repro.optimize import optimize_circuit
+
+    device = ibm_qx5()
+    circuit = random_circuit(8, 60, seed=5, two_qubit_fraction=0.6)
+    native = compile_circuit(circuit, device, placer="greedy").native
+    optimised = benchmark(lambda: optimize_circuit(native, fuse=True))
+    assert optimised.size() <= native.size()

@@ -1,0 +1,87 @@
+"""Experiment sec5-qec — the surface-code cycle on a Surface-17-class chip.
+
+Section V: the Surface-17 "has been built with the goal of demonstrating
+fault-tolerant computation ... based on surface code".  This benchmark
+runs that workload end to end: the distance-3 stabilizer-measurement
+cycle is lowered to the chip's native gates, scheduled under the full
+control-electronics constraints, and the error-correction loop (inject,
+extract syndrome, decode, correct) is verified on the simulator.
+"""
+
+import pytest
+
+from repro.decompose import decompose_circuit
+from repro.mapping.control import schedule_with_constraints
+from repro.mapping.scheduler import asap_schedule
+from repro.pulse import lower_to_pulses
+from repro.qec import LookupDecoder, RotatedSurfaceCode, SyndromeExtractor, stabilizer_cycle
+
+
+def test_qec_cycle_report(record_report):
+    code = RotatedSurfaceCode(3)
+    device = code.device()
+    native = decompose_circuit(stabilizer_cycle(code), device)
+    assert device.conforms(native)
+
+    free = asap_schedule(native, device)
+    constrained = schedule_with_constraints(native, device, priority="critical")
+    assert constrained.validate() == []
+    assert constrained.latency >= free.latency
+    pulses = lower_to_pulses(constrained, device)
+    assert pulses.validate() == []
+
+    # The error-correction loop on every single-qubit X error.
+    decoder = LookupDecoder(code)
+    recovered = 0
+    for data_qubit in range(code.num_data):
+        extractor = SyndromeExtractor(code, seed=100 + data_qubit)
+        extractor.establish_reference()
+        extractor.inject("x", data_qubit)
+        correction = decoder.decode(extractor.syndrome())
+        extractor.apply_correction("x", correction["X"])
+        extractor.syndrome()  # settle the change-based frame
+        quiet = extractor.syndrome() == {"X": frozenset(), "Z": frozenset()}
+        logical_ok = abs(extractor.logical_z_expectation() - 1.0) < 1e-9
+        if quiet and logical_ok:
+            recovered += 1
+    assert recovered == code.num_data
+
+    report = "\n".join(
+        [
+            "distance-3 rotated surface code on its 17-qubit chip:",
+            f"  stabilizers: {len(code.stabilizers)} "
+            f"(4 X + 4 Z; weights 4x w2, 4x w4)",
+            f"  cycle circuit: {native.size()} native gates after lowering",
+            f"  latency (dependencies only):      {free.latency} cycles",
+            f"  latency (full control constraints): {constrained.latency} "
+            f"cycles ({constrained.latency * 20} ns at 20 ns/cycle)",
+            f"  control channels used: {len(pulses.channels())} "
+            "(3 AWGs, flux lines, 3 feedlines)",
+            "",
+            f"error-correction loop: {recovered}/{code.num_data} single-X "
+            "errors decoded and logically recovered",
+        ]
+    )
+    record_report("qec_cycle", report)
+
+
+def test_qec_cycle_schedule_speed(benchmark):
+    code = RotatedSurfaceCode(3)
+    device = code.device()
+    native = decompose_circuit(stabilizer_cycle(code), device)
+    schedule = benchmark(
+        lambda: schedule_with_constraints(native, device, priority="critical")
+    )
+    assert schedule.validate() == []
+
+
+def test_qec_syndrome_extraction_speed(benchmark):
+    code = RotatedSurfaceCode(3)
+
+    def one_round():
+        extractor = SyndromeExtractor(code, seed=1)
+        extractor.establish_reference()
+        return extractor.syndrome()
+
+    syndrome = benchmark(one_round)
+    assert syndrome == {"X": frozenset(), "Z": frozenset()}

@@ -1,0 +1,73 @@
+"""Experiment sec5-qec-map — QEC workloads meet the mapping problem.
+
+The surface-code cycle is designed for a chip whose coupling graph *is*
+the code's connectivity; on any other topology the mapper must route it
+like any circuit.  This benchmark compiles the distance-3 cycle onto
+mismatched chips (grid, line, the paper's brick-lattice surface17) and
+quantifies the price of topology mismatch — why codes and chips are
+co-designed.
+"""
+
+import pytest
+
+from repro.core.pipeline import compile_circuit
+from repro.devices import get_device
+from repro.qec import RotatedSurfaceCode, stabilizer_cycle
+
+
+def test_qec_mapping_report(record_report):
+    code = RotatedSurfaceCode(3)
+    cycle = stabilizer_cycle(code)
+    native_chip = code.device()
+
+    targets = [
+        native_chip,
+        get_device("surface17"),
+        get_device("grid", rows=4, cols=5),
+        get_device("linear", num_qubits=17),
+    ]
+    lines = [
+        "distance-3 QEC cycle mapped onto matched and mismatched chips:",
+        "",
+        f"{'device':<20} {'swaps':>6} {'native gates':>13} {'latency':>8}",
+    ]
+    swaps_by_device = {}
+    for device in targets:
+        result = compile_circuit(
+            cycle, device, placer="greedy", router="sabre",
+            schedule="constraints",
+        )
+        assert device.conforms(result.native)
+        swaps_by_device[device.name] = result.added_swaps
+        lines.append(
+            f"{device.name:<20} {result.added_swaps:>6} "
+            f"{result.native.size():>13} {result.latency:>8}"
+        )
+
+    # Co-design claim: the code's own chip needs zero SWAPs; every
+    # mismatched topology pays routing overhead.
+    assert swaps_by_device[native_chip.name] == 0
+    assert swaps_by_device["linear17"] > 0
+    assert swaps_by_device["linear17"] >= swaps_by_device["grid4x5"]
+
+    lines += [
+        "",
+        "(native gate counts are not comparable across devices — the grid",
+        " keeps CNOT native while the CZ chips pay 3 gates per CNOT; the",
+        " SWAP column is the topology-mismatch cost)",
+        "the code's own chip routes for free; mismatched topologies pay "
+        "SWAPs — the chip/code co-design the Surface-17 embodies",
+    ]
+    record_report("qec_mapping", "\n".join(lines))
+
+
+def test_qec_mapping_speed(benchmark):
+    code = RotatedSurfaceCode(3)
+    cycle = stabilizer_cycle(code)
+    device = get_device("grid", rows=4, cols=5)
+    result = benchmark(
+        lambda: compile_circuit(
+            cycle, device, placer="greedy", router="sabre", schedule=None
+        )
+    )
+    assert device.conforms(result.native)

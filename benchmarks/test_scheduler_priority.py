@@ -1,0 +1,63 @@
+"""Ablation — list-scheduling priority under control constraints.
+
+Under tight electronics constraints the order in which ready gates claim
+shared resources matters: critical-path priority (longest
+duration-weighted tail first) consistently shortens the schedule versus
+plain program order.
+"""
+
+import pytest
+
+from repro.decompose import decompose_circuit
+from repro.devices import surface17
+from repro.mapping.control import schedule_with_constraints
+from repro.mapping.routing import route
+from repro.workloads import qft, random_circuit
+
+
+def _native_suite(device):
+    circuits = [qft(5)] + [
+        random_circuit(6, 25, seed=s, two_qubit_fraction=0.5) for s in range(5)
+    ]
+    return [
+        (c.name, decompose_circuit(route(c, device, "sabre").circuit, device))
+        for c in circuits
+    ]
+
+
+def test_priority_report(record_report):
+    device = surface17()
+    lines = [
+        "scheduler priority ablation on Surface-17 (latency in cycles,",
+        "full control constraints):",
+        "",
+        f"{'workload':<14} {'program order':>14} {'critical path':>14}",
+    ]
+    totals = {"order": 0, "critical": 0}
+    for name, native in _native_suite(device):
+        ordered = schedule_with_constraints(native, device).latency
+        critical = schedule_with_constraints(
+            native, device, priority="critical"
+        ).latency
+        totals["order"] += ordered
+        totals["critical"] += critical
+        lines.append(f"{name:<14} {ordered:>14} {critical:>14}")
+    assert totals["critical"] <= totals["order"]
+    saving = 1 - totals["critical"] / max(totals["order"], 1)
+    lines += [
+        "",
+        f"total latency: order {totals['order']}, critical "
+        f"{totals['critical']} ({saving:.0%} lower)",
+    ]
+    record_report("scheduler_priority", "\n".join(lines))
+
+
+@pytest.mark.parametrize("priority", ["order", "critical"])
+def test_priority_speed(benchmark, priority):
+    device = surface17()
+    circuit = random_circuit(6, 30, seed=9, two_qubit_fraction=0.5)
+    native = decompose_circuit(route(circuit, device, "sabre").circuit, device)
+    schedule = benchmark(
+        lambda: schedule_with_constraints(native, device, priority=priority)
+    )
+    assert schedule.validate() == []

@@ -1,0 +1,61 @@
+"""Experiment sec6-dots — shuttling as alternative routing (Sec. VI-C).
+
+On quantum-dot arrays with empty sites, moving a qubit costs one shuttle
+instead of a three-CNOT SWAP.  The benchmark compares the SWAP-only
+router against the shuttle-aware router on dot arrays of decreasing
+occupancy: the sparser the array, the larger the shuttle win — the
+"specialized mappers are required to take full advantage" claim.
+"""
+
+import pytest
+
+from repro.devices import quantum_dot_device
+from repro.mapping.routing import route_sabre, route_shuttle
+from repro.workloads import random_circuit
+
+#: (array shape, program qubits) — occupancy sweeps from full to sparse.
+CASES = [((2, 3), 6), ((2, 4), 6), ((3, 4), 6), ((4, 4), 6)]
+
+
+def _suite(n):
+    return [
+        random_circuit(n, 24, seed=s, two_qubit_fraction=0.6) for s in range(4)
+    ]
+
+
+def test_shuttle_report(record_report):
+    lines = [
+        "shuttle vs SWAP routing on quantum-dot arrays (Sec. VI-C)",
+        "(cost in elementary moves: SWAP=3 exchange gates, shuttle=1 move)",
+        "",
+        f"{'array':>8} {'occupancy':>10} {'swap cost':>10} {'shuttle cost':>13} "
+        f"{'(shuttles/swaps)':>17}",
+    ]
+    sparse_win = None
+    for (rows, cols), n in CASES:
+        device = quantum_dot_device(rows, cols)
+        swap_cost = 0
+        shuttle_cost = 0.0
+        shuttles = swaps = 0
+        for circuit in _suite(n):
+            swap_cost += 3 * route_sabre(circuit, device).added_swaps
+            result = route_shuttle(circuit, device)
+            shuttle_cost += result.metadata["move_cost"]
+            shuttles += result.metadata["shuttles"]
+            swaps += result.metadata["swaps"]
+        occupancy = n / (rows * cols)
+        lines.append(
+            f"{rows}x{cols:>6} {occupancy:>9.0%} {swap_cost:>10} "
+            f"{shuttle_cost:>13.0f} {f'({shuttles}/{swaps})':>17}"
+        )
+        if (rows, cols) == (4, 4):
+            sparse_win = shuttle_cost <= swap_cost
+    assert sparse_win  # sparse array: shuttling must not lose
+    record_report("shuttle_routing", "\n".join(lines))
+
+
+def test_shuttle_router_speed(benchmark):
+    device = quantum_dot_device(4, 4)
+    circuit = random_circuit(6, 40, seed=9, two_qubit_fraction=0.6)
+    result = benchmark(lambda: route_shuttle(circuit, device))
+    assert result.added_swaps >= 0

@@ -1,0 +1,99 @@
+"""The surface code on its chip — what Surface-17 was built for (Sec. V).
+
+Runs the complete quantum-error-correction story on the distance-3
+rotated surface code (17 qubits, the Surface-17 configuration):
+
+1. build the code and its chip model (X ancillas at f1, data at f2,
+   Z ancillas at f3, three feedlines — the Versluis scheme);
+2. lower the stabilizer-measurement cycle to native gates and schedule
+   it under the full control-electronics constraints;
+3. run cycles on the statevector simulator, inject Pauli errors, decode
+   the syndromes, and verify the logical qubit survives.
+
+Run:  python examples/surface_code_cycle.py
+"""
+
+from repro.decompose import decompose_circuit
+from repro.mapping.control import schedule_with_constraints
+from repro.mapping.scheduler import asap_schedule
+from repro.pulse import lower_to_pulses
+from repro.qec import (
+    LookupDecoder,
+    RotatedSurfaceCode,
+    SyndromeExtractor,
+    stabilizer_cycle,
+)
+from repro.viz import draw_device
+
+
+def main() -> None:
+    code = RotatedSurfaceCode(3)
+    device = code.device()
+    print(code)
+    print(draw_device(device))
+
+    # The QEC cycle as a compiled workload.
+    cycle = stabilizer_cycle(code)
+    native = decompose_circuit(cycle, device)
+    assert device.conforms(native)
+    free = asap_schedule(native, device)
+    constrained = schedule_with_constraints(native, device, priority="critical")
+    pulses = lower_to_pulses(constrained, device)
+    print(
+        f"\nQEC cycle: {cycle.size()} gates -> {native.size()} native gates"
+        f"\n  latency without electronics constraints: {free.latency} cycles"
+        f"\n  latency with shared AWGs/feedlines/parking: "
+        f"{constrained.latency} cycles ({constrained.latency * 20} ns)"
+        f"\n  control channels: {len(pulses.channels())}"
+    )
+
+    # The error-correction loop.
+    decoder = LookupDecoder(code)
+    print("\nerror-correction loop (inject -> syndrome -> decode -> correct):")
+    for pauli, victim in (("x", 4), ("z", 0), ("x", 8)):
+        extractor = SyndromeExtractor(code, seed=42)
+        extractor.establish_reference()
+        extractor.inject(pauli, victim)
+        syndrome = extractor.syndrome()
+        correction = decoder.decode(syndrome)
+        extractor.apply_correction("x", correction["X"])
+        extractor.apply_correction("z", correction["Z"])
+        extractor.syndrome()  # settle the change-based frame
+        quiet = extractor.syndrome() == {"X": frozenset(), "Z": frozenset()}
+        logical = extractor.logical_z_expectation()
+        print(
+            f"  {pauli.upper()} on data {victim}: syndrome "
+            f"X={sorted(syndrome['X'])} Z={sorted(syndrome['Z'])} -> "
+            f"correct {correction}; quiet={quiet}, <Z_L>={logical:+.1f}"
+        )
+
+    print(
+        "\nthe logical observable survives every injected single-qubit "
+        "error — the fault-tolerance demonstration the chip targets."
+    )
+
+    # Beyond the statevector: the CHP stabilizer backend runs the
+    # distance-5 code (49 qubits) in milliseconds, showing the
+    # distance-scaling payoff.
+    from repro.qec import memory_experiment, unprotected_failure_rate
+
+    print("\nmemory experiment (2 rounds, 40 trials, CHP backend):")
+    print(f"{'p':>7} {'unprotected':>12} {'d=3':>8} {'d=5':>8}")
+    code5 = RotatedSurfaceCode(5)
+    for p in (0.01, 0.03, 0.08):
+        d3 = memory_experiment(
+            code, error_rate=p, rounds=2, trials=40, seed=7,
+            backend="stabilizer",
+        ).logical_error_rate
+        d5 = memory_experiment(
+            code5, error_rate=p, rounds=2, trials=40, seed=7,
+            backend="stabilizer",
+        ).logical_error_rate
+        print(
+            f"{p:>7.3f} {unprotected_failure_rate(p, 2):>12.3f} "
+            f"{d3:>8.3f} {d5:>8.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

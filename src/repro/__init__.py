@@ -1,0 +1,62 @@
+"""repro — a quantum circuit mapping toolkit.
+
+Reproduction of C. G. Almudever, L. Lao, R. Wille, G. G. Guerreschi,
+"Realizing Quantum Algorithms on Real Quantum Computing Devices",
+DATE 2020: a complete, retargetable compiler stack that adapts quantum
+circuits to the constraints of real quantum processors (gate
+decomposition, initial placement, SWAP-based routing, and
+control-constraint-aware scheduling), together with device models for
+IBM QX4/QX5 and the Surface-7/17 chips, a statevector simulator for
+verification, workload generators, and benchmark harnesses regenerating
+every figure of the paper.
+
+Quickstart::
+
+    from repro import Circuit, get_device, compile_circuit
+
+    circuit = Circuit(3).h(0).cnot(0, 1).cnot(1, 2)
+    device = get_device("ibm_qx4")
+    result = compile_circuit(circuit, device, router="sabre")
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from .core import Circuit, DependencyGraph, Gate
+from .core.pipeline import CompilationResult, compile_circuit
+from .core.snapshot import ExecutionSnapshot, GateColor
+from .devices import Device, get_device
+from .decompose import decompose_circuit
+from .mapping import Placement, Schedule, qmap, route
+from .metrics import mapping_overhead
+from .qasm import parse_qasm, to_cqasm, to_openqasm
+from .sim import StateVector, simulate
+from .sim.noise import NoiseModel
+from .verify import equivalent_circuits, equivalent_mapped
+
+__all__ = [
+    "Circuit",
+    "CompilationResult",
+    "DependencyGraph",
+    "Device",
+    "ExecutionSnapshot",
+    "Gate",
+    "GateColor",
+    "NoiseModel",
+    "Placement",
+    "Schedule",
+    "StateVector",
+    "__version__",
+    "compile_circuit",
+    "decompose_circuit",
+    "equivalent_circuits",
+    "equivalent_mapped",
+    "get_device",
+    "mapping_overhead",
+    "parse_qasm",
+    "qmap",
+    "route",
+    "simulate",
+    "to_cqasm",
+    "to_openqasm",
+]

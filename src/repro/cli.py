@@ -1,0 +1,276 @@
+"""Command-line interface.
+
+The compiler of the paper's Fig. 2 as a tool: QASM text plus a machine
+description in, a mapped/scheduled program out.
+
+Usage examples::
+
+    python -m repro devices
+    python -m repro info --device surface17
+    python -m repro map circuit.qasm --device ibm_qx4 --router sabre \
+        --optimize --verify -o mapped.qasm --report
+    python -m repro map circuit.qasm --device-config mychip.json \
+        --schedule constraints --cqasm mapped.cq
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.pipeline import compile_circuit
+from .devices import Device, available_devices, get_device
+from .mapping.placement import PLACERS
+from .mapping.routing import ROUTERS
+from .qasm import parse_qasm, schedule_to_cqasm, to_cqasm, to_openqasm
+from .verify import equivalent_mapped
+from .viz import draw_circuit, draw_device, draw_schedule
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantum circuit mapper (DATE 2020 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list available device models")
+
+    info = sub.add_parser("info", help="describe one device model")
+    _add_device_args(info)
+
+    map_cmd = sub.add_parser("map", help="compile an OpenQASM file for a device")
+    map_cmd.add_argument("input", help="OpenQASM 2.0 input file ('-' for stdin)")
+    _add_device_args(map_cmd)
+    map_cmd.add_argument(
+        "--placer", default="assignment", choices=sorted(PLACERS),
+        help="initial placement strategy (default: assignment)",
+    )
+    map_cmd.add_argument(
+        "--router", default="sabre", choices=sorted(ROUTERS),
+        help="routing algorithm (default: sabre)",
+    )
+    map_cmd.add_argument(
+        "--schedule", default="asap",
+        choices=["asap", "alap", "constraints", "none"],
+        help="scheduling mode (default: asap)",
+    )
+    map_cmd.add_argument(
+        "--optimize", action="store_true",
+        help="run peephole optimisation on the lowered circuit",
+    )
+    map_cmd.add_argument(
+        "--no-decompose", action="store_true",
+        help="stop after routing (keep SWAPs / non-native gates)",
+    )
+    map_cmd.add_argument(
+        "--verify", action="store_true",
+        help="check mapped-circuit equivalence before writing output",
+    )
+    map_cmd.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the mapped circuit as OpenQASM",
+    )
+    map_cmd.add_argument(
+        "--cqasm", metavar="FILE",
+        help="write the result as cQASM (scheduled bundles when scheduled)",
+    )
+    map_cmd.add_argument(
+        "--report", action="store_true",
+        help="print the compilation summary and schedule table",
+    )
+    map_cmd.add_argument(
+        "--draw", action="store_true",
+        help="print ASCII diagrams of the input and mapped circuits",
+    )
+
+    sim = sub.add_parser(
+        "simulate", help="run an OpenQASM file on the statevector simulator"
+    )
+    sim.add_argument("input", help="OpenQASM 2.0 input file ('-' for stdin)")
+    sim.add_argument(
+        "--shots", type=int, default=1024, help="measurement shots (default 1024)"
+    )
+    sim.add_argument("--seed", type=int, default=0, help="RNG seed")
+    sim.add_argument(
+        "--noise", action="store_true",
+        help="sample under the default Pauli-error model instead of ideally",
+    )
+    sim.add_argument(
+        "--error-2q", type=float, default=0.01,
+        help="two-qubit error rate for --noise (default 0.01)",
+    )
+    return parser
+
+
+def _add_device_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--device", choices=available_devices(), help="registry device name"
+    )
+    group.add_argument(
+        "--device-config", metavar="FILE",
+        help="JSON machine-description file (Device.to_json format)",
+    )
+    parser.add_argument(
+        "--qubits", type=int, default=None,
+        help="qubit count for parametric devices (linear/ring/all_to_all)",
+    )
+    parser.add_argument("--rows", type=int, default=None, help="grid rows")
+    parser.add_argument("--cols", type=int, default=None, help="grid cols")
+
+
+def _resolve_device(args: argparse.Namespace) -> Device:
+    if args.device_config:
+        return Device.from_json(Path(args.device_config))
+    params = {}
+    if args.device in ("grid", "dots"):
+        if args.rows is None or args.cols is None:
+            raise SystemExit(f"{args.device} device needs --rows and --cols")
+        params = {"rows": args.rows, "cols": args.cols}
+    elif args.device in ("linear", "ring", "all_to_all"):
+        if args.qubits is None:
+            raise SystemExit(f"{args.device} device needs --qubits")
+        params = {"num_qubits": args.qubits}
+    return get_device(args.device, **params)
+
+
+def _cmd_devices(out) -> int:
+    for name in available_devices():
+        print(name, file=out)
+    return 0
+
+
+def _cmd_info(args, out) -> int:
+    device = _resolve_device(args)
+    print(draw_device(device), file=out)
+    return 0
+
+
+def _cmd_map(args, out) -> int:
+    if args.input == "-":
+        source = sys.stdin.read()
+    else:
+        source = Path(args.input).read_text()
+    circuit = parse_qasm(source)
+    device = _resolve_device(args)
+
+    result = compile_circuit(
+        circuit,
+        device,
+        placer=args.placer,
+        router=args.router,
+        decompose=not args.no_decompose,
+        optimize=args.optimize,
+        schedule=None if args.schedule == "none" else args.schedule,
+    )
+
+    if args.verify:
+        unitary_only = all(
+            g.is_unitary or g.is_barrier for g in result.native.gates
+        )
+        if not unitary_only:
+            print(
+                "warning: circuit contains measurements; skipping the "
+                "unitary equivalence check",
+                file=sys.stderr,
+            )
+        elif not equivalent_mapped(
+            circuit, result.native, result.routed.initial, result.routed.final
+        ):
+            print("ERROR: mapped circuit is NOT equivalent", file=sys.stderr)
+            return 2
+        else:
+            print("verification: mapped circuit equivalent", file=out)
+
+    if args.report or not (args.output or args.cqasm):
+        print(result.summary(), file=out)
+    if args.draw:
+        print("\ninput circuit:", file=out)
+        print(draw_circuit(circuit), file=out)
+        print("\nmapped circuit:", file=out)
+        print(draw_circuit(result.native, qubit_prefix="Q"), file=out)
+    if args.report and result.schedule is not None:
+        print("\nschedule:", file=out)
+        print(draw_schedule(result.schedule), file=out)
+
+    if args.output:
+        Path(args.output).write_text(to_openqasm(result.native))
+        print(f"wrote {args.output}", file=out)
+    if args.cqasm:
+        if result.schedule is not None:
+            text = schedule_to_cqasm(result.schedule)
+        else:
+            text = to_cqasm(result.native)
+        Path(args.cqasm).write_text(text)
+        print(f"wrote {args.cqasm}", file=out)
+    return 0
+
+
+def _cmd_simulate(args, out) -> int:
+    if args.input == "-":
+        source = sys.stdin.read()
+    else:
+        source = Path(args.input).read_text()
+    circuit = parse_qasm(source)
+
+    measured = sorted({g.qubits[0] for g in circuit.gates if g.is_measurement})
+    report_qubits = measured or list(range(circuit.num_qubits))
+
+    if args.noise:
+        from .sim.noise import NoiseModel
+        from .sim.monte_carlo import sample_noisy_counts
+
+        noise = NoiseModel(error_2q=args.error_2q)
+        counts = sample_noisy_counts(
+            circuit, noise, shots=args.shots, seed=args.seed,
+            measure_qubits=report_qubits,
+        )
+        print(f"noisy sampling ({args.shots} shots, e2q={args.error_2q}):", file=out)
+    else:
+        import numpy as np
+
+        from .sim import StateVector
+
+        counts: dict[str, int] = {}
+        for shot in range(args.shots):
+            sv = StateVector(
+                circuit.num_qubits,
+                rng=np.random.default_rng((args.seed, shot)),
+            )
+            sv.run(circuit)
+            bits = "".join(
+                str(sv.results[q]) if q in sv.results else str(sv.measure(q))
+                for q in report_qubits
+            )
+            counts[bits] = counts.get(bits, 0) + 1
+        print(f"ideal sampling ({args.shots} shots):", file=out)
+
+    label = ",".join(f"q{q}" for q in report_qubits)
+    print(f"outcome ({label}) : count", file=out)
+    for key in sorted(counts, key=lambda k: -counts[k]):
+        print(f"  {key} : {counts[key]}", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "devices":
+        return _cmd_devices(out)
+    if args.command == "info":
+        return _cmd_info(args, out)
+    if args.command == "map":
+        return _cmd_map(args, out)
+    if args.command == "simulate":
+        return _cmd_simulate(args, out)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

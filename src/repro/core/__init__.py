@@ -1,0 +1,15 @@
+"""Circuit intermediate representation: gates, circuits, dependency DAG."""
+
+from .circuit import Circuit
+from .dag import DependencyGraph
+from .gates import GATE_SPECS, Gate, GateSpec, canonical_name, gate_matrix
+
+__all__ = [
+    "Circuit",
+    "DependencyGraph",
+    "GATE_SPECS",
+    "Gate",
+    "GateSpec",
+    "canonical_name",
+    "gate_matrix",
+]

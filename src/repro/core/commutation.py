@@ -1,0 +1,117 @@
+"""Commutation-aware dependency analysis.
+
+Reference [58] of the paper (Itoko et al., "Quantum circuit compilers
+using gate commutation rules", ASP-DAC 2019) relaxes the strict
+qubit-line ordering of the dependency DAG: two gates acting on a shared
+qubit commute — and may be reordered or scheduled in either order —
+when both act *diagonally* (Z-like) or both act as *X-like* operations
+on that qubit.  Classic instances: two CNOTs sharing their control
+commute; two CNOTs sharing their target commute; an Rz commutes through
+a CNOT control; an Rx through a CNOT target.
+
+:func:`commutation_class` assigns each (gate, qubit) pair one of the
+classes ``"z"``, ``"x"``, or ``None`` (non-commuting/opaque), and
+:func:`relaxed_dependencies` builds the reduced dependency edge set used
+by :class:`repro.core.dag.DependencyGraph` with ``commutation=True``.
+Routers exploiting the relaxation gain freedom to execute whichever
+commuting gate is cheapest first.
+"""
+
+from __future__ import annotations
+
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = ["commutation_class", "commutes_on", "relaxed_dependencies"]
+
+#: Single-qubit gates diagonal in the computational (Z) basis.
+_Z_DIAGONAL_1Q = {"z", "s", "sdg", "t", "tdg", "rz", "i"}
+#: Single-qubit gates diagonal in the X basis.
+_X_DIAGONAL_1Q = {"x", "rx", "x90", "xm90", "i"}
+
+
+def commutation_class(gate: Gate, qubit: int) -> str | None:
+    """The commutation class of ``gate``'s action on ``qubit``.
+
+    Returns:
+        ``"z"`` when the action is diagonal in the computational basis
+        (Z rotations, CZ/CP on either operand, the *control* of a
+        CNOT/CRZ), ``"x"`` when diagonal in the X basis (X rotations,
+        the *target* of a CNOT, either operand of RXX), and ``None``
+        when the action fits neither class (H, Y, U, SWAP, measure, ...).
+    """
+    if gate.condition is not None:
+        return None  # feedforward timing must stay ordered
+    if qubit not in gate.qubits:
+        raise ValueError(f"gate {gate} does not act on qubit {qubit}")
+    name = gate.name
+    if len(gate.qubits) == 1:
+        if name in _Z_DIAGONAL_1Q:
+            return "z"
+        if name in _X_DIAGONAL_1Q:
+            return "x"
+        return None
+    if name in ("cz", "cp"):
+        return "z"
+    if name == "rxx":
+        return "x"
+    if name in ("cnot", "crz"):
+        return "z" if qubit == gate.qubits[0] else (
+            "x" if name == "cnot" else None
+        )
+    if name == "toffoli":
+        return "z" if qubit in gate.qubits[:2] else "x"
+    return None
+
+
+def commutes_on(a: Gate, b: Gate, qubit: int) -> bool:
+    """True when gates ``a`` and ``b`` commute through shared ``qubit``."""
+    class_a = commutation_class(a, qubit)
+    if class_a is None:
+        return False
+    return class_a == commutation_class(b, qubit)
+
+
+def relaxed_dependencies(circuit: Circuit) -> list[tuple[int, int]]:
+    """Dependency edges under the commutation rules.
+
+    Per qubit line, consecutive gates of one commutation class form a
+    *block* with no internal edges; every gate of a block depends on
+    every gate of the previous block on that line.  Gates outside both
+    classes form singleton blocks, reproducing the strict ordering.
+
+    Returns:
+        Directed edges ``(earlier, later)`` over gate indices.
+    """
+    edges: set[tuple[int, int]] = set()
+    # Per qubit: (class of current block, gate indices) and previous block.
+    current: dict[int, tuple[str | None, list[int]]] = {}
+    previous: dict[int, list[int]] = {}
+
+    for index, gate in enumerate(circuit.gates):
+        qubits = gate.qubits or tuple(range(circuit.num_qubits))
+        if gate.condition is not None and gate.condition[0] not in qubits:
+            qubits = qubits + (gate.condition[0],)
+        for qubit in qubits:
+            if gate.is_barrier or qubit not in gate.qubits:
+                klass = None  # barriers / condition reads never commute
+            else:
+                klass = commutation_class(gate, qubit)
+            block_class, block = current.get(qubit, (None, []))
+            starts_new_block = (
+                not block
+                or klass is None
+                or block_class is None
+                or klass != block_class
+            )
+            if starts_new_block and block:
+                previous[qubit] = block
+                current[qubit] = (klass, [index])
+            elif starts_new_block:
+                current[qubit] = (klass, [index])
+            else:
+                block.append(index)
+            for earlier in previous.get(qubit, ()):  # inter-block edges
+                if earlier != index:
+                    edges.add((earlier, index))
+    return sorted(edges)

@@ -1,0 +1,143 @@
+"""Gate dependency graph.
+
+Section VI-B of the paper describes the mapper's internal representation:
+"the dependency graph is a directed, acyclic graph with nodes representing
+the quantum gates and edges indicating dependencies (the target node
+corresponds to the gate that depends on the source node)".  This module
+builds exactly that graph from a :class:`~repro.core.circuit.Circuit` and
+provides the traversals routers and schedulers need:
+
+* the *front layer* — gates with no unscheduled predecessor, the set a
+  router tries to make executable next;
+* ASAP layering by dependency depth;
+* topological iteration consistent with the original gate order.
+
+Dependencies are the usual qubit-line ones: two gates are ordered when
+they share a qubit.  Barriers depend on (and are depended on by) every
+gate on the qubits they span.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import networkx as nx
+
+from .circuit import Circuit
+from .gates import Gate
+
+__all__ = ["DependencyGraph"]
+
+
+class DependencyGraph:
+    """Directed acyclic dependency graph over the gates of a circuit.
+
+    Nodes are gate indices into ``circuit.gates``; an edge ``u -> v``
+    means gate ``v`` must wait for gate ``u``.  Only *direct* dependencies
+    are stored (the last previous gate on each shared qubit line), so the
+    edge count is linear in circuit size.
+    """
+
+    def __init__(self, circuit: Circuit, *, commutation: bool = False) -> None:
+        """Args:
+            circuit: The circuit to analyse.
+            commutation: Relax the strict qubit-line ordering with the
+                gate commutation rules of [58] (see
+                :mod:`repro.core.commutation`): gates that commute on
+                every shared qubit carry no edge, giving routers and
+                schedulers extra freedom.
+        """
+        self.circuit = circuit
+        self.commutation = commutation
+        self.graph = nx.DiGraph()
+        self.graph.add_nodes_from(range(len(circuit.gates)))
+        if commutation:
+            from .commutation import relaxed_dependencies
+
+            self.graph.add_edges_from(relaxed_dependencies(circuit))
+            return
+        last_on_qubit: dict[int, int] = {}
+        for index, gate in enumerate(circuit.gates):
+            qubits = gate.qubits or tuple(range(circuit.num_qubits))
+            # A classical condition reads the measurement result of its
+            # bit's qubit line: the gate must wait for it (and later
+            # operations on that line must wait for the read — we model
+            # the read conservatively as a full touch).
+            if gate.condition is not None:
+                qubits = tuple(dict.fromkeys(qubits + (gate.condition[0],)))
+            preds = {last_on_qubit[q] for q in qubits if q in last_on_qubit}
+            for p in preds:
+                self.graph.add_edge(p, index)
+            for q in qubits:
+                last_on_qubit[q] = index
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def gate(self, index: int) -> Gate:
+        """The gate at node ``index``."""
+        return self.circuit.gates[index]
+
+    def predecessors(self, index: int) -> list[int]:
+        return sorted(self.graph.predecessors(index))
+
+    def successors(self, index: int) -> list[int]:
+        return sorted(self.graph.successors(index))
+
+    def front_layer(self, done: set[int] | None = None) -> list[int]:
+        """Indices of gates whose predecessors are all in ``done``.
+
+        With ``done=None`` this is the set of initially-executable gates.
+        Gates already in ``done`` are never returned.
+        """
+        done = done or set()
+        front = []
+        for node in self.graph.nodes:
+            if node in done:
+                continue
+            if all(p in done for p in self.graph.predecessors(node)):
+                front.append(node)
+        return sorted(front)
+
+    def topological(self) -> Iterator[int]:
+        """Topological order consistent with original gate order."""
+        return iter(nx.lexicographical_topological_sort(self.graph))
+
+    def asap_levels(self) -> list[int]:
+        """Dependency depth of each gate (level 0 = no predecessors)."""
+        levels = [0] * len(self)
+        for node in nx.topological_sort(self.graph):
+            preds = list(self.graph.predecessors(node))
+            levels[node] = 1 + max((levels[p] for p in preds), default=-1)
+        return levels
+
+    def layers(self) -> list[list[int]]:
+        """Gates grouped by ASAP level."""
+        levels = self.asap_levels()
+        if not levels:
+            return []
+        grouped: list[list[int]] = [[] for _ in range(max(levels) + 1)]
+        for node, level in enumerate(levels):
+            grouped[level].append(node)
+        return grouped
+
+    def two_qubit_layers(self) -> list[list[int]]:
+        """ASAP layers restricted to two-qubit gates (router look-ahead).
+
+        Layering is computed on the *subsequence* of two-qubit gates,
+        which is what look-ahead routers such as [54] consume: single
+        qubit gates never constrain routing.
+        """
+        sub = self.circuit.only_two_qubit()
+        index_of: list[int] = [
+            i for i, g in enumerate(self.circuit.gates) if g.is_two_qubit
+        ]
+        sub_dag = DependencyGraph(sub)
+        return [[index_of[i] for i in layer] for layer in sub_dag.layers()]
+
+    def critical_path_length(self) -> int:
+        """Length (in gates) of the longest dependency chain."""
+        levels = self.asap_levels()
+        return max(levels, default=-1) + 1

@@ -1,0 +1,209 @@
+"""The end-to-end compilation pipeline.
+
+Implements the full flow of the paper's Fig. 2: a quantum circuit plus a
+device description go in; a constraint-satisfying, scheduled program
+comes out.  The pipeline stages match Section III-A's three compiler
+tasks:
+
+1. **initial placement** (:mod:`repro.mapping.placement`),
+2. **routing** (:mod:`repro.mapping.routing`) with CNOT direction fixing,
+3. **gate decomposition** (:mod:`repro.decompose`) into the native set,
+4. **scheduling** (:mod:`repro.mapping.scheduler` /
+   :mod:`repro.mapping.control`), dependency-only or
+   control-constraint-aware.
+
+Use :func:`compile_circuit` for the general entry point; the result
+object records every intermediate artefact so experiments can report any
+metric the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..decompose import decompose_circuit
+from ..devices.device import Device
+from ..optimize import optimize_circuit
+from ..mapping.control import schedule_with_constraints
+from ..mapping.direction import fix_directions
+from ..mapping.placement import PLACERS, Placement
+from ..mapping.routing import ROUTERS, RoutingResult, check_connectivity, route
+from ..mapping.scheduler import Schedule, alap_schedule, asap_schedule
+from .circuit import Circuit
+
+__all__ = ["CompilationResult", "compile_circuit"]
+
+
+@dataclass
+class CompilationResult:
+    """Every artefact of one compilation run.
+
+    Attributes:
+        original: The input circuit on program qubits.
+        device: The target device.
+        routed: Routing outcome (circuit still contains ``swap`` gates
+            and possibly wrong-direction CNOTs).
+        native: The fully lowered circuit: native gates only, legal
+            directions, connectivity satisfied.
+        schedule: Timed schedule of ``native`` (``None`` when scheduling
+            was disabled).
+        flips: Number of CNOTs the direction pass had to reverse.
+        placer: Name of the placement strategy used.
+        router: Name of the router used.
+    """
+
+    original: Circuit
+    device: Device
+    routed: RoutingResult
+    native: Circuit
+    schedule: Schedule | None
+    flips: int
+    placer: str
+    router: str
+    metadata: dict = field(default_factory=dict)
+
+    # -- headline metrics -------------------------------------------------
+
+    @property
+    def added_swaps(self) -> int:
+        return self.routed.added_swaps
+
+    @property
+    def gate_overhead(self) -> int:
+        """Native gates emitted minus native gates the input needs alone."""
+        return self.native.size() - self.original.size()
+
+    @property
+    def depth_ratio(self) -> float:
+        base = max(self.original.depth(), 1)
+        return self.native.depth() / base
+
+    @property
+    def latency(self) -> int:
+        """Latency in cycles (0 when unscheduled)."""
+        return self.schedule.latency if self.schedule else 0
+
+    @property
+    def latency_ns(self) -> float:
+        return self.schedule.latency_ns if self.schedule else 0.0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        lines = [
+            f"circuit {self.original.name or '<unnamed>'} -> {self.device.name}",
+            f"  placer={self.placer} router={self.router}",
+            f"  original: {self.original.size()} gates, depth {self.original.depth()}",
+            f"  routed:   +{self.added_swaps} SWAPs, {self.flips} direction flips",
+            f"  native:   {self.native.size()} gates, depth {self.native.depth()}",
+        ]
+        if self.schedule is not None:
+            lines.append(
+                f"  schedule: {self.schedule.latency} cycles "
+                f"({self.schedule.latency_ns:.0f} ns)"
+            )
+        return "\n".join(lines)
+
+
+def compile_circuit(
+    circuit: Circuit,
+    device: Device,
+    *,
+    placer: str | Callable = "assignment",
+    router: str = "sabre",
+    router_options: dict | None = None,
+    decompose: bool = True,
+    optimize: bool = False,
+    schedule: str | None = "asap",
+    control_constraints: bool | None = None,
+) -> CompilationResult:
+    """Compile ``circuit`` for ``device`` through the full Fig. 2 flow.
+
+    Args:
+        circuit: Input circuit on program qubits.
+        device: Target device description.
+        placer: Placement strategy name (see
+            :data:`repro.mapping.placement.PLACERS`) or a callable
+            ``(circuit, device) -> Placement``.
+        router: Router name (see :data:`repro.mapping.routing.ROUTERS`).
+        router_options: Extra keyword arguments for the router.
+        decompose: Lower to the native gate set (and fix CNOT directions).
+            When False the result's ``native`` circuit still contains
+            SWAP/composite gates.
+        optimize: Run the peephole passes
+            (:func:`repro.optimize.optimize_circuit`) on the lowered
+            circuit — cancels e.g. direction-flip Hadamards meeting
+            decomposition Hadamards.  Single-qubit fusion into ``u`` is
+            enabled automatically when the device is ``u``-native.
+        schedule: ``"asap"``, ``"alap"``, ``"constraints"`` (the
+            control-aware scheduler) or ``None`` to skip scheduling.
+        control_constraints: Only with ``schedule="constraints"``:
+            explicitly enable/disable the electronics rules (default: use
+            them when the device defines any).
+
+    Returns:
+        A :class:`CompilationResult`.
+    """
+    # Multi-qubit gates cannot be routed; lower them first if present.
+    prepared = circuit
+    if any(len(g.qubits) > 2 for g in circuit.gates):
+        prepared = decompose_circuit(circuit, device)
+
+    if callable(placer):
+        placement = placer(prepared, device)
+        placer_name = getattr(placer, "__name__", "custom")
+    else:
+        placement = PLACERS[placer](prepared, device)
+        placer_name = placer
+
+    routed = route(prepared, device, router, placement, **(router_options or {}))
+
+    native = routed.circuit
+    flips = 0
+    if decompose:
+        native = decompose_circuit(native, device)
+        native, flips = fix_directions(native, device)
+        if optimize:
+            # Clean up *before* the final lowering so H/H pairs from the
+            # direction fix cancel while still recognisable.
+            native = optimize_circuit(native)
+        native = decompose_circuit(native, device)
+        if optimize:
+            native = optimize_circuit(native, fuse="u" in device.native_gates)
+        check_connectivity(native, device)
+    elif optimize:
+        native = optimize_circuit(native)
+
+    timed: Schedule | None = None
+    if schedule == "asap":
+        timed = asap_schedule(native, device)
+    elif schedule == "alap":
+        timed = alap_schedule(native, device)
+    elif schedule == "constraints":
+        use = control_constraints
+        if use is None:
+            use = (
+                device.constraints is not None
+                or "serial_two_qubit" in device.features
+            )
+        timed = schedule_with_constraints(
+            native,
+            device,
+            awg=use,
+            feedlines=use,
+            parking=use,
+            serial_two_qubit=None if use else False,
+        )
+    elif schedule is not None:
+        raise ValueError(f"unknown schedule mode {schedule!r}")
+
+    return CompilationResult(
+        original=circuit,
+        device=device,
+        routed=routed,
+        native=native,
+        schedule=timed,
+        flips=flips,
+        placer=placer_name,
+        router=router,
+    )

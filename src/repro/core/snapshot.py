@@ -1,0 +1,179 @@
+"""The execution snapshot — the mapper's internal state (Section VI-B).
+
+"Despite their differences, all mappers need an internal representation
+of key quantities and these can be combined in the concept of the
+*execution snapshot* ... a complete description of the algorithm and its
+current, usually partial, schedule."  The paper lists its contents, all
+present here:
+
+* the dependency graph with the indication of which gates have already
+  been scheduled (node colours :data:`GateColor.DONE`,
+  :data:`GateColor.READY`, :data:`GateColor.PENDING`);
+* the initial placement and the current placement of the qubits
+  (:class:`~repro.mapping.placement.Placement`, which is exactly the
+  paper's integer array with a *free* marker);
+* the partial schedule as a clock-cycle table with explicit parallelism;
+* the dynamically updated set of *compatible gates* — gates that are
+  ready by dependencies **and** start-able under the device and control
+  constraints at the current cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..devices.device import Device
+from ..mapping.placement import Placement
+from ..mapping.scheduler import ScheduledGate
+from .circuit import Circuit
+from .dag import DependencyGraph
+from .gates import Gate
+
+__all__ = ["GateColor", "ExecutionSnapshot"]
+
+
+class GateColor(Enum):
+    """Node colours of the dependency graph (Section VI-B)."""
+
+    DONE = "done"        # already scheduled
+    READY = "ready"      # can be scheduled next (dependencies met)
+    PENDING = "pending"  # waiting on unscheduled predecessors
+
+
+@dataclass
+class ExecutionSnapshot:
+    """Mutable mapper state over one circuit and one device.
+
+    Create with :meth:`begin`, then repeatedly query
+    :meth:`compatible_gates` and commit choices with :meth:`schedule`
+    (optionally inserting SWAPs with :meth:`insert_swap`).  The snapshot
+    maintains colours, placements, per-qubit busy times, and the cycle
+    table; :meth:`finished` reports completion and :meth:`schedule_table`
+    renders the partial schedule.
+    """
+
+    circuit: Circuit
+    device: Device
+    dag: DependencyGraph
+    initial_placement: Placement
+    current_placement: Placement
+    colors: list[GateColor]
+    scheduled: list[ScheduledGate] = field(default_factory=list)
+    qubit_free: list[int] = field(default_factory=list)
+    extra_gates: list[ScheduledGate] = field(default_factory=list)
+
+    @classmethod
+    def begin(
+        cls,
+        circuit: Circuit,
+        device: Device,
+        placement: Placement | None = None,
+    ) -> "ExecutionSnapshot":
+        """Fresh snapshot with nothing scheduled."""
+        dag = DependencyGraph(circuit)
+        colors = [GateColor.PENDING] * len(circuit.gates)
+        for index in dag.front_layer():
+            colors[index] = GateColor.READY
+        place = placement or Placement.trivial(device.num_qubits, circuit.num_qubits)
+        return cls(
+            circuit=circuit,
+            device=device,
+            dag=dag,
+            initial_placement=place.copy(),
+            current_placement=place.copy(),
+            colors=colors,
+            qubit_free=[0] * device.num_qubits,
+        )
+
+    # ------------------------------------------------------------------
+
+    def ready_gates(self) -> list[int]:
+        """Indices of READY gates (dependencies satisfied)."""
+        return [i for i, c in enumerate(self.colors) if c is GateColor.READY]
+
+    def compatible_gates(self, cycle: int) -> list[int]:
+        """READY gates that could *start* at ``cycle`` on the device.
+
+        A gate is compatible when its operands are free, any two-qubit
+        gate sits on a connected physical pair under the current
+        placement, and its name is native (or a pseudo-operation).  This
+        is the "set of compatible gates ... updated dynamically" the
+        paper describes.
+        """
+        compatible = []
+        for index in self.ready_gates():
+            gate = self.circuit.gates[index]
+            phys = [self.current_placement.phys(q) for q in gate.qubits]
+            if any(self.qubit_free[p] > cycle for p in phys):
+                continue
+            if gate.is_unitary and not self.device.is_native(gate):
+                continue
+            if len(phys) == 2 and not self.device.connected(*phys):
+                continue
+            compatible.append(index)
+        return compatible
+
+    def schedule(self, index: int, cycle: int) -> ScheduledGate:
+        """Commit gate ``index`` to start at ``cycle``; recolour the DAG.
+
+        Raises:
+            ValueError: when the gate is not READY or its operands are
+                still busy at ``cycle``.
+        """
+        if self.colors[index] is GateColor.PENDING:
+            raise ValueError(f"gate #{index} has unscheduled predecessors")
+        if self.colors[index] is GateColor.DONE:
+            raise ValueError(f"gate #{index} is already scheduled")
+        gate = self.circuit.gates[index]
+        phys_map = {q: self.current_placement.phys(q) for q in gate.qubits}
+        for p in phys_map.values():
+            if self.qubit_free[p] > cycle:
+                raise ValueError(
+                    f"physical qubit {p} is busy until {self.qubit_free[p]}"
+                )
+        duration = 0 if gate.is_barrier else self.device.duration(gate)
+        item = ScheduledGate(gate.remap(phys_map), cycle, duration)
+        self.scheduled.append(item)
+        for p in phys_map.values():
+            self.qubit_free[p] = cycle + duration
+        self.colors[index] = GateColor.DONE
+        for succ in self.dag.successors(index):
+            if all(
+                self.colors[p] is GateColor.DONE
+                for p in self.dag.predecessors(succ)
+            ):
+                self.colors[succ] = GateColor.READY
+        return item
+
+    def insert_swap(self, phys_a: int, phys_b: int, cycle: int) -> ScheduledGate:
+        """Insert a routing SWAP on two physical qubits at ``cycle``."""
+        if not self.device.connected(phys_a, phys_b):
+            raise ValueError(f"qubits {phys_a} and {phys_b} are not connected")
+        for p in (phys_a, phys_b):
+            if self.qubit_free[p] > cycle:
+                raise ValueError(f"physical qubit {p} is busy until {self.qubit_free[p]}")
+        duration = self.device.duration("swap")
+        item = ScheduledGate(Gate("swap", (phys_a, phys_b)), cycle, duration)
+        self.extra_gates.append(item)
+        for p in (phys_a, phys_b):
+            self.qubit_free[p] = cycle + duration
+        self.current_placement.apply_swap(phys_a, phys_b)
+        return item
+
+    def finished(self) -> bool:
+        """True when every gate is scheduled."""
+        return all(c is GateColor.DONE for c in self.colors)
+
+    def placement_array(self) -> list[int]:
+        """The paper's physical->program array with the free marker."""
+        return self.current_placement.phys_to_prog()
+
+    def schedule_table(self) -> dict[int, list[ScheduledGate]]:
+        """Partial schedule grouped by start cycle (explicit parallelism)."""
+        table: dict[int, list[ScheduledGate]] = {}
+        for item in sorted(
+            self.scheduled + self.extra_gates, key=lambda it: it.start
+        ):
+            table.setdefault(item.start, []).append(item)
+        return table

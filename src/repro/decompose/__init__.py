@@ -1,0 +1,24 @@
+"""Gate decomposition into device-native gate sets."""
+
+from .controlled import (
+    controlled_gate,
+    controlled_unitary,
+    multi_controlled_x,
+    multi_controlled_z,
+)
+from .decomposer import count_native_misses, decompose_circuit, decompose_gate
+from .euler import u_angles, zyz_angles
+from . import rules
+
+__all__ = [
+    "controlled_gate",
+    "controlled_unitary",
+    "count_native_misses",
+    "decompose_circuit",
+    "decompose_gate",
+    "multi_controlled_x",
+    "multi_controlled_z",
+    "rules",
+    "u_angles",
+    "zyz_angles",
+]

@@ -1,0 +1,109 @@
+"""Euler-angle synthesis of single-qubit unitaries.
+
+IBM's QX devices expose the elementary gate
+``U(theta, phi, lam) = Rz(phi) Ry(theta) Rz(lam)`` (paper, Section IV);
+"by adjusting the parameters, single-qubit gates of other gate libraries
+like the H or the T gate can be realized".  This module computes those
+parameters for an arbitrary 2x2 unitary — the ZYZ Euler decomposition —
+so the decomposer can lower any single-qubit gate to one native ``u``
+instruction (or to Rz/Ry rotation chains for other native sets).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+__all__ = ["zyz_angles", "u_angles"]
+
+_ATOL = 1e-10
+
+
+def zyz_angles(matrix: np.ndarray) -> tuple[float, float, float, float]:
+    """Decompose a 2x2 unitary as ``exp(i alpha) Rz(phi) Ry(theta) Rz(lam)``.
+
+    Returns:
+        ``(theta, phi, lam, alpha)`` with ``theta`` in ``[0, pi]``.
+
+    Raises:
+        ValueError: when ``matrix`` is not (close to) unitary.
+    """
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.shape != (2, 2):
+        raise ValueError(f"expected a 2x2 matrix, got shape {matrix.shape}")
+    if not np.allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-8):
+        raise ValueError("matrix is not unitary")
+
+    # Remove the global phase: det(U) = exp(2 i alpha) for U in SU(2)
+    # scaled by exp(i alpha).
+    det = matrix[0, 0] * matrix[1, 1] - matrix[0, 1] * matrix[1, 0]
+    alpha = cmath.phase(det) / 2.0
+    su2 = matrix * cmath.exp(-1j * alpha)
+
+    # su2 = [[ cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #        [ sin(t/2) e^{ i(phi-lam)/2},  cos(t/2) e^{ i(phi+lam)/2}]]
+    cos_half = abs(su2[0, 0])
+    cos_half = min(1.0, max(0.0, cos_half))
+    theta = 2.0 * math.acos(cos_half)
+
+    if abs(su2[0, 0]) > _ATOL and abs(su2[1, 0]) > _ATOL:
+        plus = 2.0 * cmath.phase(su2[1, 1])   # phi + lam
+        minus = 2.0 * cmath.phase(su2[1, 0])  # phi - lam
+        phi = (plus + minus) / 2.0
+        lam = (plus - minus) / 2.0
+    elif abs(su2[0, 0]) > _ATOL:
+        # theta ~ 0: only phi + lam matters; put it all in lam.
+        phi = 0.0
+        lam = 2.0 * cmath.phase(su2[1, 1])
+    else:
+        # theta ~ pi: only phi - lam matters; put it all in phi... note
+        # su2[1, 0] = sin(t/2) e^{i(phi-lam)/2}.
+        lam = 0.0
+        phi = 2.0 * cmath.phase(su2[1, 0])
+
+    # Wrap first: wrapping shifts angles by 2*pi, which flips the sign of
+    # an SU(2) rotation, so the phase correction below must see the final
+    # angles.
+    phi, lam = _wrap(phi), _wrap(lam)
+
+    # det(U) only fixes alpha modulo pi (the SU(2) double cover): check
+    # the reconstruction and absorb a possible -1 into the phase.
+    reconstruction = cmath.exp(1j * alpha) * (
+        _rz(phi) @ _ry(theta) @ _rz(lam)
+    )
+    pivot = int(np.argmax(np.abs(matrix)))
+    if (
+        abs(matrix.reshape(-1)[pivot]) > _ATOL
+        and (reconstruction.reshape(-1)[pivot] / matrix.reshape(-1)[pivot]).real < 0
+    ):
+        alpha += math.pi
+
+    return theta, phi, lam, alpha
+
+
+def _rz(angle: float) -> np.ndarray:
+    phase = cmath.exp(1j * angle / 2.0)
+    return np.array([[1.0 / phase, 0.0], [0.0, phase]], dtype=complex)
+
+
+def _ry(angle: float) -> np.ndarray:
+    c, s = math.cos(angle / 2.0), math.sin(angle / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def u_angles(matrix: np.ndarray) -> tuple[float, float, float]:
+    """The ``(theta, phi, lam)`` realizing ``matrix`` up to global phase."""
+    theta, phi, lam, _ = zyz_angles(matrix)
+    return theta, phi, lam
+
+
+def _wrap(angle: float) -> float:
+    """Wrap an angle to ``(-pi, pi]``."""
+    wrapped = math.fmod(angle, 2.0 * math.pi)
+    if wrapped > math.pi:
+        wrapped -= 2.0 * math.pi
+    elif wrapped <= -math.pi:
+        wrapped += 2.0 * math.pi
+    return wrapped

@@ -1,0 +1,234 @@
+"""Gate rewrite rules toward the native sets of real devices.
+
+Each rule maps one gate to an equivalent (up to global phase) sequence of
+simpler gates.  Two rule families cover the paper's devices:
+
+* **IBM basis** (Section IV): every single-qubit gate becomes one
+  ``u(theta, phi, lam)``; the entangler is CNOT; SWAP becomes three
+  CNOTs; a wrong-direction CNOT is flipped with four Hadamards.
+* **Surface basis** (Section V, Fig. 6): single-qubit gates become X/Y
+  rotations; CNOT becomes ``Ry(-90) . CZ . Ry(+90)`` on the target; SWAP
+  becomes three such CNOTs; Z-axis rotations are conjugated onto the X
+  axis by ``y90 / ym90``.
+
+All rules are validated by unitary-equivalence tests; the rule bodies
+list gates in *circuit order* (first gate applied first).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core import gates as G
+from ..core.gates import Gate
+
+__all__ = [
+    "CNOT_RULES",
+    "SURFACE_1Q_RULES",
+    "IBM_1Q_RULES",
+    "expand_swap_cnot",
+    "expand_cnot_to_cz",
+    "expand_cnot_to_rxx",
+    "expand_rxx_to_cnot",
+    "expand_toffoli",
+    "expand_fredkin",
+    "expand_cp",
+    "expand_crz",
+    "flip_cnot",
+    "rz_as_xy",
+    "hadamard_as_xy",
+]
+
+PI = math.pi
+
+
+# ---------------------------------------------------------------------------
+# Two-qubit and larger rewrites (basis independent)
+# ---------------------------------------------------------------------------
+
+def expand_swap_cnot(a: int, b: int) -> list[Gate]:
+    """SWAP as three alternating CNOTs (Section IV)."""
+    return [G.cnot(a, b), G.cnot(b, a), G.cnot(a, b)]
+
+
+def expand_cnot_to_cz(control: int, target: int) -> list[Gate]:
+    """CNOT in the Surface-17 basis (paper Fig. 6, left).
+
+    ``CNOT(c, t) = Ry(+90)_t . CZ . Ry(-90)_t`` (matrix order), i.e. the
+    circuit applies ``ym90`` on the target, then CZ, then ``y90``.
+    """
+    return [G.ym90(target), G.cz(control, target), G.y90(target)]
+
+
+def expand_swap_to_cz(a: int, b: int) -> list[Gate]:
+    """SWAP in the Surface-17 basis (paper Fig. 6, middle)."""
+    sequence: list[Gate] = []
+    for control, target in ((a, b), (b, a), (a, b)):
+        sequence.extend(expand_cnot_to_cz(control, target))
+    return sequence
+
+
+def expand_toffoli(c1: int, c2: int, target: int) -> list[Gate]:
+    """The standard 6-CNOT + T realisation of the Toffoli gate."""
+    return [
+        G.h(target),
+        G.cnot(c2, target),
+        G.tdg(target),
+        G.cnot(c1, target),
+        G.t(target),
+        G.cnot(c2, target),
+        G.tdg(target),
+        G.cnot(c1, target),
+        G.t(c2),
+        G.t(target),
+        G.h(target),
+        G.cnot(c1, c2),
+        G.t(c1),
+        G.tdg(c2),
+        G.cnot(c1, c2),
+    ]
+
+
+def expand_fredkin(control: int, a: int, b: int) -> list[Gate]:
+    """Fredkin (controlled SWAP) via CNOT conjugation of a Toffoli."""
+    return [G.cnot(b, a), G.toffoli(control, a, b), G.cnot(b, a)]
+
+
+def expand_cp(theta: float, a: int, b: int) -> list[Gate]:
+    """Controlled phase as Rz rotations and two CNOTs."""
+    return [
+        G.rz(theta / 2.0, a),
+        G.cnot(a, b),
+        G.rz(-theta / 2.0, b),
+        G.cnot(a, b),
+        G.rz(theta / 2.0, b),
+    ]
+
+
+def expand_crz(theta: float, control: int, target: int) -> list[Gate]:
+    """Controlled Rz as Rz rotations and two CNOTs."""
+    return [
+        G.rz(theta / 2.0, target),
+        G.cnot(control, target),
+        G.rz(-theta / 2.0, target),
+        G.cnot(control, target),
+    ]
+
+
+def expand_cnot_to_rxx(control: int, target: int) -> list[Gate]:
+    """CNOT from the Moelmer-Soerensen interaction (trapped ions).
+
+    ``CNOT = (Ry(90) x I) . RXX(90) . (Rx(-90) x Rx(90)) . (Ry(-90) x I)``
+    in matrix order (up to global phase); circuit order below.
+    """
+    return [
+        G.ym90(control),
+        G.xm90(control),
+        G.x90(target),
+        Gate("rxx", (control, target), (PI / 2,)),
+        G.y90(control),
+    ]
+
+
+def expand_rxx_to_cnot(theta: float, a: int, b: int) -> list[Gate]:
+    """RXX via CNOT conjugation: ``RXX(t) = CNOT . (Rx(t) x I) . CNOT``."""
+    return [G.cnot(a, b), G.rx(theta, a), G.cnot(a, b)]
+
+
+def flip_cnot(control: int, target: int) -> list[Gate]:
+    """Reverse the CNOT direction with four Hadamards (Section IV).
+
+    Produces a CNOT with control and target exchanged, for devices whose
+    coupling graph only provides the opposite orientation.
+    """
+    return [
+        G.h(control),
+        G.h(target),
+        G.cnot(target, control),
+        G.h(control),
+        G.h(target),
+    ]
+
+
+#: Expansion of multi-qubit / composite gates into the CNOT + 1q basis.
+#: Maps gate name to a function of (params, qubits) -> list[Gate].
+CNOT_RULES = {
+    "rxx": lambda params, qubits: expand_rxx_to_cnot(params[0], *qubits),
+    "swap": lambda params, qubits: expand_swap_cnot(*qubits),
+    "toffoli": lambda params, qubits: expand_toffoli(*qubits),
+    "fredkin": lambda params, qubits: expand_fredkin(*qubits),
+    "cp": lambda params, qubits: expand_cp(params[0], *qubits),
+    "crz": lambda params, qubits: expand_crz(params[0], *qubits),
+    "cz": lambda params, qubits: [
+        G.h(qubits[1]),
+        G.cnot(qubits[0], qubits[1]),
+        G.h(qubits[1]),
+    ],
+}
+
+
+# ---------------------------------------------------------------------------
+# Single-qubit rewrites, IBM basis: everything is one u(theta, phi, lam)
+# ---------------------------------------------------------------------------
+
+def _u(theta: float, phi: float, lam: float):
+    return lambda params, qubits: [G.u(theta, phi, lam, qubits[0])]
+
+
+#: Fixed single-qubit gates as IBM ``u`` instructions (up to global phase).
+IBM_1Q_RULES = {
+    "h": _u(PI / 2, 0.0, PI),
+    "x": _u(PI, 0.0, PI),
+    "y": _u(PI, PI / 2, PI / 2),
+    "z": _u(0.0, 0.0, PI),
+    "s": _u(0.0, 0.0, PI / 2),
+    "sdg": _u(0.0, 0.0, -PI / 2),
+    "t": _u(0.0, 0.0, PI / 4),
+    "tdg": _u(0.0, 0.0, -PI / 4),
+    "x90": _u(PI / 2, -PI / 2, PI / 2),
+    "xm90": _u(-PI / 2, -PI / 2, PI / 2),
+    "y90": _u(PI / 2, 0.0, 0.0),
+    "ym90": _u(-PI / 2, 0.0, 0.0),
+    "rx": lambda params, qubits: [G.u(params[0], -PI / 2, PI / 2, qubits[0])],
+    "ry": lambda params, qubits: [G.u(params[0], 0.0, 0.0, qubits[0])],
+    "rz": lambda params, qubits: [G.u(0.0, 0.0, params[0], qubits[0])],
+}
+
+
+# ---------------------------------------------------------------------------
+# Single-qubit rewrites, Surface basis: X/Y rotations only
+# ---------------------------------------------------------------------------
+
+def rz_as_xy(theta: float, q: int) -> list[Gate]:
+    """Z rotation conjugated onto the X axis: Rz = Ry(-90) Rx(theta) Ry(90).
+
+    The sequence is returned in circuit order: ``y90``, ``rx(theta)``,
+    ``ym90``.
+    """
+    return [G.y90(q), G.rx(theta, q), G.ym90(q)]
+
+
+def hadamard_as_xy(q: int) -> list[Gate]:
+    """H = X . Ry(90) (matrix order): apply ``y90`` then ``x``."""
+    return [G.y90(q), G.x(q)]
+
+
+#: Fixed single-qubit gates as X/Y rotations (up to global phase).
+SURFACE_1Q_RULES = {
+    "h": lambda params, qubits: hadamard_as_xy(qubits[0]),
+    "x": lambda params, qubits: [G.x(qubits[0])],
+    "y": lambda params, qubits: [G.y(qubits[0])],
+    "z": lambda params, qubits: [G.x(qubits[0]), G.y(qubits[0])],
+    "s": lambda params, qubits: rz_as_xy(PI / 2, qubits[0]),
+    "sdg": lambda params, qubits: rz_as_xy(-PI / 2, qubits[0]),
+    "t": lambda params, qubits: rz_as_xy(PI / 4, qubits[0]),
+    "tdg": lambda params, qubits: rz_as_xy(-PI / 4, qubits[0]),
+    "rx": lambda params, qubits: [G.rx(params[0], qubits[0])],
+    "ry": lambda params, qubits: [G.ry(params[0], qubits[0])],
+    "rz": lambda params, qubits: rz_as_xy(params[0], qubits[0]),
+    "u": lambda params, qubits: (
+        rz_as_xy(params[2], qubits[0])
+        + [G.ry(params[0], qubits[0])]
+        + rz_as_xy(params[1], qubits[0])
+    ),
+}

@@ -1,0 +1,36 @@
+"""Device models: coupling graphs, native gates, control constraints."""
+
+from .device import ControlConstraints, Device, Violation
+from .dots import quantum_dot_device
+from .ions import ion_trap_device, photonic_device
+from .library import (
+    all_to_all_device,
+    available_devices,
+    get_device,
+    grid_device,
+    ibm_qx4,
+    ibm_qx5,
+    linear_device,
+    ring_device,
+    surface7,
+    surface17,
+)
+
+__all__ = [
+    "ControlConstraints",
+    "Device",
+    "Violation",
+    "all_to_all_device",
+    "available_devices",
+    "get_device",
+    "grid_device",
+    "ion_trap_device",
+    "ibm_qx4",
+    "ibm_qx5",
+    "linear_device",
+    "photonic_device",
+    "quantum_dot_device",
+    "ring_device",
+    "surface7",
+    "surface17",
+]

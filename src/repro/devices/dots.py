@@ -1,0 +1,56 @@
+"""Silicon quantum-dot device models (paper Section VI-C).
+
+"In silicon quantum dots the role of qubits is played by the spin of
+electrons confined in electromagnetic potential wells called dots. ...
+certain dots can be momentarily empty and electrons can be moved to
+empty dots in a way that maintains the qubit coherence, the so called
+shuttling operation.  The electron movement can be interpreted either as
+a change in the device connectivity or as an alternative qubit routing
+not based on SWAP gates.  Specialized mappers are required to take full
+advantage of these capabilities."
+
+A dot array here is a 2D grid whose *sites* outnumber the electrons: the
+extra sites are empty and shuttling a qubit into an adjacent empty site
+is a single cheap native operation (the ``shuttle`` gate), far cheaper
+than the three exchange-based CNOTs a SWAP costs.  The specialised
+mapper is :func:`repro.mapping.routing.shuttle.route_shuttle`.
+"""
+
+from __future__ import annotations
+
+from .device import Device
+from .topologies import grid_edges
+
+__all__ = ["quantum_dot_device"]
+
+#: Exchange-interaction two-qubit gate duration in cycles.
+_DOT_DURATIONS = {
+    "u": 1, "rx": 1, "ry": 1, "rz": 1,
+    "h": 1, "s": 1, "sdg": 1, "t": 1, "tdg": 1, "x": 1, "y": 1, "z": 1,
+    "cnot": 4, "swap": 12, "shuttle": 2, "measure": 20, "i": 1,
+}
+
+
+def quantum_dot_device(rows: int, cols: int) -> Device:
+    """A ``rows x cols`` quantum-dot array with shuttling support.
+
+    Every site couples to its grid neighbours via the exchange
+    interaction (CNOT-capable); any qubit may additionally *shuttle* into
+    an adjacent empty site.  How many sites are actually occupied is a
+    property of the circuit placement, not the device: place an
+    ``n``-qubit circuit on the array and the remaining sites are free.
+    """
+    edges, positions = grid_edges(rows, cols)
+    return Device(
+        f"dots{rows}x{cols}",
+        rows * cols,
+        edges,
+        ["u", "rx", "ry", "rz", "h", "s", "sdg", "t", "tdg",
+         "x", "y", "z", "cnot"],
+        symmetric=True,
+        two_qubit_gate="cnot",
+        durations=_DOT_DURATIONS,
+        cycle_time_ns=20.0,
+        positions=positions,
+        features=["shuttling"],
+    )

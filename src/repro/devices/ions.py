@@ -1,0 +1,74 @@
+"""Trapped-ion and photonic device models (paper Section VI-C).
+
+Trapped ions: "all-to-all connectivity, at least inside groups of tens
+of ions ... However this desirable property comes at the price of
+reduced two-qubit gate parallelism."  The model below couples every ion
+pair through the Moelmer-Soerensen ``rxx`` interaction (mediated by the
+shared vibrational bus) and carries the ``serial_two_qubit`` feature:
+the bus supports only one entangling gate at a time, which the
+constraint scheduler enforces.
+
+Photonics: "limited to demolition measurements in which the qubit is
+'destroyed' when measured ... One can generate a new photon to
+re-initialize the qubit state."  The ``demolition_measurement`` feature
+makes :meth:`repro.devices.device.Device.validate_circuit` reject gates
+on a measured-but-not-reinitialised qubit;
+:func:`repro.mapping.reinit.insert_photon_reinit` repairs circuits by
+generating the new photon (``prep_z``).
+"""
+
+from __future__ import annotations
+
+from .device import Device
+from .topologies import all_to_all_edges, linear_edges
+
+__all__ = ["ion_trap_device", "photonic_device"]
+
+#: Ion gates are orders of magnitude slower than transmon gates; with a
+#: 1 us cycle the relative durations still capture the structure: fast
+#: single-qubit rotations, a much longer MS interaction, longer readout.
+ION_DURATIONS = {
+    "rx": 1, "ry": 1, "rz": 1,
+    "x": 1, "y": 1, "z": 1, "x90": 1, "xm90": 1, "y90": 1, "ym90": 1,
+    "rxx": 10, "swap": 30, "measure": 40, "prep_z": 10, "i": 1,
+}
+
+PHOTONIC_DURATIONS = {
+    "rx": 1, "ry": 1, "rz": 1, "h": 1, "s": 1, "t": 1,
+    "cz": 2, "cnot": 2, "swap": 6, "measure": 2, "prep_z": 4, "i": 1,
+}
+
+
+def ion_trap_device(num_qubits: int) -> Device:
+    """A trapped-ion module: all-to-all ``rxx`` coupling, serial 2q gates."""
+    edges, positions = all_to_all_edges(num_qubits)
+    return Device(
+        f"iontrap{num_qubits}",
+        num_qubits,
+        edges,
+        ["rx", "ry", "rz", "x", "y", "z", "x90", "xm90", "y90", "ym90", "rxx"],
+        symmetric=True,
+        two_qubit_gate="rxx",
+        durations=ION_DURATIONS,
+        cycle_time_ns=1000.0,
+        positions=positions,
+        features=["serial_two_qubit"],
+    )
+
+
+def photonic_device(num_qubits: int) -> Device:
+    """A photonic chain with demolition measurement (Section VI-C)."""
+    edges, positions = linear_edges(num_qubits)
+    return Device(
+        f"photonic{num_qubits}",
+        num_qubits,
+        edges,
+        ["rx", "ry", "rz", "h", "s", "sdg", "t", "tdg",
+         "x", "y", "z", "cz", "cnot"],
+        symmetric=True,
+        two_qubit_gate="cz",
+        durations=PHOTONIC_DURATIONS,
+        cycle_time_ns=1.0,
+        positions=positions,
+        features=["demolition_measurement"],
+    )

@@ -1,0 +1,293 @@
+"""Registry of concrete device models.
+
+Provides ready-made :class:`~repro.devices.device.Device` instances for
+every machine the paper discusses:
+
+* ``ibm_qx4`` / ``ibm_qx5`` — IBM QX transmon chips with *directed* CNOT
+  coupling and the ``U(theta, phi, lam)`` + CNOT native set (Section IV);
+* ``surface17`` / ``surface7`` — QuTech/Intel surface-code chips with
+  symmetric CZ coupling, X/Y-rotation natives, and the full
+  control-electronics constraint model (Section V and Fig. 2);
+* parametric generics ``linear``, ``ring``, ``grid``, ``all_to_all`` for
+  the topology families of Section III-B and VI-C.
+
+Use :func:`get_device` with a name, e.g. ``get_device("ibm_qx4")`` or
+``get_device("grid", rows=4, cols=4)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .device import ControlConstraints, Device
+from .topologies import (
+    SURFACE7_ROWS,
+    SURFACE17_ROWS,
+    all_to_all_edges,
+    grid_edges,
+    ibm_qx4_edges,
+    ibm_qx5_edges,
+    linear_edges,
+    ring_edges,
+    surface_edges,
+)
+
+__all__ = [
+    "get_device",
+    "available_devices",
+    "ibm_qx4",
+    "ibm_qx5",
+    "surface17",
+    "surface7",
+    "linear_device",
+    "ring_device",
+    "grid_device",
+    "all_to_all_device",
+]
+
+#: Native single-qubit set of the IBM QX devices: the Euler-decomposition
+#: gate U(theta, phi, lam) plus the rotations it is built from.
+IBM_NATIVE = ("u", "rz", "ry", "rx")
+
+#: Native set of the Surface chips: arbitrary X/Y rotations (named 90 and
+#: 180 degree instances included) and the CZ entangling gate.
+SURFACE_NATIVE = ("rx", "ry", "x", "y", "x90", "xm90", "y90", "ym90", "cz")
+
+#: Durations in cycles at 20 ns per cycle, following the Qmap paper [39]:
+#: single-qubit rotations take one cycle, the flux-based CZ two cycles,
+#: measurement 30 cycles (600 ns) and initialisation 10 cycles.
+SURFACE_DURATIONS = {
+    "rx": 1, "ry": 1, "x": 1, "y": 1,
+    "x90": 1, "xm90": 1, "y90": 1, "ym90": 1,
+    "cz": 2, "swap": 12, "measure": 30, "prep_z": 10, "i": 1,
+}
+
+#: Abstract IBM QX durations: one cycle per U, two per CNOT; a routing
+#: SWAP is three CNOTs back to back.
+IBM_DURATIONS = {
+    "u": 1, "rx": 1, "ry": 1, "rz": 1,
+    "cnot": 2, "swap": 6, "measure": 10, "i": 1,
+}
+
+
+def ibm_qx4() -> Device:
+    """The 5-qubit IBM QX4 with its directed coupling graph (Fig. 3a)."""
+    edges, positions = ibm_qx4_edges()
+    return Device(
+        "ibm_qx4",
+        5,
+        edges,
+        IBM_NATIVE + ("cnot",),
+        symmetric=False,
+        two_qubit_gate="cnot",
+        durations=IBM_DURATIONS,
+        cycle_time_ns=80.0,
+        positions=positions,
+    )
+
+
+def ibm_qx5() -> Device:
+    """The 16-qubit IBM QX5 with its directed coupling graph."""
+    edges, positions = ibm_qx5_edges()
+    return Device(
+        "ibm_qx5",
+        16,
+        edges,
+        IBM_NATIVE + ("cnot",),
+        symmetric=False,
+        two_qubit_gate="cnot",
+        durations=IBM_DURATIONS,
+        cycle_time_ns=80.0,
+        positions=positions,
+    )
+
+
+def _surface_frequency_groups(rows: tuple[int, ...]) -> dict[int, int]:
+    """Three-frequency assignment for an offset-row surface lattice.
+
+    The lattice is bipartite between short and long rows, so giving the
+    long rows the middle frequency f2 (group 1) and alternating the short
+    rows between f1 (group 0) and f3 (group 2) makes every coupled pair
+    differ in frequency, as the CZ implementation of Section V requires.
+    """
+    groups: dict[int, int] = {}
+    longest = max(rows)
+    q = 0
+    short_seen = 0
+    for length in rows:
+        if length == longest:
+            group = 1
+        else:
+            group = 0 if short_seen % 2 == 0 else 2
+            short_seen += 1
+        for _ in range(length):
+            groups[q] = group
+            q += 1
+    return groups
+
+
+def surface17() -> Device:
+    """The 17-qubit Surface-17 chip of the paper's Section V / Fig. 4.
+
+    Includes the control-electronics constraints: three frequency groups
+    sharing microwave generators, three measurement feedlines (the paper
+    names the feedline {0, 2, 3, 6, 9, 12} explicitly; the remaining two
+    groups follow the lattice diagonals), and CZ parking.
+    """
+    edges, positions = surface_edges(SURFACE17_ROWS)
+    constraints = ControlConstraints(
+        frequency_group=_surface_frequency_groups(SURFACE17_ROWS),
+        feedline=_feedline_map(
+            [
+                (0, 2, 3, 6, 9, 12),     # given explicitly in the paper
+                (1, 5, 8, 11, 15),
+                (4, 7, 10, 13, 14, 16),
+            ]
+        ),
+        park_on_cz=True,
+    )
+    return Device(
+        "surface17",
+        17,
+        edges,
+        SURFACE_NATIVE,
+        symmetric=True,
+        two_qubit_gate="cz",
+        durations=SURFACE_DURATIONS,
+        cycle_time_ns=20.0,
+        positions=positions,
+        constraints=constraints,
+    )
+
+
+def surface7() -> Device:
+    """The 7-qubit Surface-7 chip used in the paper's Fig. 2."""
+    edges, positions = surface_edges(SURFACE7_ROWS)
+    constraints = ControlConstraints(
+        frequency_group=_surface_frequency_groups(SURFACE7_ROWS),
+        feedline=_feedline_map([(0, 1, 2, 3), (4, 5, 6)]),
+        park_on_cz=True,
+    )
+    return Device(
+        "surface7",
+        7,
+        edges,
+        SURFACE_NATIVE,
+        symmetric=True,
+        two_qubit_gate="cz",
+        durations=SURFACE_DURATIONS,
+        cycle_time_ns=20.0,
+        positions=positions,
+        constraints=constraints,
+    )
+
+
+def _feedline_map(groups: list[tuple[int, ...]]) -> dict[int, int]:
+    mapping: dict[int, int] = {}
+    for line, members in enumerate(groups):
+        for q in members:
+            if q in mapping:
+                raise ValueError(f"qubit {q} assigned to two feedlines")
+            mapping[q] = line
+    return mapping
+
+
+def linear_device(num_qubits: int, two_qubit_gate: str = "cnot") -> Device:
+    """A 1D nearest-neighbour chain with symmetric coupling."""
+    edges, positions = linear_edges(num_qubits)
+    return _generic(f"linear{num_qubits}", num_qubits, edges, positions, two_qubit_gate)
+
+
+def ring_device(num_qubits: int, two_qubit_gate: str = "cnot") -> Device:
+    """A 1D ring with symmetric coupling."""
+    edges, positions = ring_edges(num_qubits)
+    return _generic(f"ring{num_qubits}", num_qubits, edges, positions, two_qubit_gate)
+
+
+def grid_device(rows: int, cols: int, two_qubit_gate: str = "cnot") -> Device:
+    """A rows-by-cols 2D nearest-neighbour grid with symmetric coupling."""
+    edges, positions = grid_edges(rows, cols)
+    return _generic(
+        f"grid{rows}x{cols}", rows * cols, edges, positions, two_qubit_gate
+    )
+
+
+def all_to_all_device(num_qubits: int, two_qubit_gate: str = "cnot") -> Device:
+    """Full connectivity, like a trapped-ion module (Section VI-C)."""
+    edges, positions = all_to_all_edges(num_qubits)
+    return _generic(f"ions{num_qubits}", num_qubits, edges, positions, two_qubit_gate)
+
+
+def _generic(
+    name: str,
+    num_qubits: int,
+    edges: list[tuple[int, int]],
+    positions: dict[int, tuple[float, float]],
+    two_qubit_gate: str,
+) -> Device:
+    native = IBM_NATIVE + ("h", "s", "sdg", "t", "tdg", "x", "y", "z", two_qubit_gate)
+    durations = dict(IBM_DURATIONS)
+    durations[two_qubit_gate] = 2
+    return Device(
+        name,
+        num_qubits,
+        edges,
+        native,
+        symmetric=True,
+        two_qubit_gate=two_qubit_gate,
+        durations=durations,
+        cycle_time_ns=20.0,
+        positions=positions,
+    )
+
+
+_FIXED: dict[str, Callable[[], Device]] = {
+    "ibm_qx4": ibm_qx4,
+    "ibm_qx5": ibm_qx5,
+    "surface17": surface17,
+    "surface7": surface7,
+}
+
+_PARAMETRIC = {"linear", "ring", "grid", "all_to_all", "dots", "iontrap", "photonic"}
+
+
+def available_devices() -> list[str]:
+    """Names accepted by :func:`get_device`."""
+    return sorted(_FIXED) + sorted(_PARAMETRIC)
+
+
+def get_device(name: str, **params) -> Device:
+    """Build a device by registry name.
+
+    Examples:
+        >>> get_device("ibm_qx4").num_qubits
+        5
+        >>> get_device("grid", rows=2, cols=3).num_qubits
+        6
+    """
+    key = name.lower()
+    if key in _FIXED:
+        if params:
+            raise TypeError(f"device {name!r} takes no parameters")
+        return _FIXED[key]()
+    if key == "linear":
+        return linear_device(**params)
+    if key == "ring":
+        return ring_device(**params)
+    if key == "grid":
+        return grid_device(**params)
+    if key == "all_to_all":
+        return all_to_all_device(**params)
+    if key == "dots":
+        from .dots import quantum_dot_device
+
+        return quantum_dot_device(**params)
+    if key == "iontrap":
+        from .ions import ion_trap_device
+
+        return ion_trap_device(**params)
+    if key == "photonic":
+        from .ions import photonic_device
+
+        return photonic_device(**params)
+    raise KeyError(f"unknown device {name!r}; available: {available_devices()}")

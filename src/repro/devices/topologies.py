@@ -1,0 +1,164 @@
+"""Coupling-graph builders for the device families the paper discusses.
+
+The mapping literature reviewed in Section III-B classifies devices by
+topology: linear arrays (1D), 2D nearest-neighbour grids, "more arbitrary
+shapes" such as the IBM QX chips, and the all-to-all connectivity of
+trapped-ion modules.  Each builder here returns ``(edges, positions)``
+where ``edges`` is a list of qubit pairs (one per physical connection)
+and ``positions`` maps qubits to 2D coordinates for visualisation.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+__all__ = [
+    "linear_edges",
+    "ring_edges",
+    "grid_edges",
+    "all_to_all_edges",
+    "ibm_qx4_edges",
+    "ibm_qx5_edges",
+    "surface_edges",
+    "SURFACE17_ROWS",
+    "SURFACE7_ROWS",
+]
+
+Edges = list[tuple[int, int]]
+Positions = dict[int, tuple[float, float]]
+
+
+def linear_edges(num_qubits: int) -> tuple[Edges, Positions]:
+    """A 1D chain: qubit ``i`` couples to ``i + 1``."""
+    edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    positions = {i: (float(i), 0.0) for i in range(num_qubits)}
+    return edges, positions
+
+
+def ring_edges(num_qubits: int) -> tuple[Edges, Positions]:
+    """A 1D chain closed into a ring (e.g. Rigetti Aspen-like loops)."""
+    import math
+
+    edges, _ = linear_edges(num_qubits)
+    if num_qubits > 2:
+        edges.append((num_qubits - 1, 0))
+    positions = {
+        i: (
+            math.cos(2 * math.pi * i / max(num_qubits, 1)),
+            math.sin(2 * math.pi * i / max(num_qubits, 1)),
+        )
+        for i in range(num_qubits)
+    }
+    return edges, positions
+
+
+def grid_edges(rows: int, cols: int) -> tuple[Edges, Positions]:
+    """A ``rows x cols`` 2D nearest-neighbour lattice (row-major order)."""
+    edges: Edges = []
+    positions: Positions = {}
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            positions[q] = (float(c), float(-r))
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return edges, positions
+
+
+def all_to_all_edges(num_qubits: int) -> tuple[Edges, Positions]:
+    """Full connectivity, as inside a trapped-ion module (Sec. VI-C)."""
+    import math
+
+    edges = list(combinations(range(num_qubits), 2))
+    positions = {
+        i: (
+            math.cos(2 * math.pi * i / max(num_qubits, 1)),
+            math.sin(2 * math.pi * i / max(num_qubits, 1)),
+        )
+        for i in range(num_qubits)
+    }
+    return edges, positions
+
+
+def ibm_qx4_edges() -> tuple[Edges, Positions]:
+    """The directed CNOT edges of the 5-qubit IBM QX4 (paper Fig. 3a).
+
+    Edges are ``(control, target)``: only that orientation of the CNOT is
+    available in hardware; the reverse needs four extra Hadamards.  The
+    directions follow the calibration the paper's example uses, where a
+    CNOT with control Q3 and target Q4 is *not* allowed (Section IV):
+    the Q3-Q4 connection only supports Q4 as control.
+    """
+    edges = [(1, 0), (2, 0), (2, 1), (3, 2), (4, 2), (4, 3)]
+    positions = {
+        0: (2.0, 1.0),
+        1: (1.0, 1.0),
+        2: (1.5, 0.0),
+        3: (1.0, -1.0),
+        4: (2.0, -1.0),
+    }
+    return edges, positions
+
+
+def ibm_qx5_edges() -> tuple[Edges, Positions]:
+    """The directed CNOT edges of the 16-qubit IBM QX5."""
+    edges = [
+        (1, 0), (1, 2), (2, 3), (3, 4), (3, 14), (5, 4), (6, 5), (6, 7),
+        (6, 11), (7, 10), (8, 7), (9, 8), (9, 10), (11, 10), (12, 5),
+        (12, 11), (12, 13), (13, 4), (13, 14), (15, 0), (15, 2), (15, 14),
+    ]
+    positions: Positions = {}
+    for q in range(8):
+        positions[q] = (float(q), 1.0)
+    for q in range(8, 16):
+        positions[q] = (float(15 - q), 0.0)
+    return edges, positions
+
+
+#: Row lengths of the Surface-17 lattice; qubits are numbered row-major,
+#: rows offset by half a site so each qubit couples to the one or two
+#: nearest qubits of the adjacent rows (Versluis et al. 2017 layout).
+SURFACE17_ROWS = (3, 4, 3, 4, 3)
+
+#: Row lengths of the smaller Surface-7 chip used in the paper's Fig. 2.
+SURFACE7_ROWS = (2, 3, 2)
+
+
+def surface_edges(rows: tuple[int, ...]) -> tuple[Edges, Positions]:
+    """Edges of an offset-row ("brick wall") surface-code lattice.
+
+    Consecutive rows alternate between shorter and longer; a qubit at
+    position ``i`` in a short row couples to positions ``i`` and ``i + 1``
+    of an adjacent longer row (and symmetrically).  With
+    ``rows=SURFACE17_ROWS`` this reproduces the Surface-17 topology of the
+    paper's Fig. 4, where e.g. qubits 1 and 5 can interact but 1 and 7
+    cannot.
+    """
+    starts = []
+    total = 0
+    for length in rows:
+        starts.append(total)
+        total += length
+    edges: Edges = []
+    positions: Positions = {}
+    for r, length in enumerate(rows):
+        offset = 0.0 if length == max(rows) else 0.5
+        for i in range(length):
+            positions[starts[r] + i] = (i + offset, float(-r))
+    for r in range(len(rows) - 1):
+        upper, lower = rows[r], rows[r + 1]
+        for i in range(upper):
+            q = starts[r] + i
+            if lower > upper:
+                # Lower row longer: connect to positions i and i + 1.
+                edges.append((q, starts[r + 1] + i))
+                edges.append((q, starts[r + 1] + i + 1))
+            else:
+                # Lower row shorter: connect to positions i - 1 and i.
+                if i - 1 >= 0:
+                    edges.append((q, starts[r + 1] + i - 1))
+                if i < lower:
+                    edges.append((q, starts[r + 1] + i))
+    return edges, positions

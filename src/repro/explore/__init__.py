@@ -1,0 +1,15 @@
+"""Application-aware architecture exploration (paper Sec. VII / ref [69])."""
+
+from .architecture import (
+    ArchitectureResult,
+    augment_topology,
+    compare_topologies,
+    evaluate_architecture,
+)
+
+__all__ = [
+    "ArchitectureResult",
+    "augment_topology",
+    "compare_topologies",
+    "evaluate_architecture",
+]

@@ -1,0 +1,188 @@
+"""Application-aware architecture exploration.
+
+The paper closes (Section VII) with the observation that mapping
+optimisations "should consider both the quantum device and the quantum
+application characteristics.  In this direction, reference [69] proposes
+an approach which takes the planned quantum functionality into account
+when determining an architecture."
+
+This module implements that loop: given a *workload suite* (the planned
+functionality) and a base topology, it searches for the coupling graph
+that minimises the aggregate mapping cost — e.g. "which two extra
+resonators would help this chip most?" — by greedy edge addition with
+full routing in the evaluation loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Sequence
+
+from ..core.circuit import Circuit
+from ..devices.device import Device
+from ..mapping.placement import greedy_placement
+from ..mapping.routing import route
+
+__all__ = [
+    "ArchitectureResult",
+    "evaluate_architecture",
+    "augment_topology",
+    "compare_topologies",
+]
+
+
+def evaluate_architecture(
+    device: Device,
+    workloads: Sequence[Circuit],
+    *,
+    router: str = "sabre",
+    metric: str = "swaps",
+) -> float:
+    """Aggregate mapping cost of ``workloads`` on ``device``.
+
+    Args:
+        device: Candidate architecture.
+        workloads: The planned quantum functionality.
+        router: Router used for the evaluation (heuristics keep the
+            exploration loop fast).
+        metric: ``"swaps"`` (total added SWAPs) or ``"depth"`` (total
+            routed depth).
+
+    Returns:
+        The summed cost; lower is better.
+    """
+    if metric not in ("swaps", "depth"):
+        raise ValueError(f"unknown metric {metric!r}")
+    total = 0.0
+    for circuit in workloads:
+        placement = greedy_placement(circuit, device)
+        result = route(circuit, device, router, placement)
+        total += result.added_swaps if metric == "swaps" else result.circuit.depth()
+    return total
+
+
+def _with_edges(base: Device, extra: Sequence[tuple[int, int]], name: str) -> Device:
+    edges = list(base.undirected_edges()) + list(extra)
+    return Device(
+        name,
+        base.num_qubits,
+        edges,
+        base.native_gates,
+        symmetric=True,
+        two_qubit_gate=base.two_qubit_gate,
+        durations=base.durations,
+        cycle_time_ns=base.cycle_time_ns,
+        positions=base.positions,
+        constraints=base.constraints,
+        features=base.features,
+    )
+
+
+@dataclass
+class ArchitectureResult:
+    """Outcome of an exploration run."""
+
+    base: Device
+    device: Device
+    added_edges: list[tuple[int, int]] = field(default_factory=list)
+    base_cost: float = 0.0
+    cost: float = 0.0
+    history: list[tuple[tuple[int, int], float]] = field(default_factory=list)
+
+    @property
+    def improvement(self) -> float:
+        """Relative cost reduction in [0, 1]."""
+        if self.base_cost == 0:
+            return 0.0
+        return 1.0 - self.cost / self.base_cost
+
+    def summary(self) -> str:
+        lines = [
+            f"architecture exploration from {self.base.name!r}:",
+            f"  base cost: {self.base_cost:.0f}",
+        ]
+        for edge, cost in self.history:
+            lines.append(f"  + edge {edge[0]}-{edge[1]} -> cost {cost:.0f}")
+        lines.append(
+            f"  final cost: {self.cost:.0f} "
+            f"({100 * self.improvement:.0f}% better)"
+        )
+        return "\n".join(lines)
+
+
+def augment_topology(
+    base: Device,
+    workloads: Sequence[Circuit],
+    *,
+    edge_budget: int = 2,
+    router: str = "sabre",
+    metric: str = "swaps",
+    max_candidate_distance: int = 3,
+) -> ArchitectureResult:
+    """Greedily add up to ``edge_budget`` couplings that help the workloads.
+
+    Each round evaluates every candidate non-edge (between qubits at hop
+    distance <= ``max_candidate_distance``, which is where a new
+    resonator is physically plausible and where the win is largest) by
+    routing the whole suite, then keeps the best edge.  Stops early when
+    no edge improves the cost.
+
+    Returns:
+        An :class:`ArchitectureResult`; ``result.device`` carries the
+        augmented topology (symmetric coupling).
+    """
+    base_cost = evaluate_architecture(
+        base, workloads, router=router, metric=metric
+    )
+    chosen: list[tuple[int, int]] = []
+    history: list[tuple[tuple[int, int], float]] = []
+    current_cost = base_cost
+
+    for round_index in range(edge_budget):
+        candidates = [
+            (a, b)
+            for a, b in combinations(range(base.num_qubits), 2)
+            if (a, b) not in set(chosen)
+            and not base.connected(a, b)
+            and base.distance(a, b) <= max_candidate_distance
+        ]
+        best_edge, best_cost = None, current_cost
+        for edge in candidates:
+            candidate = _with_edges(base, chosen + [edge], f"{base.name}+tmp")
+            cost = evaluate_architecture(
+                candidate, workloads, router=router, metric=metric
+            )
+            if cost < best_cost:
+                best_cost, best_edge = cost, edge
+        if best_edge is None:
+            break
+        chosen.append(best_edge)
+        current_cost = best_cost
+        history.append((best_edge, best_cost))
+
+    final = _with_edges(base, chosen, f"{base.name}+{len(chosen)}e")
+    return ArchitectureResult(
+        base=base,
+        device=final,
+        added_edges=chosen,
+        base_cost=base_cost,
+        cost=current_cost,
+        history=history,
+    )
+
+
+def compare_topologies(
+    workloads: Sequence[Circuit],
+    devices: Sequence[Device],
+    *,
+    router: str = "sabre",
+    metric: str = "swaps",
+) -> list[tuple[str, float]]:
+    """Rank candidate architectures for a workload suite (best first)."""
+    ranking = [
+        (device.name, evaluate_architecture(device, workloads, router=router, metric=metric))
+        for device in devices
+    ]
+    ranking.sort(key=lambda item: item[1])
+    return ranking

@@ -1,0 +1,69 @@
+"""Mapping: placement, routing, direction fixing, scheduling, Qmap."""
+
+from .control import schedule_with_constraints
+from .direction import count_wrong_directions, fix_directions
+from .placement import (
+    PLACERS,
+    Placement,
+    annealing_placement,
+    assignment_placement,
+    exhaustive_placement,
+    get_placer,
+    greedy_placement,
+    noise_aware_placement,
+    placement_cost,
+    random_placement,
+    routed_placement,
+    spectral_placement,
+    trivial_placement,
+)
+from .qmap import qmap
+from .reinit import insert_photon_reinit
+from .routing import (
+    ROUTERS,
+    RoutingError,
+    RoutingResult,
+    route,
+    route_astar,
+    route_exact,
+    route_latency,
+    route_lnn,
+    route_naive,
+    route_sabre,
+)
+from .scheduler import Schedule, ScheduledGate, alap_schedule, asap_schedule
+
+__all__ = [
+    "PLACERS",
+    "Placement",
+    "ROUTERS",
+    "RoutingError",
+    "RoutingResult",
+    "Schedule",
+    "ScheduledGate",
+    "alap_schedule",
+    "asap_schedule",
+    "annealing_placement",
+    "assignment_placement",
+    "count_wrong_directions",
+    "exhaustive_placement",
+    "fix_directions",
+    "get_placer",
+    "greedy_placement",
+    "insert_photon_reinit",
+    "noise_aware_placement",
+    "placement_cost",
+    "qmap",
+    "random_placement",
+    "routed_placement",
+    "spectral_placement",
+    "route",
+    "route_astar",
+    "route_exact",
+    "route_latency",
+    "route_lnn",
+    "route_naive",
+    "route_sabre",
+    "schedule_with_constraints",
+    "trivial_placement",
+]

@@ -1,0 +1,269 @@
+"""Control-constraint-aware scheduling (paper Section V).
+
+Superconducting chips share classical control electronics among qubits,
+which "may severely affect the scheduling of quantum operations as it
+will limit the possible parallelism leading to larger circuit depths".
+This module implements a greedy cycle-driven list scheduler enforcing the
+three Surface-17 constraint families described in the paper:
+
+1. **Shared waveform generators.**  Qubits of one frequency group share a
+   microwave source: the *same* single-qubit gate may start on several of
+   them in the same cycle, but *different* single-qubit gates may not,
+   and a new gate cannot start in a group while a different one is still
+   playing.
+2. **Shared feedlines.**  Measurements of qubits on one feedline may
+   start together, but a measurement "cannot start ... while still
+   measuring" another qubit on the same line.
+3. **CZ parking.**  While a CZ runs, spectator neighbours of the detuned
+   qubit that sit at the operating frequency are parked and "cannot be
+   involved in any single or two-qubit gate".
+
+Disable any subset via the keyword flags to measure each family's impact
+(the ablation benchmark of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.circuit import Circuit
+from ..core.dag import DependencyGraph
+from ..core.gates import Gate
+from ..devices.device import ControlConstraints, Device
+from .scheduler import Schedule, ScheduledGate, touched_qubits
+
+__all__ = ["schedule_with_constraints"]
+
+
+@dataclass
+class _Running:
+    """A gate currently in flight."""
+
+    gate: Gate
+    start: int
+    end: int
+
+
+def _uses_feedline(gate: Gate) -> bool:
+    """Measurements and preparations occupy the readout feedline."""
+    return gate.is_measurement or gate.name == "prep_z"
+
+
+def schedule_with_constraints(
+    circuit: Circuit,
+    device: Device,
+    *,
+    awg: bool = True,
+    feedlines: bool = True,
+    parking: bool = True,
+    serial_two_qubit: bool | None = None,
+    priority: str = "order",
+) -> Schedule:
+    """Greedy earliest-start schedule honouring control constraints.
+
+    Args:
+        circuit: A circuit already mapped and decomposed for ``device``
+            (physical qubits, native gates).
+        device: Target device; when it carries no
+            :class:`~repro.devices.device.ControlConstraints` the result
+            equals :func:`~repro.mapping.scheduler.asap_schedule`.
+        awg: Enforce the shared-waveform-generator rule.
+        feedlines: Enforce the shared-feedline measurement rule.
+        parking: Enforce CZ parking.
+        serial_two_qubit: Allow at most one two-qubit gate in flight at a
+            time, as on trapped-ion modules whose entangler shares the
+            collective vibrational bus (Sec. VI-C).  Default: on when the
+            device carries the ``"serial_two_qubit"`` feature.
+        priority: Tie-breaking among ready gates: ``"order"`` follows the
+            program order (deterministic, matches the paper's hand
+            schedules), ``"critical"`` prefers gates with the longest
+            duration-weighted path to the circuit's end (list scheduling
+            by criticality, often lower latency under tight constraints).
+
+    Returns:
+        A valid :class:`~repro.mapping.scheduler.Schedule`.
+    """
+    if priority not in ("order", "critical"):
+        raise ValueError(f"unknown priority {priority!r}")
+    constraints = device.constraints or ControlConstraints()
+    if serial_two_qubit is None:
+        serial_two_qubit = "serial_two_qubit" in device.features
+    dag = DependencyGraph(circuit)
+    n_gates = len(circuit.gates)
+    done: set[int] = set()
+    finished_at: dict[int, int] = {}
+    ready: set[int] = set(dag.front_layer())
+    items: list[ScheduledGate] = []
+    running: list[_Running] = []
+    qubit_free = [0] * circuit.num_qubits
+    parked_until = [0] * circuit.num_qubits
+    cycle = 0
+
+    def duration(gate: Gate) -> int:
+        return 0 if gate.is_barrier else device.duration(gate)
+
+    # Criticality: duration-weighted longest path from each gate to the
+    # end of the circuit (computed on the reversed topological order).
+    criticality = [0] * n_gates
+    if priority == "critical":
+        import networkx as nx
+
+        for node in reversed(list(nx.topological_sort(dag.graph))):
+            tail = max(
+                (criticality[s] for s in dag.successors(node)), default=0
+            )
+            criticality[node] = duration(dag.gate(node)) + tail
+
+    def ready_order() -> list[int]:
+        if priority == "critical":
+            return sorted(ready, key=lambda i: (-criticality[i], i))
+        return sorted(ready)
+
+    def deps_done_by(index: int) -> int:
+        """First cycle at which all predecessors have finished."""
+        return max(
+            (finished_at[p] for p in dag.predecessors(index)),
+            default=0,
+        )
+
+    def awg_conflict(gate: Gate, start: int) -> bool:
+        """Different 1q gates cannot share a frequency group concurrently."""
+        if not awg or len(gate.qubits) != 1 or not gate.is_unitary:
+            return False
+        group = constraints.frequency_group.get(gate.qubits[0])
+        if group is None:
+            return False
+        signature = (gate.name, gate.params)
+        for run in running:
+            other = run.gate
+            if len(other.qubits) != 1 or not other.is_unitary:
+                continue
+            if constraints.frequency_group.get(other.qubits[0]) != group:
+                continue
+            if run.start == start and (other.name, other.params) == signature:
+                continue  # identical gate co-starting: allowed
+            if run.end > start:
+                return True
+        return False
+
+    def feedline_conflict(gate: Gate, start: int) -> bool:
+        """Feedline operations (measure, prep) share the readout line.
+
+        Same-kind operations on one feedline may start together; a new
+        one cannot start while a different one (or a non-co-started one)
+        is still in flight.
+        """
+        if not feedlines or not _uses_feedline(gate):
+            return False
+        line = constraints.feedline.get(gate.qubits[0])
+        if line is None:
+            return False
+        for run in running:
+            if not _uses_feedline(run.gate):
+                continue
+            if constraints.feedline.get(run.gate.qubits[0]) != line:
+                continue
+            if run.start == start and run.gate.name == gate.name:
+                continue  # identical kind co-starting: one shared tone
+            if run.end > start:
+                return True
+        return False
+
+    def parking_conflicts(gate: Gate, start: int, dur: int) -> bool:
+        """Check parking in both directions for a candidate gate."""
+        # The candidate's operands must not be parked.
+        for q in gate.qubits:
+            if parked_until[q] > start:
+                return True
+        if not parking or gate.name != "cz":
+            return False
+        parked = constraints.parked_qubits(
+            gate.qubits[0], gate.qubits[1], device.neighbours
+        )
+        # Parked spectators must be idle for the whole CZ window; since
+        # we only look at current occupancy, require them free by start
+        # and not running anything that overlaps [start, start + dur).
+        for q in parked:
+            if qubit_free[q] > start:
+                return True
+        return False
+
+    def can_start(index: int, start: int) -> bool:
+        gate = dag.gate(index)
+        if deps_done_by(index) > start:
+            return False
+        qubits = touched_qubits(gate, circuit.num_qubits)
+        if any(qubit_free[q] > start for q in qubits):
+            return False
+        dur = duration(gate)
+        if gate.is_unitary or gate.is_measurement:
+            if parking_conflicts(gate, start, dur):
+                return False
+        if awg_conflict(gate, start):
+            return False
+        if feedline_conflict(gate, start):
+            return False
+        if (
+            serial_two_qubit
+            and gate.is_unitary
+            and len(gate.qubits) == 2
+            and any(
+                run.gate.is_unitary and len(run.gate.qubits) == 2
+                for run in running
+                if run.end > start
+            )
+        ):
+            return False
+        return True
+
+    def start_gate(index: int, start: int) -> None:
+        gate = dag.gate(index)
+        dur = duration(gate)
+        items.append(ScheduledGate(gate, start, dur))
+        running.append(_Running(gate, start, start + dur))
+        qubits = touched_qubits(gate, circuit.num_qubits)
+        for q in qubits:
+            qubit_free[q] = start + dur
+        if parking and gate.name == "cz":
+            for q in constraints.parked_qubits(
+                gate.qubits[0], gate.qubits[1], device.neighbours
+            ):
+                parked_until[q] = max(parked_until[q], start + dur)
+        done.add(index)
+        finished_at[index] = start + dur
+        ready.discard(index)
+        for succ in dag.successors(index):
+            if all(p in done for p in dag.predecessors(succ)):
+                ready.add(succ)
+
+    safety = 0
+    max_cycles = 64 * (sum(duration(g) for g in circuit.gates) + n_gates + 4)
+    while len(done) < n_gates:
+        running = [run for run in running if run.end > cycle]
+        started = True
+        while started:
+            started = False
+            # Default: the original program order, deterministic and
+            # close to the paper's hand schedules; "critical" prefers
+            # long dependency tails.
+            for index in ready_order():
+                if index in done:
+                    continue
+                if can_start(index, cycle):
+                    start_gate(index, cycle)
+                    started = True
+        cycle += 1
+        safety += 1
+        if safety > max_cycles:
+            raise RuntimeError(
+                "constraint scheduler exceeded its cycle budget; "
+                "constraints are unsatisfiable or inconsistent"
+            )
+
+    schedule = Schedule(
+        items,
+        circuit.num_qubits,
+        device.cycle_time_ns,
+        metadata={"awg": awg, "feedlines": feedlines, "parking": parking},
+    )
+    return schedule

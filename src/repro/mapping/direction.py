@@ -1,0 +1,72 @@
+"""CNOT direction fixing for devices with asymmetric two-qubit gates.
+
+Section IV: on the IBM QX devices a CNOT "has to follow a firmly defined
+scheme of which qubit may work as target and which qubit may work as
+control"; when routing places a CNOT against the allowed orientation,
+"extra Hadamard gates may be required to invert the role of the control
+and target qubits" (Section VI-A).  This post-routing pass applies the
+four-Hadamard identity to every wrong-direction CNOT.
+
+Symmetric gates (CZ, SWAP, CP) never need fixing; on symmetric devices
+the pass is the identity.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import Circuit
+from ..core import gates as G
+from ..devices.device import Device
+
+__all__ = ["fix_directions", "count_wrong_directions"]
+
+
+def count_wrong_directions(circuit: Circuit, device: Device) -> int:
+    """Number of two-qubit gates whose orientation the device forbids."""
+    if device.symmetric:
+        return 0
+    wrong = 0
+    for gate in circuit.gates:
+        if gate.is_two_qubit and not gate.is_symmetric:
+            a, b = gate.qubits
+            if not device.has_edge(a, b) and device.has_edge(b, a):
+                wrong += 1
+    return wrong
+
+
+def fix_directions(circuit: Circuit, device: Device) -> tuple[Circuit, int]:
+    """Reverse forbidden-orientation CNOTs with four Hadamards each.
+
+    Args:
+        circuit: A routed circuit on physical qubits (every two-qubit gate
+            already on a connected pair).
+        device: The target device.
+
+    Returns:
+        ``(fixed_circuit, flips)`` where ``flips`` counts reversed CNOTs.
+
+    Raises:
+        ValueError: when a two-qubit gate sits on an unconnected pair or a
+            non-CNOT asymmetric gate needs reversal (no rule).
+    """
+    if device.symmetric:
+        return circuit.copy(), 0
+
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    flips = 0
+    for gate in circuit.gates:
+        if not gate.is_two_qubit or gate.is_symmetric:
+            out.append(gate)
+            continue
+        a, b = gate.qubits
+        if device.has_edge(a, b):
+            out.append(gate)
+            continue
+        if not device.has_edge(b, a):
+            raise ValueError(f"gate {gate} is on an unconnected pair; route first")
+        if gate.name != "cnot":
+            raise ValueError(f"no direction-flip rule for {gate.name!r}")
+        out.extend(
+            [G.h(a), G.h(b), G.cnot(b, a), G.h(a), G.h(b)]
+        )
+        flips += 1
+    return out, flips

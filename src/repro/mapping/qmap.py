@@ -1,0 +1,77 @@
+"""Qmap — the Surface-17 mapper of the paper's Section V.
+
+"In [39] a mapper called *Qmap* for the Surface-17 processor is
+presented.  It is embedded in the OpenQL compiler and it adapts the
+quantum circuit to the quantum hardware constraints that are described
+in a configuration file. ... It consists of three blocks: initial
+placement, qubit routing and operations scheduler.  An Integer Linear
+Programming (ILP) algorithm is used to find an optimal initial placement
+..., whereas an heuristic algorithm is used for the routing task.  In
+this case the cost function is the circuit latency."
+
+:func:`qmap` wires together exactly those three blocks:
+
+* initial placement — :func:`~repro.mapping.placement.assignment_placement`
+  (the ILP objective solved by assignment + exchange refinement);
+* routing — :func:`~repro.mapping.routing.latency.route_latency`
+  (latency cost function with the looking-back feature);
+* scheduling — :func:`~repro.mapping.control.schedule_with_constraints`
+  (full electronics constraints) after native-gate decomposition.
+
+Like the original, the mapper "can easily target other quantum devices
+by just changing the parameters in this file" — pass any
+:class:`~repro.devices.device.Device` (e.g. one loaded with
+``Device.from_json``).
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import Circuit
+from ..devices.device import Device
+
+__all__ = ["qmap"]
+
+
+def qmap(
+    circuit: Circuit,
+    device: Device,
+    *,
+    placer: str = "routed",
+    control_constraints: bool | None = None,
+    lookahead: int = 10,
+    latency_weight: float = 0.1,
+):
+    """Compile ``circuit`` with the Qmap configuration.
+
+    Args:
+        circuit: Input circuit on program qubits.
+        device: Target device (any device model works; Surface-17 is the
+            one the paper demonstrates).
+        placer: Initial-placement block; ``"routed"`` plays the role of
+            the paper's optimal ILP placement (use ``"assignment"`` for a
+            faster static-objective variant on large instances).
+        control_constraints: Force the electronics constraints on/off in
+            the scheduler (default: on when the device defines them).
+        lookahead: Router look-ahead window.
+        latency_weight: Weight of the looking-back (start-delay) term.
+
+    Returns:
+        A fully scheduled :class:`~repro.core.pipeline.CompilationResult`.
+    """
+    # Imported here: the pipeline module imports repro.mapping, so a
+    # module-level import would be circular.
+    from ..core.pipeline import compile_circuit
+
+    return compile_circuit(
+        circuit,
+        device,
+        placer=placer,
+        router="latency",
+        router_options={
+            "lookahead": lookahead,
+            "latency_weight": latency_weight,
+        },
+        decompose=True,
+        schedule="constraints",
+        control_constraints=control_constraints,
+    )

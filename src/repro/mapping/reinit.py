@@ -1,0 +1,58 @@
+"""Photon re-initialisation pass (paper Section VI-C, photonics).
+
+Photonic qubits are destroyed by demolition measurement; "one can
+generate a new photon to re-initialize the qubit state".  This pass
+inserts the photon generation — a ``prep_z`` — after every measurement
+whose qubit is used again later, making circuits legal on devices with
+the ``demolition_measurement`` feature.
+
+Semantics note: on non-demolition hardware a computational-basis
+measurement leaves the qubit in the observed basis state, whereas
+``measure`` + ``prep_z`` leaves |0>.  Algorithms that keep computing on
+a measured qubit must be written against that (standard photonic)
+semantics; circuits that only measure at the end are unaffected.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import Circuit
+from ..core import gates as G
+from ..devices.device import Device
+
+__all__ = ["insert_photon_reinit"]
+
+
+def insert_photon_reinit(circuit: Circuit, device: Device | None = None) -> Circuit:
+    """Insert ``prep_z`` after measurements whose qubit is reused.
+
+    Args:
+        circuit: Input circuit.
+        device: Optional device; when given and it lacks the
+            ``demolition_measurement`` feature the circuit is returned
+            unchanged.
+
+    Returns:
+        A circuit in which no gate acts on a destroyed qubit.
+    """
+    if device is not None and "demolition_measurement" not in device.features:
+        return circuit.copy()
+
+    # A measurement needs re-initialisation when any later gate reads the
+    # qubit before another prep.
+    gates = list(circuit.gates)
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for index, gate in enumerate(gates):
+        out.append(gate)
+        if not gate.is_measurement:
+            continue
+        qubit = gate.qubits[0]
+        for later in gates[index + 1:]:
+            if later.name == "prep_z" and later.qubits == (qubit,):
+                break  # already re-initialised explicitly
+            # Classical condition bits are reads of the stored result,
+            # not of the (destroyed) photon, so only quantum operands
+            # count as touching.
+            if qubit in later.qubits:
+                out.append(G.prep_z(qubit))
+                break
+    return out

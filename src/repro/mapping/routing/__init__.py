@@ -1,0 +1,72 @@
+"""Qubit routers: naive, SABRE-style, layer A*, and exact.
+
+Use :func:`route` to dispatch by name, or call the specific routers
+directly for fine-grained options.
+"""
+
+from __future__ import annotations
+
+from ...core.circuit import Circuit
+from ...devices.device import Device
+from ..placement import Placement
+from .astar import route_astar
+from .base import RoutingError, RoutingResult, check_connectivity
+from .exact import route_exact
+from .latency import route_latency
+from .lnn import route_lnn
+from .naive import route_naive
+from .reliability import route_reliability
+from .sabre import route_sabre
+from .shuttle import route_shuttle
+from .teleport import route_teleport
+
+__all__ = [
+    "ROUTERS",
+    "RoutingError",
+    "RoutingResult",
+    "check_connectivity",
+    "route",
+    "route_astar",
+    "route_exact",
+    "route_latency",
+    "route_lnn",
+    "route_naive",
+    "route_reliability",
+    "route_sabre",
+    "route_shuttle",
+    "route_teleport",
+]
+
+#: Named routers for CLI/bench parameterisation.
+ROUTERS = {
+    "naive": route_naive,
+    "sabre": route_sabre,
+    "astar": route_astar,
+    "exact": route_exact,
+    "latency": route_latency,
+    "lnn": route_lnn,
+    "reliability": route_reliability,
+    "shuttle": route_shuttle,
+    "teleport": route_teleport,
+}
+
+
+def route(
+    circuit: Circuit,
+    device: Device,
+    router: str = "sabre",
+    placement: Placement | None = None,
+    **options,
+) -> RoutingResult:
+    """Route ``circuit`` onto ``device`` with the named ``router``.
+
+    The result always satisfies undirected connectivity, which is
+    verified before returning (defence in depth against router bugs).
+    """
+    try:
+        fn = ROUTERS[router]
+    except KeyError:
+        raise KeyError(f"unknown router {router!r}; available: {sorted(ROUTERS)}")
+    result = fn(circuit, device, placement, **options)
+    check_connectivity(result.circuit, device)
+    return result

@@ -1,0 +1,189 @@
+"""Linear-nearest-neighbour router with parallel SWAP layers.
+
+The 1D mapping literature the paper surveys (refs [29], [30], [38]:
+Saeedi/Wille/Drechsler, Wille/Lye/Drechsler, Hirata et al.) specialises
+on linear architectures, where routing reduces to *sorting*: pick a
+target line ordering in which every pending two-qubit gate is adjacent,
+then realise the reordering with an odd-even transposition network —
+disjoint SWAPs executing in parallel, so the added **depth** is bounded
+by the number of sorting phases even when the SWAP count is large.
+
+This router processes the circuit's two-qubit dependency layers; for
+each layer it chooses a target ordering placing each gate's operands
+side by side (pairs anchored near their current centre of mass), sorts
+into it with odd-even phases, then emits the layer's gates.  Compared to
+the count-minimising SABRE it trades SWAP count for routed depth — the
+cost-function trade-off of Section III-B.
+"""
+
+from __future__ import annotations
+
+from ...core.circuit import Circuit
+from ...core.dag import DependencyGraph
+from ...core import gates as G
+from ...devices.device import Device
+from ..placement import Placement
+from .astar import _layered_topological_order
+from .base import RoutingError, RoutingResult
+
+__all__ = ["route_lnn", "line_order"]
+
+
+def line_order(device: Device) -> list[int]:
+    """The physical qubits of a path-shaped device in line order.
+
+    Raises:
+        RoutingError: when the coupling graph is not a simple path.
+    """
+    import networkx as nx
+
+    graph = device.undirected
+    if device.num_qubits == 1:
+        return [0]
+    degrees = dict(graph.degree)
+    ends = [q for q, d in degrees.items() if d == 1]
+    if (
+        len(ends) != 2
+        or any(d > 2 for d in degrees.values())
+        or not nx.is_connected(graph)
+    ):
+        raise RoutingError(
+            f"device {device.name!r} is not a linear chain; "
+            "route_lnn needs a path-shaped coupling graph"
+        )
+    return nx.shortest_path(graph, ends[0], ends[1])
+
+
+def route_lnn(
+    circuit: Circuit,
+    device: Device,
+    placement: Placement | None = None,
+) -> RoutingResult:
+    """Route onto a linear chain with parallel odd-even SWAP phases.
+
+    Returns:
+        A connectivity-satisfying :class:`RoutingResult`; metadata
+        reports ``phases`` (the number of parallel SWAP layers, the
+        depth the routing added).
+    """
+    order = line_order(device)
+    position_of = {phys: pos for pos, phys in enumerate(order)}
+    current = (placement or Placement.trivial(device.num_qubits, circuit.num_qubits)).copy()
+    initial = current.copy()
+
+    for gate in circuit.gates:
+        if len(gate.qubits) > 2:
+            raise RoutingError(f"decompose {gate.name} before routing")
+
+    dag = DependencyGraph(circuit)
+    layers = dag.two_qubit_layers()
+    layer_of: dict[int, int] = {}
+    for pos, layer in enumerate(layers):
+        for index in layer:
+            layer_of[index] = pos
+    emission_order = _layered_topological_order(dag, layer_of)
+
+    # line[i] = program slot at line position i (dummies included).
+    line = [current.slot(order[pos]) for pos in range(len(order))]
+
+    out = Circuit(device.num_qubits, name=circuit.name)
+    added = 0
+    phases = 0
+
+    def pos_of_slot() -> dict[int, int]:
+        return {slot: pos for pos, slot in enumerate(line)}
+
+    def emit_swap(pos: int) -> None:
+        nonlocal added
+        pa, pb = order[pos], order[pos + 1]
+        out.append(G.swap(pa, pb))
+        current.apply_swap(pa, pb)
+        line[pos], line[pos + 1] = line[pos + 1], line[pos]
+        added += 1
+
+    def sort_into(target_pos: dict[int, int], satisfied) -> None:
+        """Odd-even transposition toward ``target_pos`` (slot -> position).
+
+        Stops as soon as ``satisfied()`` reports every pending pair
+        adjacent — full sorting into the target is only an upper bound.
+        """
+        nonlocal phases
+        n = len(line)
+        for phase in range(2 * n + 2):
+            if satisfied():
+                return
+            swapped_any = False
+            offset = phase % 2
+            planned = []
+            for pos in range(offset, n - 1, 2):
+                left, right = line[pos], line[pos + 1]
+                if target_pos[left] > target_pos[right]:
+                    planned.append(pos)
+            for pos in planned:
+                emit_swap(pos)
+                swapped_any = True
+            if swapped_any:
+                phases += 1
+            if all(target_pos[slot] == pos for pos, slot in enumerate(line)):
+                if satisfied():
+                    return
+                raise RoutingError(
+                    "target ordering does not satisfy the layer (internal error)"
+                )
+        raise RoutingError("odd-even sort failed to converge (internal error)")
+
+    def target_ordering(pairs: list[tuple[int, int]]) -> dict[int, int]:
+        """A full line ordering making every pair adjacent.
+
+        Pairs are anchored by their centre of mass on the current line,
+        then pairs and singleton slots are laid out left to right.
+        """
+        # Program indices are their own slots (dummies use higher ids),
+        # so gate operands can be looked up on the line directly.
+        positions = pos_of_slot()
+        items: list[tuple[float, list[int]]] = []
+        used: set[int] = set()
+        for a, b in pairs:
+            pa, pb = positions[a], positions[b]
+            block = [a, b] if pa <= pb else [b, a]
+            items.append(((pa + pb) / 2.0, block))
+            used.update((a, b))
+        for slot in line:
+            if slot not in used:
+                items.append((float(positions[slot]), [slot]))
+        items.sort(key=lambda item: item[0])
+        target: dict[int, int] = {}
+        cursor = 0
+        for _, block in items:
+            for slot in block:
+                target[slot] = cursor
+                cursor += 1
+        return target
+
+    flushed = -1
+    for index in emission_order:
+        gate = dag.gate(index)
+        pos = layer_of.get(index)
+        if pos is not None:
+            while flushed < pos:
+                flushed += 1
+                pairs = [tuple(dag.gate(i).qubits) for i in layers[flushed]]
+
+                def layer_satisfied(pairs=pairs) -> bool:
+                    positions = pos_of_slot()
+                    return all(
+                        abs(positions[a] - positions[b]) == 1 for a, b in pairs
+                    )
+
+                if not layer_satisfied():
+                    sort_into(target_ordering(pairs), layer_satisfied)
+        out.append(gate.remap({q: current.phys(q) for q in gate.qubits}))
+
+    return RoutingResult(
+        out,
+        initial,
+        current,
+        added,
+        "lnn",
+        metadata={"phases": phases},
+    )

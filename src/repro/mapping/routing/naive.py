@@ -1,0 +1,55 @@
+"""Naive shortest-path router.
+
+The "straight-forward approach" of the paper's Section IV / Fig. 3(b):
+whenever the next two-qubit gate acts on non-adjacent physical qubits,
+move one operand toward the other along a shortest path with SWAP gates,
+one gate at a time, with no look-ahead and no attempt to pick paths that
+help later gates.  It always succeeds (on connected devices) but "yields
+a significant overhead" — which is exactly the baseline role it plays in
+the benchmarks.
+"""
+
+from __future__ import annotations
+
+from ...core.circuit import Circuit
+from ...core import gates as G
+from ...devices.device import Device
+from ..placement import Placement
+from .base import RoutingError, RoutingResult
+
+__all__ = ["route_naive"]
+
+
+def route_naive(
+    circuit: Circuit, device: Device, placement: Placement | None = None
+) -> RoutingResult:
+    """Route ``circuit`` by per-gate shortest-path SWAP chains.
+
+    Args:
+        circuit: Input circuit on program qubits (1- and 2-qubit gates).
+        device: Target device.
+        placement: Initial placement (default: trivial).
+
+    Returns:
+        A :class:`RoutingResult` whose circuit satisfies connectivity.
+    """
+    current = (placement or Placement.trivial(device.num_qubits, circuit.num_qubits)).copy()
+    initial = current.copy()
+    out = Circuit(device.num_qubits, name=circuit.name)
+    added = 0
+
+    for gate in circuit.gates:
+        if len(gate.qubits) > 2:
+            raise RoutingError(f"decompose {gate.name} before routing")
+        if len(gate.qubits) == 2 and gate.is_unitary:
+            pa, pb = current.phys(gate.qubits[0]), current.phys(gate.qubits[1])
+            if not device.connected(pa, pb):
+                path = device.shortest_path(pa, pb)
+                # Walk the first operand down the path until adjacent.
+                for step in range(len(path) - 2):
+                    out.append(G.swap(path[step], path[step + 1]))
+                    current.apply_swap(path[step], path[step + 1])
+                    added += 1
+        out.append(gate.remap({q: current.phys(q) for q in gate.qubits}))
+
+    return RoutingResult(out, initial, current, added, "naive")

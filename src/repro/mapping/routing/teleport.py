@@ -1,0 +1,177 @@
+"""Teleportation-based routing (paper Section III-A, footnote 4).
+
+"Another approach is based on teleportation, corresponding to
+long-distance transfer of the qubit state.  It requires the creation of
+multiqubit entangled states that are preliminarily distributed across
+the qubit register and that can be consumed to transfer a qubit state.
+Since the distribution of the entangled state requires SWAP gates, the
+teleportation approach can be seen as a SWAP-based routing with relaxed
+time constraints."
+
+This router implements exactly that trade: when a two-qubit gate's
+operands are far apart *and* a corridor of free physical qubits connects
+their neighbourhoods, one operand is teleported instead of swapped:
+
+1. two free qubits are reset and entangled into an EPR pair next to the
+   target side, and one half is *distributed* along the free corridor by
+   SWAPs — operations that touch no data qubit, so the scheduler can
+   overlap them with earlier computation (the "relaxed time
+   constraints");
+2. a Bell measurement (CNOT, H, two measurements) consumes the source
+   qubit and the near EPR half;
+3. classically conditioned X/Z corrections complete the transfer on the
+   far half, which now holds the program qubit;
+4. the measured qubits are reset (``prep_z``) and returned to the free
+   pool.
+
+Gates below the distance threshold fall back to shortest-path SWAP
+insertion.  The output circuit contains measurements and conditioned
+gates; verify it with
+:func:`repro.verify.equivalent_mapped_with_feedforward`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ...core.circuit import Circuit
+from ...core import gates as G
+from ...core.gates import Gate
+from ...devices.device import Device
+from ..placement import FREE, Placement
+from .base import RoutingError, RoutingResult
+
+__all__ = ["route_teleport"]
+
+
+def route_teleport(
+    circuit: Circuit,
+    device: Device,
+    placement: Placement | None = None,
+    *,
+    min_distance: int = 3,
+) -> RoutingResult:
+    """Route with teleportation for long-range gates.
+
+    Args:
+        circuit: Input circuit on program qubits.
+        device: Target device (needs free qubits beyond the circuit width
+            for teleportation to engage; otherwise pure SWAP routing).
+        placement: Initial placement (default trivial).
+        min_distance: Minimum operand distance (in hops) at which
+            teleportation is attempted instead of SWAP chains.
+
+    Returns:
+        A connectivity-satisfying :class:`RoutingResult`; metadata counts
+        ``teleports`` and ``swaps``.  The circuit contains measurements
+        and classically conditioned corrections.
+    """
+    current = (placement or Placement.trivial(device.num_qubits, circuit.num_qubits)).copy()
+    initial = current.copy()
+    out = Circuit(device.num_qubits, name=circuit.name)
+    teleports = 0
+    swaps = 0
+
+    def free_set() -> set[int]:
+        return {
+            p for p in range(device.num_qubits) if current.prog(p) == FREE
+        }
+
+    def swap_route(pa: int, pb: int) -> None:
+        nonlocal swaps
+        path = device.shortest_path(pa, pb)
+        for step in range(len(path) - 2):
+            out.append(G.swap(path[step], path[step + 1]))
+            current.apply_swap(path[step], path[step + 1])
+            swaps += 1
+
+    def find_channel(source: int, target: int):
+        """(a, corridor, b): free a ~ source, free b ~ target, free path."""
+        free = free_set()
+        sources = [p for p in device.neighbours[source] if p in free]
+        targets = [p for p in device.neighbours[target] if p in free]
+        if not sources or not targets:
+            return None
+        sub = device.undirected.subgraph(free)
+        best = None
+        for a in sources:
+            for b in targets:
+                if a == b:
+                    continue
+                try:
+                    path = nx.shortest_path(sub, b, a)
+                except (nx.NetworkXNoPath, nx.NodeNotFound):
+                    continue
+                if best is None or len(path) < len(best[1]):
+                    best = (a, path, b)
+        return best
+
+    def teleport(source_phys: int, target_phys: int) -> bool:
+        """Teleport the program qubit at ``source_phys`` next to target."""
+        nonlocal teleports, swaps
+        channel = find_channel(source_phys, target_phys)
+        if channel is None:
+            return False
+        a, path, b = channel  # path runs b -> ... -> a through free qubits
+
+        # 1. Reset and entangle the pair at the target side...
+        out.append(G.prep_z(b))
+        carrier = path[1] if len(path) > 1 else a
+        out.append(G.prep_z(carrier))
+        out.append(G.h(b))
+        out.append(G.cnot(b, carrier))
+        # ...and distribute the mobile half down the free corridor.
+        for step in range(1, len(path) - 1):
+            out.append(G.swap(path[step], path[step + 1]))
+            current.apply_swap(path[step], path[step + 1])
+            swaps += 1
+        # The mobile half now sits on ``a`` (adjacent to the source).
+
+        # 2. Bell measurement on (source, a).
+        out.append(G.cnot(source_phys, a))
+        out.append(G.h(source_phys))
+        out.append(G.measure(source_phys))
+        out.append(G.measure(a))
+
+        # 3. Conditioned corrections on the far half.
+        out.append(Gate("x", (b,), condition=(a, 1)))
+        out.append(Gate("z", (b,), condition=(source_phys, 1)))
+
+        # 4. Recycle the consumed qubits.
+        out.append(G.prep_z(source_phys))
+        out.append(G.prep_z(a))
+
+        # Bookkeeping: the program qubit moved source -> b.
+        current.apply_swap(source_phys, b)
+        teleports += 1
+        return True
+
+    for gate in circuit.gates:
+        if len(gate.qubits) > 2:
+            raise RoutingError(f"decompose {gate.name} before routing")
+        if len(gate.qubits) == 2 and gate.is_unitary:
+            pa = current.phys(gate.qubits[0])
+            pb = current.phys(gate.qubits[1])
+            if not device.connected(pa, pb):
+                distance = device.distance(pa, pb)
+                done = False
+                if distance >= min_distance:
+                    done = teleport(pa, pb)
+                if not done:
+                    swap_route(pa, pb)
+        out.append(
+            gate.remap({q: current.phys(q) for q in gate.qubits})
+        )
+
+    return RoutingResult(
+        out,
+        initial,
+        current,
+        swaps + teleports,
+        "teleport",
+        metadata={
+            "teleports": teleports,
+            "swaps": swaps,
+            "min_distance": min_distance,
+        },
+    )

@@ -1,0 +1,169 @@
+"""Operation scheduling with real gate durations.
+
+The third mapper block of Qmap (Section V): assign every gate a start
+cycle such that dependencies, qubit exclusivity, and (optionally) the
+control-electronics constraints hold, minimising the overall *latency* —
+"the execution time of the algorithm when considering the real gate
+duration".  Time is discretised into clock cycles, "the greatest common
+divisor of the gates' duration" (Section VI-B); durations come from the
+:class:`~repro.devices.device.Device`.
+
+Two entry points:
+
+* :func:`asap_schedule` / :func:`alap_schedule` — dependency-only list
+  scheduling (the paper's "operations are scheduled only considering the
+  dependencies between them");
+* :func:`schedule_with_constraints` in :mod:`repro.mapping.control` —
+  additionally enforces shared-AWG, feedline and CZ-parking rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ..core.circuit import Circuit
+from ..core.gates import Gate
+from ..devices.device import Device
+
+__all__ = ["ScheduledGate", "Schedule", "asap_schedule", "alap_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledGate:
+    """One gate with its start cycle and duration."""
+
+    gate: Gate
+    start: int
+    duration: int
+
+    @property
+    def end(self) -> int:
+        """First cycle after the gate finishes."""
+        return self.start + self.duration
+
+
+@dataclass
+class Schedule:
+    """A timed gate list over ``num_qubits`` physical qubits."""
+
+    items: list[ScheduledGate]
+    num_qubits: int
+    cycle_time_ns: float = 20.0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def latency(self) -> int:
+        """Total latency in cycles (makespan)."""
+        return max((item.end for item in self.items), default=0)
+
+    @property
+    def latency_ns(self) -> float:
+        """Total latency in nanoseconds."""
+        return self.latency * self.cycle_time_ns
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def gates_starting_at(self, cycle: int) -> list[ScheduledGate]:
+        return [item for item in self.items if item.start == cycle]
+
+    def circuit(self) -> Circuit:
+        """The schedule's gates as a circuit in start-time order."""
+        ordered = sorted(
+            (item for item in self.items if not item.gate.is_barrier),
+            key=lambda it: (it.start, it.gate.qubits),
+        )
+        return Circuit(self.num_qubits, (item.gate for item in ordered))
+
+    def parallelism(self) -> float:
+        """Mean number of gates in flight per busy cycle."""
+        if not self.items:
+            return 0.0
+        busy = sum(item.duration for item in self.items if not item.gate.is_barrier)
+        return busy / max(self.latency, 1)
+
+    def validate(self) -> list[str]:
+        """Detect overlapping gates on one qubit; returns problem strings."""
+        problems: list[str] = []
+        per_qubit: dict[int, list[ScheduledGate]] = {}
+        for item in self.items:
+            if item.gate.is_barrier:
+                continue
+            for q in item.gate.qubits:
+                per_qubit.setdefault(q, []).append(item)
+        for q, gate_list in per_qubit.items():
+            gate_list.sort(key=lambda it: it.start)
+            for first, second in zip(gate_list, gate_list[1:]):
+                if second.start < first.end:
+                    problems.append(
+                        f"qubit {q}: {second.gate} (cycle {second.start}) "
+                        f"overlaps {first.gate} (ends {first.end})"
+                    )
+        return problems
+
+    def table(self) -> str:
+        """A human-readable cycle table (one row per start cycle)."""
+        rows: dict[int, list[str]] = {}
+        for item in sorted(self.items, key=lambda it: it.start):
+            if item.gate.is_barrier:
+                continue
+            rows.setdefault(item.start, []).append(str(item.gate))
+        lines = [f"latency: {self.latency} cycles ({self.latency_ns:.0f} ns)"]
+        for cycle in sorted(rows):
+            lines.append(f"  cycle {cycle:4d} | " + " ; ".join(rows[cycle]))
+        return "\n".join(lines)
+
+
+def touched_qubits(gate: Gate, num_qubits: int) -> tuple[int, ...]:
+    """Qubit lines a gate occupies for scheduling purposes.
+
+    Barriers without operands span every line; a classical condition is
+    modelled as touching its bit's qubit line (the feedforward wire).
+    """
+    qubits = gate.qubits or tuple(range(num_qubits))
+    if gate.condition is not None and gate.condition[0] not in qubits:
+        qubits = qubits + (gate.condition[0],)
+    return qubits
+
+
+def asap_schedule(circuit: Circuit, device: Device) -> Schedule:
+    """As-soon-as-possible schedule under dependencies and durations.
+
+    Every gate starts at the first cycle where all its operand qubits are
+    free; barriers synchronise their qubits without taking time.
+    """
+    free_at = [0] * circuit.num_qubits
+    items: list[ScheduledGate] = []
+    for gate in circuit.gates:
+        qubits = touched_qubits(gate, circuit.num_qubits)
+        start = max((free_at[q] for q in qubits), default=0)
+        duration = 0 if gate.is_barrier else device.duration(gate)
+        items.append(ScheduledGate(gate, start, duration))
+        for q in qubits:
+            free_at[q] = start + duration
+    return Schedule(items, circuit.num_qubits, device.cycle_time_ns)
+
+
+def alap_schedule(circuit: Circuit, device: Device) -> Schedule:
+    """As-late-as-possible schedule (same latency as ASAP, gates pushed late).
+
+    Computed by ASAP-scheduling the reversed gate list and mirroring the
+    start times.
+    """
+    free_at = [0] * circuit.num_qubits
+    reversed_items: list[tuple[Gate, int, int]] = []
+    for gate in reversed(circuit.gates):
+        qubits = touched_qubits(gate, circuit.num_qubits)
+        start = max((free_at[q] for q in qubits), default=0)
+        duration = 0 if gate.is_barrier else device.duration(gate)
+        reversed_items.append((gate, start, duration))
+        for q in qubits:
+            free_at[q] = start + duration
+    total = max((start + dur for _, start, dur in reversed_items), default=0)
+    items = [
+        ScheduledGate(gate, total - (start + dur), dur)
+        for gate, start, dur in reversed(reversed_items)
+    ]
+    return Schedule(items, circuit.num_qubits, device.cycle_time_ns)

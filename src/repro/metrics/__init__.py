@@ -1,0 +1,17 @@
+"""Mapping cost metrics: gate counts, depth, latency, reliability."""
+
+from .metrics import (
+    CircuitMetrics,
+    OverheadReport,
+    circuit_metrics,
+    format_table,
+    mapping_overhead,
+)
+
+__all__ = [
+    "CircuitMetrics",
+    "OverheadReport",
+    "circuit_metrics",
+    "format_table",
+    "mapping_overhead",
+]

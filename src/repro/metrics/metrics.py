@@ -1,0 +1,121 @@
+"""Mapping cost metrics and report tables.
+
+Section III-B lists the cost functions mappers optimise: "the number of
+gates (i.e. minimize the number of added SWAPs)", "the circuit depth or
+latency", and "circuit reliability".  This module computes all three for
+circuits and compilation results, and renders the comparison tables the
+benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.circuit import Circuit
+from ..core.pipeline import CompilationResult
+from ..sim.noise import NoiseModel
+
+__all__ = [
+    "CircuitMetrics",
+    "OverheadReport",
+    "circuit_metrics",
+    "mapping_overhead",
+    "format_table",
+]
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """Static metrics of a single circuit."""
+
+    gates: int
+    two_qubit_gates: int
+    depth: int
+    two_qubit_depth: int
+
+    @classmethod
+    def of(cls, circuit: Circuit) -> "CircuitMetrics":
+        return cls(
+            gates=circuit.size(),
+            two_qubit_gates=circuit.num_two_qubit_gates(),
+            depth=circuit.depth(),
+            two_qubit_depth=circuit.depth(count_single_qubit=False),
+        )
+
+
+def circuit_metrics(circuit: Circuit) -> CircuitMetrics:
+    """Gate/depth metrics of ``circuit``."""
+    return CircuitMetrics.of(circuit)
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Mapping overhead of one compilation, in the paper's three metrics.
+
+    Attributes:
+        label: Row label for tables (router/placer name typically).
+        added_swaps: SWAPs the router inserted.
+        flips: CNOT direction reversals (4 H gates each).
+        native_gates: Total native gates after full lowering.
+        native_depth: Depth of the native circuit.
+        latency_cycles: Scheduled latency (0 when unscheduled).
+        latency_ns: Scheduled latency in nanoseconds.
+        success_probability: Reliability estimate (None when no noise
+            model was supplied).
+    """
+
+    label: str
+    added_swaps: int
+    flips: int
+    native_gates: int
+    native_depth: int
+    latency_cycles: int
+    latency_ns: float
+    success_probability: float | None = None
+
+
+def mapping_overhead(
+    result: CompilationResult,
+    *,
+    label: str | None = None,
+    noise: NoiseModel | None = None,
+) -> OverheadReport:
+    """Summarise a compilation into an :class:`OverheadReport` row."""
+    success = None
+    if noise is not None:
+        if result.schedule is not None:
+            success = noise.schedule_success(result.schedule)
+        else:
+            success = noise.circuit_success(result.native, result.device)
+    return OverheadReport(
+        label=label or f"{result.placer}+{result.router}",
+        added_swaps=result.added_swaps,
+        flips=result.flips,
+        native_gates=result.native.size(),
+        native_depth=result.native.depth(),
+        latency_cycles=result.latency,
+        latency_ns=result.latency_ns,
+        success_probability=success,
+    )
+
+
+def format_table(rows: Sequence[OverheadReport], title: str = "") -> str:
+    """Render overhead rows as an aligned text table."""
+    header = (
+        f"{'method':<22} {'swaps':>5} {'flips':>5} {'gates':>6} "
+        f"{'depth':>6} {'cycles':>7} {'ns':>9} {'P(success)':>11}"
+    )
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        prob = f"{row.success_probability:.4f}" if row.success_probability is not None else "-"
+        lines.append(
+            f"{row.label:<22} {row.added_swaps:>5} {row.flips:>5} "
+            f"{row.native_gates:>6} {row.native_depth:>6} "
+            f"{row.latency_cycles:>7} {row.latency_ns:>9.0f} {prob:>11}"
+        )
+    return "\n".join(lines)

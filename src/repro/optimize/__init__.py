@@ -1,0 +1,17 @@
+"""Peephole circuit optimisation passes."""
+
+from .passes import (
+    cancel_inverse_pairs,
+    fuse_single_qubit_runs,
+    merge_rotations,
+    optimize_circuit,
+    remove_identities,
+)
+
+__all__ = [
+    "cancel_inverse_pairs",
+    "fuse_single_qubit_runs",
+    "merge_rotations",
+    "optimize_circuit",
+    "remove_identities",
+]

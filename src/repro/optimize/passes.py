@@ -1,0 +1,274 @@
+"""Peephole optimisation passes.
+
+Mapping inflates gate counts (SWAP insertion, direction flips, native
+decomposition), and much of that inflation is locally redundant:
+direction-flip Hadamards meet decomposition Hadamards, SWAP chains leave
+adjacent CNOT pairs, Z-rotations pile up on one wire.  The paper's
+Section III-B lists dedicated pre-/post-processing among the "solution
+features" of good mappers ([26]); these passes are the standard
+peephole repertoire:
+
+* :func:`cancel_inverse_pairs` — drop adjacent gate pairs that multiply
+  to the identity (H·H, CNOT·CNOT on the same wires, T·Tdg, ...),
+  looking *through* unrelated gates on other qubits;
+* :func:`merge_rotations` — fuse runs of same-axis rotations
+  (Rz·Rz → Rz(sum), with full-turn elimination);
+* :func:`fuse_single_qubit_runs` — collapse every maximal run of
+  single-qubit gates on one wire into a single ``u(θ,φ,λ)`` (or drop it
+  when the run multiplies to the identity up to phase);
+* :func:`remove_identities` — drop explicit ``i`` gates and zero-angle
+  rotations.
+
+All passes preserve the circuit unitary up to global phase; the driver
+:func:`optimize_circuit` iterates them to a fixed point.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.circuit import Circuit
+from ..core import gates as G
+from ..core.gates import Gate
+from ..decompose.euler import u_angles
+
+__all__ = [
+    "cancel_inverse_pairs",
+    "merge_rotations",
+    "fuse_single_qubit_runs",
+    "remove_identities",
+    "optimize_circuit",
+]
+
+_ANGLE_EPS = 1e-9
+_ROTATIONS = {"rx", "ry", "rz", "cp", "crz"}
+
+
+def _is_identity_angle(angle: float) -> bool:
+    """True when a rotation by ``angle`` is the identity (mod 4*pi).
+
+    SU(2) rotations have period 4*pi; a 2*pi rotation is -identity,
+    which is only a global phase for uncontrolled rotations — but for
+    *controlled* rotations the relative phase matters, so callers must
+    use the full 4*pi period.  We conservatively use 4*pi everywhere.
+    """
+    return abs(math.remainder(angle, 4.0 * math.pi)) < _ANGLE_EPS
+
+
+def cancel_inverse_pairs(circuit: Circuit) -> Circuit:
+    """Remove adjacent mutually-inverse gate pairs.
+
+    Two gates cancel when the second is the inverse of the first, they
+    act on the same qubits in the same order (or any order for symmetric
+    gates), and no intervening gate touches any of those qubits.  One
+    sweep; run under :func:`optimize_circuit` for cascading cancels.
+    """
+    gates = list(circuit.gates)
+    removed = [False] * len(gates)
+    for index, gate in enumerate(gates):
+        if removed[index] or not gate.is_unitary or gate.is_barrier:
+            continue
+        spec = gate.spec
+        if spec.num_params and not spec.hermitian_params:
+            continue  # handled by merge_rotations / fusion instead
+        partner = _next_unremoved_on_qubits(circuit, gates, removed, index)
+        if partner is None:
+            continue
+        other = gates[partner]
+        if not other.is_unitary:
+            continue
+        if not _are_inverses(gate, other):
+            continue
+        removed[index] = removed[partner] = True
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for index, gate in enumerate(gates):
+        if not removed[index]:
+            out.append(gate)
+    return out
+
+
+def _next_unremoved_on_qubits(circuit, gates, removed, start) -> int | None:
+    wanted = set(gates[start].qubits)
+    for index in range(start + 1, len(gates)):
+        if removed[index]:
+            continue
+        gate = gates[index]
+        touched = set(gate.qubits) if gate.qubits else set(range(circuit.num_qubits))
+        overlap = touched & wanted
+        if not overlap:
+            continue
+        # Only a *full* overlap candidate can cancel; a partial overlap
+        # blocks the line.
+        if touched == wanted:
+            return index
+        return None
+    return None
+
+
+def _are_inverses(a: Gate, b: Gate) -> bool:
+    if set(a.qubits) != set(b.qubits):
+        return False
+    try:
+        inverse = a.inverse()
+    except ValueError:
+        return False
+    if inverse == b:
+        return True
+    if a.spec.symmetric and inverse == b.reversed_qubits():
+        return True
+    return False
+
+
+def merge_rotations(circuit: Circuit) -> Circuit:
+    """Fuse adjacent same-axis rotations on the same qubits.
+
+    ``rx(a) rx(b) -> rx(a + b)`` (likewise ry/rz/cp/crz); sums that are
+    full turns are dropped entirely.
+    """
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    gates = list(circuit.gates)
+    index = 0
+    while index < len(gates):
+        gate = gates[index]
+        if gate.name in _ROTATIONS:
+            angle = gate.params[0]
+            cursor = index
+            while True:
+                nxt = _next_on_qubits_list(circuit, gates, cursor, gate.qubits)
+                if nxt is None:
+                    break
+                other = gates[nxt]
+                same_operands = other.qubits == gate.qubits or (
+                    other.spec.symmetric
+                    and set(other.qubits) == set(gate.qubits)
+                )
+                if other.name == gate.name and same_operands:
+                    angle += other.params[0]
+                    gates.pop(nxt)
+                    continue
+                break
+            if not _is_identity_angle(angle):
+                out.append(Gate(gate.name, gate.qubits, (angle,)))
+            index += 1
+            continue
+        out.append(gate)
+        index += 1
+    return out
+
+
+def _next_on_qubits_list(circuit, gates, start, qubits) -> int | None:
+    wanted = set(qubits)
+    for index in range(start + 1, len(gates)):
+        gate = gates[index]
+        touched = set(gate.qubits) if gate.qubits else set(range(circuit.num_qubits))
+        overlap = touched & wanted
+        if not overlap:
+            continue
+        if touched == wanted:
+            return index
+        return None
+    return None
+
+
+def fuse_single_qubit_runs(circuit: Circuit, *, emit: str = "u") -> Circuit:
+    """Collapse maximal single-qubit gate runs into one gate per wire.
+
+    Args:
+        circuit: Input circuit.
+        emit: ``"u"`` emits one ``u(θ,φ,λ)`` per non-trivial run (the IBM
+            native form); ``"zyz"`` emits ``rz·ry·rz`` with zero-angle
+            factors dropped.
+
+    Runs whose product is the identity (up to global phase) vanish
+    entirely.  Barriers, measurements, preparations and multi-qubit
+    gates end a run.
+    """
+    if emit not in ("u", "zyz"):
+        raise ValueError(f"unknown emit mode {emit!r}")
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    pending: dict[int, np.ndarray] = {}
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None:
+            return
+        if np.allclose(matrix @ matrix.conj().T, np.eye(2)) and _is_phase_identity(matrix):
+            return
+        theta, phi, lam = u_angles(matrix)
+        if emit == "u":
+            out.append(G.u(theta, phi, lam, qubit))
+        else:
+            if abs(lam) > _ANGLE_EPS:
+                out.append(G.rz(lam, qubit))
+            if abs(theta) > _ANGLE_EPS:
+                out.append(G.ry(theta, qubit))
+            if abs(phi) > _ANGLE_EPS:
+                out.append(G.rz(phi, qubit))
+
+    for gate in circuit.gates:
+        if gate.is_unitary and len(gate.qubits) == 1:
+            q = gate.qubits[0]
+            pending[q] = gate.matrix() @ pending.get(q, np.eye(2, dtype=complex))
+            continue
+        touched = gate.qubits if gate.qubits else tuple(range(circuit.num_qubits))
+        for q in touched:
+            flush(q)
+        out.append(gate)
+    for q in sorted(pending):
+        flush(q)
+    return out
+
+
+def _is_phase_identity(matrix: np.ndarray) -> bool:
+    pivot = matrix[0, 0]
+    if abs(abs(pivot) - 1.0) > 1e-9:
+        return False
+    return np.allclose(matrix, pivot * np.eye(2), atol=1e-9)
+
+
+def remove_identities(circuit: Circuit) -> Circuit:
+    """Drop explicit identity gates and zero-angle rotations."""
+    out = Circuit(circuit.num_qubits, name=circuit.name)
+    for gate in circuit.gates:
+        if gate.name == "i":
+            continue
+        if gate.name in _ROTATIONS and _is_identity_angle(gate.params[0]):
+            continue
+        out.append(gate)
+    return out
+
+
+def optimize_circuit(
+    circuit: Circuit,
+    *,
+    fuse: bool = False,
+    emit: str = "u",
+    max_passes: int = 20,
+) -> Circuit:
+    """Iterate the peephole passes to a fixed point.
+
+    Args:
+        circuit: Input circuit (any gate set).
+        fuse: Additionally fuse single-qubit runs into ``u`` gates (off
+            by default: fusion changes the gate vocabulary, which is not
+            always wanted before decomposition).
+        emit: Fusion output form, see :func:`fuse_single_qubit_runs`.
+        max_passes: Safety bound on fixed-point iteration.
+
+    Returns:
+        An equivalent circuit (up to global phase) with fewer or equal
+        gates.
+    """
+    current = remove_identities(circuit)
+    for _ in range(max_passes):
+        before = len(current.gates)
+        current = cancel_inverse_pairs(current)
+        current = merge_rotations(current)
+        current = remove_identities(current)
+        if fuse:
+            current = fuse_single_qubit_runs(current, emit=emit)
+        if len(current.gates) >= before:
+            break
+    return current

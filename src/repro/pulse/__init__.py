@@ -1,0 +1,5 @@
+"""Pulse-level lowering: schedules to control-signal channel programs."""
+
+from .events import Channel, PulseEvent, PulseProgram, lower_to_pulses
+
+__all__ = ["Channel", "PulseEvent", "PulseProgram", "lower_to_pulses"]

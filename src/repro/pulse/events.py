@@ -1,0 +1,254 @@
+"""Control-signal (pulse-level) lowering.
+
+The bottom of the paper's Fig. 2 depicts the compiler's final output
+"in terms of the control signals that implement it": microwave pulses
+from shared AWGs, flux pulses realising CZs, and feedline readout
+tones.  This module lowers a timed :class:`~repro.mapping.scheduler.Schedule`
+onto those *channels*:
+
+* one **microwave channel per frequency group** (shared AWG, Sec. V) —
+  identical single-qubit gates co-starting in one group merge into a
+  *single* pulse event driving several qubits, which is precisely why
+  different simultaneous gates in a group are impossible;
+* without frequency groups, one microwave channel per qubit (dedicated
+  control);
+* one **flux channel per coupling edge** for two-qubit gates;
+* one **readout channel per feedline** (or per qubit without feedline
+  data), on which measurement tones of one feedline may share a start;
+* preparations use the qubit's microwave/readout path (modelled on the
+  readout channel).
+
+:meth:`PulseProgram.validate` re-derives the control constraints at the
+signal level: two different events must never overlap on one channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..devices.device import Device
+from ..mapping.scheduler import Schedule
+
+__all__ = ["Channel", "PulseEvent", "PulseProgram", "lower_to_pulses"]
+
+
+@dataclass(frozen=True, order=True)
+class Channel:
+    """One classical control line.
+
+    Attributes:
+        kind: ``"awg"`` (shared microwave source), ``"drive"`` (dedicated
+            microwave line), ``"flux"`` (two-qubit flux pulse line), or
+            ``"readout"`` (measurement feedline).
+        index: Identifier within the kind (group id, qubit, or edge key).
+    """
+
+    kind: str
+    index: tuple
+
+    def __str__(self) -> str:
+        inner = ",".join(str(i) for i in self.index)
+        return f"{self.kind}[{inner}]"
+
+
+@dataclass
+class PulseEvent:
+    """One pulse on one channel.
+
+    Attributes:
+        channel: The control line carrying the pulse.
+        start: Start cycle.
+        duration: Length in cycles.
+        label: Signal description (gate name and parameters).
+        qubits: Every qubit the pulse acts on (several for a shared-AWG
+            pulse driving a whole frequency group).
+        feedforward: True when the pulse is gated on a measurement
+            result (classically conditioned gate).
+    """
+
+    channel: Channel
+    start: int
+    duration: int
+    label: str
+    qubits: tuple[int, ...]
+    feedforward: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+@dataclass
+class PulseProgram:
+    """A channelised control program."""
+
+    events: list[PulseEvent]
+    num_qubits: int
+    cycle_time_ns: float
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def latency(self) -> int:
+        return max((event.end for event in self.events), default=0)
+
+    def channels(self) -> list[Channel]:
+        """Every channel used, sorted."""
+        return sorted({event.channel for event in self.events})
+
+    def events_on(self, channel: Channel) -> list[PulseEvent]:
+        return sorted(
+            (e for e in self.events if e.channel == channel),
+            key=lambda e: e.start,
+        )
+
+    def validate(self) -> list[str]:
+        """Channel-level conflicts: distinct events overlapping in time."""
+        problems: list[str] = []
+        for channel in self.channels():
+            timeline = self.events_on(channel)
+            for first, second in zip(timeline, timeline[1:]):
+                if second.start < first.end:
+                    problems.append(
+                        f"channel {channel}: {second.label!r} (cycle "
+                        f"{second.start}) overlaps {first.label!r} "
+                        f"(ends {first.end})"
+                    )
+        return problems
+
+    def timeline(self) -> str:
+        """ASCII channel/cycle occupancy chart."""
+        channels = self.channels()
+        width = self.latency
+        names = [str(c) for c in channels]
+        pad = max((len(n) for n in names), default=0)
+        lines = [
+            f"{'cycle':>{pad}} "
+            + "".join(str(t % 10) for t in range(width))
+        ]
+        for channel, name in zip(channels, names):
+            row = ["."] * width
+            for event in self.events_on(channel):
+                mark = "~" if event.feedforward else "#"
+                for t in range(event.start, min(event.end, width)):
+                    row[t] = mark
+            lines.append(f"{name:>{pad}} " + "".join(row))
+        return "\n".join(lines)
+
+
+def _microwave_channel(device: Device, qubit: int) -> Channel:
+    constraints = device.constraints
+    if constraints is not None and qubit in constraints.frequency_group:
+        return Channel("awg", (constraints.frequency_group[qubit],))
+    return Channel("drive", (qubit,))
+
+
+def _readout_channel(device: Device, qubit: int) -> Channel:
+    constraints = device.constraints
+    if constraints is not None and qubit in constraints.feedline:
+        return Channel("readout", (constraints.feedline[qubit],))
+    return Channel("readout", (qubit,))
+
+
+def lower_to_pulses(schedule: Schedule, device: Device) -> PulseProgram:
+    """Lower a timed schedule to channelised pulse events.
+
+    Identical single-qubit gates co-starting on one shared AWG channel
+    merge into a single multi-qubit pulse event; everything else maps
+    one gate to one event.
+
+    Raises:
+        ValueError: when the schedule violates the channel model (e.g.
+            different gates sharing an AWG simultaneously) — lowering a
+            schedule produced by
+            :func:`~repro.mapping.control.schedule_with_constraints`
+            always succeeds.
+    """
+    events: list[PulseEvent] = []
+    # Merge key -> event, for shared-AWG single-qubit pulses.
+    mergeable: dict[tuple, PulseEvent] = {}
+
+    for item in schedule:
+        gate = item.gate
+        if gate.is_barrier:
+            continue
+        feedforward = gate.condition is not None
+        if gate.is_measurement:
+            channel = _readout_channel(device, gate.qubits[0])
+            key = (channel, item.start, "readout")
+            if key in mergeable:
+                existing = mergeable[key]
+                existing.qubits = tuple(
+                    sorted(set(existing.qubits) | set(gate.qubits))
+                )
+                continue
+            event = PulseEvent(
+                channel, item.start, item.duration, "readout", gate.qubits
+            )
+            mergeable[key] = event
+            events.append(event)
+            continue
+        if gate.name == "prep_z":
+            channel = _readout_channel(device, gate.qubits[0])
+            key = (channel, item.start, "init")
+            if key in mergeable:
+                existing = mergeable[key]
+                existing.qubits = tuple(
+                    sorted(set(existing.qubits) | set(gate.qubits))
+                )
+                continue
+            event = PulseEvent(
+                channel, item.start, item.duration, "init", gate.qubits
+            )
+            mergeable[key] = event
+            events.append(event)
+            continue
+        if len(gate.qubits) == 2:
+            a, b = sorted(gate.qubits)
+            channel = Channel("flux", (a, b))
+            label = gate.name if not gate.params else (
+                f"{gate.name}({', '.join(f'{p:.3g}' for p in gate.params)})"
+            )
+            events.append(
+                PulseEvent(
+                    channel, item.start, item.duration, label,
+                    gate.qubits, feedforward,
+                )
+            )
+            continue
+        # Single-qubit microwave pulse.
+        qubit = gate.qubits[0]
+        channel = _microwave_channel(device, qubit)
+        label = gate.name if not gate.params else (
+            f"{gate.name}({', '.join(f'{p:.3g}' for p in gate.params)})"
+        )
+        if channel.kind == "awg" and not feedforward:
+            key = (channel, item.start, label)
+            if key in mergeable:
+                existing = mergeable[key]
+                existing.qubits = tuple(sorted(set(existing.qubits) | {qubit}))
+                continue
+            event = PulseEvent(
+                channel, item.start, item.duration, label, (qubit,)
+            )
+            mergeable[key] = event
+            events.append(event)
+        else:
+            events.append(
+                PulseEvent(
+                    channel, item.start, item.duration, label,
+                    (qubit,), feedforward,
+                )
+            )
+
+    program = PulseProgram(events, schedule.num_qubits, schedule.cycle_time_ns)
+    problems = program.validate()
+    if problems:
+        raise ValueError(
+            "schedule violates the control-channel model:\n  "
+            + "\n  ".join(problems[:5])
+        )
+    return program

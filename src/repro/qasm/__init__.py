@@ -1,0 +1,15 @@
+"""QASM front end: OpenQASM 2.0 parsing and OpenQASM/cQASM writing."""
+
+from .cqasm import CqasmError, parse_cqasm
+from .parser import QasmError, parse_qasm
+from .writer import schedule_to_cqasm, to_cqasm, to_openqasm
+
+__all__ = [
+    "CqasmError",
+    "QasmError",
+    "parse_cqasm",
+    "parse_qasm",
+    "schedule_to_cqasm",
+    "to_cqasm",
+    "to_openqasm",
+]

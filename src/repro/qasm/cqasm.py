@@ -1,0 +1,178 @@
+"""cQASM 1.0 (subset) parser.
+
+The paper's Fig. 2 feeds the compiler cQASM [17]; this parser accepts
+the subset our writer produces plus the common hand-written forms:
+
+* ``version 1.0`` header and ``qubits N`` declaration;
+* ``#`` comments;
+* gate lines ``name q[i](, q[j])(, angle)`` with cQASM gate names
+  (``cnot``, ``toffoli``, ``measure_z``, ``prep_z``, ``x90`` / ``mx90``,
+  rotations with a trailing angle operand);
+* parallel bundles ``{ a | b }`` — flattened to sequential gates, which
+  is semantics-preserving because bundled gates act on disjoint qubits;
+* ``wait n`` (timing only; ignored for circuit semantics).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from ..core.circuit import Circuit
+from ..core.gates import GATE_SPECS, Gate
+
+__all__ = ["parse_cqasm", "CqasmError"]
+
+
+class CqasmError(ValueError):
+    """cQASM parse error with line information."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+#: cQASM gate spellings -> canonical names.
+_NAMES = {
+    "i": "i", "x": "x", "y": "y", "z": "z", "h": "h",
+    "s": "s", "sdag": "sdg", "t": "t", "tdag": "tdg",
+    "rx": "rx", "ry": "ry", "rz": "rz",
+    "x90": "x90", "mx90": "xm90", "y90": "y90", "my90": "ym90",
+    "cnot": "cnot", "cx": "cnot", "cz": "cz", "swap": "swap",
+    "cr": "cp", "crk": None,  # crk uses integer k; handled separately
+    "crz": "crz", "rxx": "rxx",
+    "toffoli": "toffoli", "fredkin": "fredkin",
+    "measure_z": "measure", "measure": "measure",
+    "prep_z": "prep_z", "prep": "prep_z",
+    "shuttle": "shuttle",
+    "u3": "u",
+}
+
+_QUBIT_RE = re.compile(r"q\[\s*(\d+)\s*\]")
+
+
+def parse_cqasm(source: str) -> Circuit:
+    """Parse cQASM ``source`` into a :class:`Circuit`.
+
+    Raises:
+        CqasmError: on syntax errors or unsupported constructs.
+    """
+    num_qubits: int | None = None
+    gates: list[Gate] = []
+
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        lowered = line.lower()
+        if lowered.startswith("version"):
+            continue
+        if lowered.startswith("qubits"):
+            match = re.fullmatch(r"qubits\s+(\d+)", lowered)
+            if match is None:
+                raise CqasmError("malformed qubits declaration", lineno)
+            num_qubits = int(match.group(1))
+            continue
+        if num_qubits is None:
+            raise CqasmError("statement before 'qubits' declaration", lineno)
+        if lowered.startswith("wait"):
+            if re.fullmatch(r"wait\s+\d+", lowered) is None:
+                raise CqasmError("malformed wait", lineno)
+            continue
+        if lowered.startswith("{"):
+            body = line.strip()
+            if not body.endswith("}"):
+                raise CqasmError("unterminated bundle", lineno)
+            inner = body[1:-1]
+            bundle_gates = []
+            used: set[int] = set()
+            for part in inner.split("|"):
+                gate = _parse_gate(part.strip(), lineno)
+                overlap = used.intersection(gate.qubits)
+                if overlap:
+                    raise CqasmError(
+                        f"bundle gates overlap on qubit {min(overlap)}", lineno
+                    )
+                used.update(gate.qubits)
+                bundle_gates.append(gate)
+            gates.extend(bundle_gates)
+            continue
+        gates.append(_parse_gate(line, lineno))
+
+    if num_qubits is None:
+        raise CqasmError("missing 'qubits' declaration", 1)
+    circuit = Circuit(num_qubits)
+    for gate in gates:
+        try:
+            circuit.append(gate)
+        except ValueError as exc:
+            raise CqasmError(str(exc), 0)
+    return circuit
+
+
+def _parse_gate(text: str, lineno: int) -> Gate:
+    match = re.fullmatch(r"(c-)?([A-Za-z_][A-Za-z0-9_-]*)\s+(.*)", text)
+    if match is None:
+        raise CqasmError(f"cannot parse statement {text!r}", lineno)
+    controlled = match.group(1) is not None
+    name, operand_text = match.group(2).lower(), match.group(3)
+
+    condition: tuple[int, int] | None = None
+    if controlled:
+        bit_match = re.match(r"\s*(!?)b\[\s*(\d+)\s*\]\s*,\s*", operand_text)
+        if bit_match is None:
+            raise CqasmError(
+                "binary-controlled gate needs a leading b[<bit>] operand",
+                lineno,
+            )
+        condition = (int(bit_match.group(2)), 0 if bit_match.group(1) else 1)
+        operand_text = operand_text[bit_match.end():]
+
+    qubits = [int(m.group(1)) for m in _QUBIT_RE.finditer(operand_text)]
+    # Everything after the qubit operands that parses as a number is an
+    # angle parameter.
+    trailing = _QUBIT_RE.sub("", operand_text)
+    params = []
+    for chunk in trailing.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        try:
+            params.append(_number(chunk))
+        except ValueError:
+            raise CqasmError(f"bad parameter {chunk!r}", lineno)
+
+    if name == "crk":
+        # Controlled phase by pi / 2^(k-1), k a positive integer.
+        if len(params) != 1 or len(qubits) != 2:
+            raise CqasmError("crk needs two qubits and integer k", lineno)
+        k = int(params[0])
+        if k < 1:
+            raise CqasmError("crk k must be >= 1", lineno)
+        return Gate("cp", tuple(qubits), (math.pi / 2 ** (k - 1),), condition)
+
+    canonical = _NAMES.get(name)
+    if canonical is None:
+        raise CqasmError(f"unsupported gate {name!r}", lineno)
+    spec = GATE_SPECS[canonical]
+    if len(qubits) != spec.num_qubits:
+        raise CqasmError(
+            f"gate {name!r} expects {spec.num_qubits} qubits, got {len(qubits)}",
+            lineno,
+        )
+    if len(params) != spec.num_params:
+        raise CqasmError(
+            f"gate {name!r} expects {spec.num_params} parameters, "
+            f"got {len(params)}",
+            lineno,
+        )
+    return Gate(canonical, tuple(qubits), tuple(params), condition)
+
+
+def _number(text: str) -> float:
+    lowered = text.lower()
+    if lowered == "pi":
+        return math.pi
+    if lowered == "-pi":
+        return -math.pi
+    return float(text)

@@ -1,0 +1,153 @@
+"""OpenQASM 2.0 and cQASM writers.
+
+The inverse of :mod:`repro.qasm.parser`, plus a cQASM 1.0 writer in the
+style of the paper's Fig. 2, including the bundle notation
+``{ gate | gate }`` for operations scheduled in the same cycle — the
+"series of scheduled operations" the compiler outputs.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import Circuit
+from ..core.gates import Gate
+from ..mapping.scheduler import Schedule
+
+__all__ = ["to_openqasm", "to_cqasm", "schedule_to_cqasm"]
+
+#: Canonical gate name -> OpenQASM spelling.
+_QASM_NAMES = {
+    "i": "id",
+    "cnot": "cx",
+    "toffoli": "ccx",
+    "fredkin": "cswap",
+    "u": "u3",
+    "cp": "cu1",
+}
+
+#: Canonical gate name -> cQASM spelling.
+_CQASM_NAMES = {
+    "i": "i",
+    "sdg": "sdag",
+    "tdg": "tdag",
+    "cnot": "cnot",
+    "cp": "cr",
+    "toffoli": "toffoli",
+    "u": "u3",
+    "measure": "measure_z",
+    "prep_z": "prep_z",
+    "x90": "x90",
+    "xm90": "mx90",
+    "y90": "y90",
+    "ym90": "my90",
+}
+
+
+def _fmt(value: float) -> str:
+    # repr() is the shortest representation that round-trips exactly.
+    return repr(float(value))
+
+
+def to_openqasm(circuit: Circuit, *, creg: bool = True) -> str:
+    """Serialise ``circuit`` as OpenQASM 2.0 (register name ``q``).
+
+    Measurements write into per-qubit single-bit classical registers
+    ``cN`` and classically conditioned gates emit OpenQASM's
+    ``if(cN==v)`` form, so feedforward circuits (e.g. teleportation
+    routing output) round-trip.
+    """
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    needs_bits = sorted(
+        {g.qubits[0] for g in circuit.gates if g.is_measurement}
+        | {g.condition[0] for g in circuit.gates if g.condition is not None}
+    )
+    if creg:
+        for bit in needs_bits:
+            lines.append(f"creg c{bit}[1];")
+    for gate in circuit.gates:
+        lines.append(_openqasm_line(gate))
+    return "\n".join(lines) + "\n"
+
+
+def _openqasm_line(gate: Gate) -> str:
+    if gate.is_barrier:
+        if gate.qubits:
+            operands = ",".join(f"q[{q}]" for q in gate.qubits)
+        else:
+            operands = "q"
+        return f"barrier {operands};"
+    if gate.is_measurement:
+        q = gate.qubits[0]
+        return f"measure q[{q}] -> c{q}[0];"
+    if gate.name == "prep_z":
+        return f"reset q[{gate.qubits[0]}];"
+    name = _QASM_NAMES.get(gate.name, gate.name)
+    params = ""
+    if gate.params:
+        params = "(" + ",".join(_fmt(p) for p in gate.params) + ")"
+    operands = ",".join(f"q[{q}]" for q in gate.qubits)
+    prefix = ""
+    if gate.condition is not None:
+        bit, value = gate.condition
+        prefix = f"if(c{bit}=={value}) "
+    return f"{prefix}{name}{params} {operands};"
+
+
+def to_cqasm(circuit: Circuit) -> str:
+    """Serialise ``circuit`` as sequential cQASM 1.0."""
+    lines = ["version 1.0", f"qubits {circuit.num_qubits}", ""]
+    for gate in circuit.gates:
+        lines.append(_cqasm_line(gate))
+    return "\n".join(lines) + "\n"
+
+
+def _cqasm_line(gate: Gate) -> str:
+    if gate.is_barrier:
+        return "# barrier " + " ".join(f"q[{q}]" for q in gate.qubits)
+    name = _CQASM_NAMES.get(gate.name, gate.name)
+    operands = ", ".join(f"q[{q}]" for q in gate.qubits)
+    if gate.condition is not None:
+        # cQASM binary-controlled gate: c-<name> b[bit], operands.
+        # Only value-1 conditions have direct syntax; a value-0 condition
+        # is expressed via the complement marker "!".
+        bit, value = gate.condition
+        marker = f"b[{bit}]" if value == 1 else f"!b[{bit}]"
+        operands = f"{marker}, {operands}"
+        name = f"c-{name}"
+    if gate.params:
+        params = ", ".join(_fmt(p) for p in gate.params)
+        return f"{name} {operands}, {params}"
+    return f"{name} {operands}"
+
+
+def schedule_to_cqasm(schedule: Schedule) -> str:
+    """Serialise a timed schedule as cQASM with per-cycle bundles.
+
+    Gates starting in the same cycle share a ``{ a | b }`` bundle,
+    making the parallelism explicit — the output format of the paper's
+    Fig. 2 compiler.
+    """
+    lines = ["version 1.0", f"qubits {schedule.num_qubits}", ""]
+    by_cycle: dict[int, list] = {}
+    for item in schedule:
+        if item.gate.is_barrier:
+            continue
+        by_cycle.setdefault(item.start, []).append(item.gate)
+    previous: int | None = None
+    for cycle in sorted(by_cycle):
+        if previous is not None:
+            # Each bundle advances time by one cycle in cQASM; longer
+            # gaps (multi-cycle gates in flight) need an explicit wait.
+            gap = cycle - previous - 1
+            if gap > 0:
+                lines.append(f"wait {gap}")
+        bundle = [_cqasm_line(g) for g in sorted(by_cycle[cycle], key=lambda g: g.qubits)]
+        if len(bundle) == 1:
+            lines.append(bundle[0])
+        else:
+            lines.append("{ " + " | ".join(bundle) + " }")
+        previous = cycle
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,18 @@
+"""Surface-code machinery: the workload the Surface-17 chip targets."""
+
+from .code import RotatedSurfaceCode, Stabilizer
+from .cycle import SyndromeExtractor, stabilizer_cycle
+from .decoder import LookupDecoder, MatchingDecoder
+from .memory import MemoryResult, memory_experiment, unprotected_failure_rate
+
+__all__ = [
+    "LookupDecoder",
+    "MatchingDecoder",
+    "MemoryResult",
+    "RotatedSurfaceCode",
+    "Stabilizer",
+    "SyndromeExtractor",
+    "memory_experiment",
+    "stabilizer_cycle",
+    "unprotected_failure_rate",
+]

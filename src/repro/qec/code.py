@@ -1,0 +1,162 @@
+"""The rotated surface code (paper Section V context, ref [60]).
+
+"This quantum chip has been built with the goal of demonstrating
+fault-tolerant computation in a large-scale quantum system based on
+surface code, one of the most promising quantum error correction
+codes."  This module constructs the distance-``d`` *rotated* surface
+code — ``d*d`` data qubits plus ``d*d - 1`` ancillas (17 qubits at
+``d = 3``, the Surface-17 configuration) — together with the device
+model whose coupling graph is exactly the code's data-ancilla
+connectivity.
+
+Construction (standard rotated layout): data qubits sit on a ``d x d``
+grid; a plaquette cell ``(r, c)`` with ``r, c in -1 .. d-1`` covers the
+data corners ``(r, c), (r, c+1), (r+1, c), (r+1, c+1)``; cells with
+``(r + c)`` even host X stabilizers and odd cells Z stabilizers; bulk
+cells are always present, while boundary half-cells alternate — X on
+the north/south edges, Z on the west/east edges.  Logical Z acts on the
+top data row and logical X on the left data column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.device import ControlConstraints, Device
+
+__all__ = ["Stabilizer", "RotatedSurfaceCode"]
+
+
+@dataclass(frozen=True)
+class Stabilizer:
+    """One stabilizer generator.
+
+    Attributes:
+        kind: ``"X"`` or ``"Z"``.
+        ancilla: Physical index of the measuring ancilla qubit.
+        data: Physical indices of the data qubits in the support.
+        cell: The plaquette coordinate ``(r, c)`` (for debugging/plots).
+    """
+
+    kind: str
+    ancilla: int
+    data: tuple[int, ...]
+    cell: tuple[int, int]
+
+
+class RotatedSurfaceCode:
+    """A distance-``d`` rotated surface code and its device model."""
+
+    def __init__(self, distance: int = 3):
+        if distance < 2:
+            raise ValueError("distance must be at least 2")
+        self.distance = distance
+        d = distance
+        #: data qubit (r, c) -> physical index (row-major block first).
+        self.data_index = {
+            (r, c): r * d + c for r in range(d) for c in range(d)
+        }
+        self.num_data = d * d
+
+        self.stabilizers: list[Stabilizer] = []
+        next_ancilla = self.num_data
+        for r in range(-1, d):
+            for c in range(-1, d):
+                corners = [
+                    (rr, cc)
+                    for rr in (r, r + 1)
+                    for cc in (c, c + 1)
+                    if 0 <= rr < d and 0 <= cc < d
+                ]
+                kind = "X" if (r + c) % 2 == 0 else "Z"
+                bulk = len(corners) == 4
+                north_south = r in (-1, d - 1) and 0 <= c < d - 1
+                west_east = c in (-1, d - 1) and 0 <= r < d - 1
+                include = bulk or (kind == "X" and north_south) or (
+                    kind == "Z" and west_east
+                )
+                if not include:
+                    continue
+                data = tuple(sorted(self.data_index[pt] for pt in corners))
+                self.stabilizers.append(
+                    Stabilizer(kind, next_ancilla, data, (r, c))
+                )
+                next_ancilla += 1
+        self.num_qubits = next_ancilla
+        self.num_ancilla = self.num_qubits - self.num_data
+
+        #: Logical operators as data-qubit index tuples.
+        self.logical_z = tuple(self.data_index[(0, c)] for c in range(d))
+        self.logical_x = tuple(self.data_index[(r, 0)] for r in range(d))
+
+    # ------------------------------------------------------------------
+
+    def x_stabilizers(self) -> list[Stabilizer]:
+        return [s for s in self.stabilizers if s.kind == "X"]
+
+    def z_stabilizers(self) -> list[Stabilizer]:
+        return [s for s in self.stabilizers if s.kind == "Z"]
+
+    def stabilizer_of_ancilla(self, ancilla: int) -> Stabilizer:
+        for stabilizer in self.stabilizers:
+            if stabilizer.ancilla == ancilla:
+                return stabilizer
+        raise KeyError(f"qubit {ancilla} is not an ancilla")
+
+    def check_css(self) -> bool:
+        """Every X/Z stabilizer pair overlaps on an even number of qubits."""
+        for x_stab in self.x_stabilizers():
+            for z_stab in self.z_stabilizers():
+                overlap = set(x_stab.data) & set(z_stab.data)
+                if len(overlap) % 2 != 0:
+                    return False
+        return True
+
+    def device(self) -> Device:
+        """The code's chip: CZ-coupled data-ancilla lattice.
+
+        Uses the Surface-17-style native set and durations; frequency
+        groups follow the Versluis scheme — X ancillas high (f1), data
+        middle (f2), Z ancillas low (f3) — and ancillas of each type
+        share a readout feedline with a third line for the data qubits.
+        """
+        from ..devices.library import SURFACE_DURATIONS, SURFACE_NATIVE
+
+        edges = []
+        frequency = {}
+        feedline = {}
+        positions = {}
+        d = self.distance
+        for (r, c), index in self.data_index.items():
+            frequency[index] = 1
+            feedline[index] = 2
+            positions[index] = (float(c), float(-r))
+        for stabilizer in self.stabilizers:
+            for data in stabilizer.data:
+                edges.append((stabilizer.ancilla, data))
+            frequency[stabilizer.ancilla] = 0 if stabilizer.kind == "X" else 2
+            feedline[stabilizer.ancilla] = 0 if stabilizer.kind == "X" else 1
+            r, c = stabilizer.cell
+            positions[stabilizer.ancilla] = (c + 0.5, -(r + 0.5))
+        return Device(
+            f"rotated_surface{self.num_qubits}",
+            self.num_qubits,
+            edges,
+            SURFACE_NATIVE,
+            symmetric=True,
+            two_qubit_gate="cz",
+            durations=SURFACE_DURATIONS,
+            cycle_time_ns=20.0,
+            positions=positions,
+            constraints=ControlConstraints(
+                frequency_group=frequency,
+                feedline=feedline,
+                park_on_cz=True,
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<RotatedSurfaceCode d={self.distance} qubits={self.num_qubits} "
+            f"stabilizers={len(self.stabilizers)}>"
+        )

@@ -1,0 +1,162 @@
+"""Stabilizer measurement cycles and syndrome extraction.
+
+One quantum-error-correction cycle measures every stabilizer of the
+code through its ancilla:
+
+* X stabilizer: ``prep_z``, ``H``, a CNOT from the ancilla onto each
+  data qubit, ``H``, ``measure``;
+* Z stabilizer: ``prep_z``, a CNOT from each data qubit onto the
+  ancilla, ``measure``.
+
+The cycle circuit is expressed in CNOT/H form; on a CZ-native chip the
+standard pipeline lowers it (Fig. 6 decompositions) and the
+control-constraint scheduler times it — the workload the Surface-17
+chip was built for.
+
+:class:`SyndromeExtractor` runs cycles on the statevector simulator,
+turning ancilla measurement results into stabilizer syndromes.  X
+stabilizer outcomes are random on a fresh product state, so the first
+cycle establishes the *reference frame*; later cycles report syndrome
+*changes* against it, which is what a decoder consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.circuit import Circuit
+from ..core import gates as G
+from ..sim.statevector import StateVector
+from .code import RotatedSurfaceCode, Stabilizer
+
+__all__ = ["stabilizer_cycle", "SyndromeExtractor"]
+
+
+def stabilizer_cycle(code: RotatedSurfaceCode) -> Circuit:
+    """One full syndrome-measurement cycle over all stabilizers.
+
+    Data-qubit interactions within each stabilizer follow a fixed
+    corner order (NW, NE, SW, SE); a hook-error-optimal zig-zag order
+    is a scheduling refinement left to the device pipeline.
+    """
+    circuit = Circuit(code.num_qubits, name=f"qec_cycle_d{code.distance}")
+    for stabilizer in code.stabilizers:
+        circuit.prep_z(stabilizer.ancilla)
+        if stabilizer.kind == "X":
+            circuit.h(stabilizer.ancilla)
+            for data in stabilizer.data:
+                circuit.cnot(stabilizer.ancilla, data)
+            circuit.h(stabilizer.ancilla)
+        else:
+            for data in stabilizer.data:
+                circuit.cnot(data, stabilizer.ancilla)
+        circuit.measure(stabilizer.ancilla)
+    return circuit
+
+
+class SyndromeExtractor:
+    """Runs QEC cycles on a simulator and tracks syndrome changes.
+
+    Args:
+        code: The surface code instance.
+        seed: RNG seed for measurement outcomes.
+        backend: ``"statevector"`` (dense, exact, <= ~20 qubits) or
+            ``"stabilizer"`` (CHP tableau, polynomial — use for d >= 5,
+            where the code needs 49+ qubits).  The cycle circuit is
+            Clifford, so both agree exactly.
+    """
+
+    def __init__(
+        self,
+        code: RotatedSurfaceCode,
+        seed: int = 0,
+        backend: str = "statevector",
+    ):
+        self.code = code
+        rng = np.random.default_rng(seed)
+        if backend == "statevector":
+            self.state = StateVector(code.num_qubits, rng=rng)
+        elif backend == "stabilizer":
+            from ..sim.stabilizer import StabilizerState
+
+            self.state = StabilizerState(code.num_qubits, rng=rng)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self.cycle_circuit = stabilizer_cycle(code)
+        #: Reference outcomes per ancilla from the previous cycle.
+        self.reference: dict[int, int] | None = None
+        self.cycles_run = 0
+
+    def run_cycle(self) -> dict[int, int]:
+        """Execute one cycle; returns raw ancilla outcomes."""
+        self.state.run(self.cycle_circuit)
+        outcomes = {
+            stabilizer.ancilla: self.state.results[stabilizer.ancilla]
+            for stabilizer in self.code.stabilizers
+        }
+        self.cycles_run += 1
+        return outcomes
+
+    def establish_reference(self) -> dict[int, int]:
+        """Run the first cycle and remember its outcomes as the frame."""
+        outcomes = self.run_cycle()
+        self.reference = outcomes
+        return outcomes
+
+    def syndrome(self) -> dict[str, frozenset[int]]:
+        """Run a cycle and report *changed* stabilizers by kind.
+
+        Returns:
+            ``{"X": flipped X-ancillas, "Z": flipped Z-ancillas}``
+            relative to the reference frame (which is then advanced).
+
+        Raises:
+            RuntimeError: when no reference frame exists yet.
+        """
+        if self.reference is None:
+            raise RuntimeError("call establish_reference() first")
+        outcomes = self.run_cycle()
+        flipped_x = frozenset(
+            s.ancilla
+            for s in self.code.x_stabilizers()
+            if outcomes[s.ancilla] != self.reference[s.ancilla]
+        )
+        flipped_z = frozenset(
+            s.ancilla
+            for s in self.code.z_stabilizers()
+            if outcomes[s.ancilla] != self.reference[s.ancilla]
+        )
+        self.reference = outcomes
+        return {"X": flipped_x, "Z": flipped_z}
+
+    def inject(self, pauli: str, data_qubit: int) -> None:
+        """Apply a Pauli error on one data qubit."""
+        if pauli.lower() not in ("x", "y", "z"):
+            raise ValueError(f"unknown Pauli {pauli!r}")
+        if data_qubit >= self.code.num_data:
+            raise ValueError(f"qubit {data_qubit} is not a data qubit")
+        self.state.apply(G.__dict__[pauli.lower()](data_qubit))
+
+    def apply_correction(self, pauli: str, data_qubits) -> None:
+        """Apply a Pauli correction on the given data qubits."""
+        for qubit in data_qubits:
+            self.inject(pauli, qubit)
+
+    def logical_z_expectation(self) -> float:
+        """<Z_L> of the current state (0 when the outcome is random)."""
+        if self.backend == "stabilizer":
+            return float(self.state.z_expectation(self.code.logical_z))
+        return self._pauli_z_expectation(self.code.logical_z)
+
+    def _pauli_z_expectation(self, qubits) -> float:
+        probs = np.abs(self.state.state) ** 2
+        n = self.code.num_qubits
+        expectation = 0.0
+        for index, p in enumerate(probs):
+            if p == 0.0:
+                continue
+            bits = format(index, f"0{n}b")
+            parity = sum(int(bits[q]) for q in qubits) % 2
+            expectation += p * (1 - 2 * parity)
+        return float(expectation)

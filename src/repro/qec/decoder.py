@@ -1,0 +1,176 @@
+"""Decoders for small rotated surface codes.
+
+* :class:`LookupDecoder` — a table over all single-qubit errors;
+  distance-3 syndromes of weight-1 errors are unique up to stabilizer
+  equivalence, so this decodes every single error exactly.
+* :class:`MatchingDecoder` — minimum-weight perfect matching on the
+  syndrome graph, the standard surface-code decoder [60]: each data
+  qubit is an edge between the (one or two) stabilizers of one type
+  containing it, with a virtual boundary node absorbing odd syndrome
+  weight; flipped stabilizers are paired along cheapest paths and the
+  correction applies the Pauli on every data edge of the matching.
+  Handles multi-error syndromes, which the lookup cannot.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+
+from .code import RotatedSurfaceCode, Stabilizer
+
+__all__ = ["LookupDecoder", "MatchingDecoder"]
+
+
+class LookupDecoder:
+    """Minimal-weight single-error decoder via precomputed lookup."""
+
+    def __init__(self, code: RotatedSurfaceCode):
+        self.code = code
+        # X errors flip the Z stabilizers containing them (and vice
+        # versa).  Build syndrome -> correction tables for weight-1
+        # errors; weight-0 maps to no correction.
+        self.x_corrections: dict[frozenset[int], tuple[int, ...]] = {
+            frozenset(): ()
+        }
+        self.z_corrections: dict[frozenset[int], tuple[int, ...]] = {
+            frozenset(): ()
+        }
+        for data in range(code.num_data):
+            z_syndrome = frozenset(
+                s.ancilla for s in code.z_stabilizers() if data in s.data
+            )
+            self.x_corrections.setdefault(z_syndrome, (data,))
+            x_syndrome = frozenset(
+                s.ancilla for s in code.x_stabilizers() if data in s.data
+            )
+            self.z_corrections.setdefault(x_syndrome, (data,))
+
+    def decode(self, syndrome: dict[str, frozenset[int]]) -> dict[str, tuple[int, ...]]:
+        """Corrections for one syndrome-change report.
+
+        Args:
+            syndrome: ``{"X": flipped X-ancillas, "Z": flipped Z-ancillas}``
+                as produced by
+                :meth:`repro.qec.cycle.SyndromeExtractor.syndrome`.
+
+        Returns:
+            ``{"X": data qubits needing an X, "Z": data qubits needing a Z}``.
+
+        Raises:
+            KeyError: when a syndrome has no weight-<=1 explanation (a
+            multi-qubit error beyond this decoder).
+        """
+        try:
+            apply_x = self.x_corrections[frozenset(syndrome.get("Z", frozenset()))]
+            apply_z = self.z_corrections[frozenset(syndrome.get("X", frozenset()))]
+        except KeyError as exc:
+            raise KeyError(
+                f"syndrome {syndrome} has no single-error explanation"
+            ) from exc
+        return {"X": apply_x, "Z": apply_z}
+
+    def correctable_syndromes(self) -> int:
+        """Number of distinct Z-syndromes the table covers."""
+        return len(self.x_corrections)
+
+
+_BOUNDARY = "boundary"
+
+
+class MatchingDecoder:
+    """Minimum-weight perfect matching over the syndrome graph."""
+
+    def __init__(self, code: RotatedSurfaceCode):
+        self.code = code
+        self._graphs = {
+            "Z": self._syndrome_graph(code.z_stabilizers()),
+            "X": self._syndrome_graph(code.x_stabilizers()),
+        }
+
+    def _syndrome_graph(self, stabilizers: list[Stabilizer]) -> nx.MultiGraph:
+        """Nodes: ancillas of one type + the boundary; edges: data qubits."""
+        graph = nx.MultiGraph()
+        graph.add_node(_BOUNDARY)
+        for stabilizer in stabilizers:
+            graph.add_node(stabilizer.ancilla)
+        for data in range(self.code.num_data):
+            touching = [s.ancilla for s in stabilizers if data in s.data]
+            if len(touching) == 2:
+                graph.add_edge(touching[0], touching[1], qubit=data)
+            elif len(touching) == 1:
+                graph.add_edge(touching[0], _BOUNDARY, qubit=data)
+            # A data qubit in no stabilizer of this type cannot produce
+            # or fix syndrome of this type.
+        return graph
+
+    def _path_qubits(self, graph: nx.MultiGraph, a, b) -> tuple[int, ...]:
+        path = nx.shortest_path(graph, a, b)
+        qubits = []
+        for u, v in zip(path, path[1:]):
+            # Any parallel edge works; take the smallest data index for
+            # determinism.
+            data = min(d["qubit"] for d in graph[u][v].values())
+            qubits.append(data)
+        return tuple(qubits)
+
+    def _match(self, kind: str, flipped: frozenset[int]) -> tuple[int, ...]:
+        if not flipped:
+            return ()
+        graph = self._graphs[kind]
+        nodes = sorted(flipped)
+        # Pairwise path lengths (boundary reachable from every node).
+        distance = {}
+        for a, b in itertools.combinations(nodes, 2):
+            distance[(a, b)] = nx.shortest_path_length(graph, a, b)
+        boundary_distance = {
+            a: nx.shortest_path_length(graph, a, _BOUNDARY) for a in nodes
+        }
+
+        best_cost, best_pairs = None, None
+        for pairing in _pairings(nodes):
+            cost = 0
+            for a, b in pairing:
+                if b is _BOUNDARY:
+                    cost += boundary_distance[a]
+                else:
+                    cost += distance[(min(a, b), max(a, b))]
+            if best_cost is None or cost < best_cost:
+                best_cost, best_pairs = cost, pairing
+
+        correction: list[int] = []
+        assert best_pairs is not None
+        for a, b in best_pairs:
+            target = _BOUNDARY if b is _BOUNDARY else b
+            correction.extend(self._path_qubits(graph, a, target))
+        # A data qubit corrected twice cancels out.
+        result = [q for q in set(correction) if correction.count(q) % 2 == 1]
+        return tuple(sorted(result))
+
+    def decode(self, syndrome: dict[str, frozenset[int]]) -> dict[str, tuple[int, ...]]:
+        """Corrections for one syndrome-change report (any weight).
+
+        Returns:
+            ``{"X": data qubits needing an X, "Z": data qubits needing a Z}``.
+        """
+        return {
+            "X": self._match("Z", frozenset(syndrome.get("Z", frozenset()))),
+            "Z": self._match("X", frozenset(syndrome.get("X", frozenset()))),
+        }
+
+
+def _pairings(nodes: list[int]):
+    """All ways to pair ``nodes``, each possibly matched to the boundary."""
+    if not nodes:
+        yield []
+        return
+    head, rest = nodes[0], nodes[1:]
+    # Pair head with the boundary.
+    for tail in _pairings(rest):
+        yield [(head, _BOUNDARY)] + tail
+    # Pair head with another flipped node.
+    for index, partner in enumerate(rest):
+        remaining = rest[:index] + rest[index + 1:]
+        for tail in _pairings(remaining):
+            yield [(head, partner)] + tail

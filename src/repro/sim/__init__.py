@@ -1,0 +1,28 @@
+"""Statevector / unitary simulation — the reproduction's stand-in for hardware."""
+
+from .monte_carlo import average_fidelity, sample_noisy_counts
+from .noise import NoiseModel
+from .stabilizer import StabilizerState
+from .statevector import StateVector, apply_gate, basis_state, simulate, zero_state
+from .unitary import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    gate_unitary,
+    permutation_unitary,
+)
+
+__all__ = [
+    "NoiseModel",
+    "StabilizerState",
+    "StateVector",
+    "average_fidelity",
+    "sample_noisy_counts",
+    "apply_gate",
+    "basis_state",
+    "simulate",
+    "zero_state",
+    "allclose_up_to_global_phase",
+    "circuit_unitary",
+    "gate_unitary",
+    "permutation_unitary",
+]

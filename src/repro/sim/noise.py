@@ -1,0 +1,138 @@
+"""Error and reliability model.
+
+The paper's central motivation: "the success rate of the algorithm is
+consequently reduced since quantum operations are error prone and qubits
+easily degrade their state over the time" (Section I), and recent
+mappers "started optimising directly for circuit reliability" (Section
+III-B).  This module provides the standard first-order reliability
+estimate those works use:
+
+``P_success = prod_gates (1 - eps_gate) * prod_qubits exp(-t_idle / T2)``
+
+with per-gate error rates (optionally varying per coupling edge, as on
+real chips — the premise of variability-aware mapping [50]) and
+exponential decoherence over each qubit's idle time in the schedule.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..core.circuit import Circuit
+from ..core.gates import Gate
+from ..devices.device import Device
+from ..mapping.scheduler import Schedule, asap_schedule
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass
+class NoiseModel:
+    """First-order device error model.
+
+    Attributes:
+        error_1q: Depolarising error per single-qubit gate.
+        error_2q: Default error per two-qubit gate.
+        error_measure: Readout error per measurement.
+        t1_ns: Relaxation time (amplitude damping) in nanoseconds.
+        t2_ns: Dephasing time in nanoseconds; idle qubits decay as
+            ``exp(-t_idle / t2_ns)``.
+        edge_error: Optional per-undirected-edge two-qubit error rates,
+            keyed by sorted qubit pair; unlisted edges use ``error_2q``.
+    """
+
+    error_1q: float = 1e-3
+    error_2q: float = 1e-2
+    error_measure: float = 2e-2
+    t1_ns: float = 50_000.0
+    t2_ns: float = 30_000.0
+    edge_error: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    @classmethod
+    def with_random_edge_errors(
+        cls,
+        device: Device,
+        *,
+        base_2q: float = 1e-2,
+        spread: float = 3.0,
+        seed: int = 0,
+        **kwargs,
+    ) -> "NoiseModel":
+        """A model whose edges vary in quality, like a real chip.
+
+        Edge errors are drawn log-uniformly in
+        ``[base_2q / spread, base_2q * spread]``.
+        """
+        rng = random.Random(seed)
+        edges = {}
+        for a, b in device.undirected_edges():
+            factor = math.exp(rng.uniform(-math.log(spread), math.log(spread)))
+            edges[(a, b)] = base_2q * factor
+        return cls(error_2q=base_2q, edge_error=edges, **kwargs)
+
+    # ------------------------------------------------------------------
+
+    def gate_error(self, gate: Gate) -> float:
+        """Error probability of one gate instance (on physical qubits)."""
+        if gate.is_barrier or gate.name == "prep_z" or gate.name == "i":
+            return 0.0
+        if gate.is_measurement:
+            return self.error_measure
+        if len(gate.qubits) == 2:
+            a, b = gate.qubits
+            return self.edge_error.get((min(a, b), max(a, b)), self.error_2q)
+        return self.error_1q
+
+    def gate_success(self, gate: Gate) -> float:
+        return 1.0 - self.gate_error(gate)
+
+    def schedule_success(self, schedule: Schedule) -> float:
+        """Estimated success probability of a timed schedule.
+
+        Multiplies per-gate fidelities with per-qubit idle-time
+        decoherence factors.  Idle time is the schedule makespan minus
+        the cycles a qubit spends inside gates, converted to nanoseconds.
+        """
+        success = 1.0
+        busy = [0] * schedule.num_qubits
+        touched = [False] * schedule.num_qubits
+        for item in schedule:
+            success *= self.gate_success(item.gate)
+            for q in item.gate.qubits:
+                busy[q] += item.duration
+                touched[q] = True
+        makespan = schedule.latency
+        for q in range(schedule.num_qubits):
+            if not touched[q]:
+                continue  # never-used qubits carry no state of interest
+            idle_ns = max(0, makespan - busy[q]) * schedule.cycle_time_ns
+            success *= math.exp(-idle_ns / self.t2_ns)
+        return success
+
+    def circuit_success(self, circuit: Circuit, device: Device) -> float:
+        """Convenience: ASAP-schedule then estimate success."""
+        return self.schedule_success(asap_schedule(circuit, device))
+
+    def weighted_distance_matrix(self, device: Device) -> list[list[float]]:
+        """All-pairs reliability-weighted distances for noise-aware routing.
+
+        Edge weight is ``-log(1 - error_edge)``, so path length equals the
+        negative log success probability of a SWAP chain along it; routers
+        minimising this pick "the most reliable paths" (Section III-B).
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(device.num_qubits))
+        for a, b in device.undirected_edges():
+            error = self.edge_error.get((a, b), self.error_2q)
+            error = min(max(error, 1e-12), 0.999999)
+            g.add_edge(a, b, weight=-math.log(1.0 - error))
+        sentinel = float(device.num_qubits * device.num_qubits)
+        dist = [[sentinel] * device.num_qubits for _ in range(device.num_qubits)]
+        for src, lengths in nx.all_pairs_dijkstra_path_length(g, weight="weight"):
+            for dst, d in lengths.items():
+                dist[src][dst] = d
+        return dist

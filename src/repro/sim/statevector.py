@@ -1,0 +1,216 @@
+"""Dense statevector simulator.
+
+This is the reproduction's substitute for running circuits on the real
+IBM QX4 / Surface-17 hardware: it provides ground truth for functional
+equivalence of mapped circuits (see :mod:`repro.verify`) and for the
+example algorithms.
+
+State convention: an ``n``-qubit state is a complex vector of length
+``2**n``; basis index bits are ordered with **qubit 0 as the most
+significant bit**, so ``|q0 q1 ... q_{n-1}>`` maps to integer
+``q0*2**(n-1) + ... + q_{n-1}``.  This matches the matrix convention in
+:mod:`repro.core.gates`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.circuit import Circuit
+from ..core.gates import Gate
+
+__all__ = [
+    "StateVector",
+    "simulate",
+    "zero_state",
+    "basis_state",
+    "apply_gate",
+]
+
+
+def zero_state(num_qubits: int) -> np.ndarray:
+    """The all-zeros state |0...0>."""
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[0] = 1.0
+    return state
+
+
+def basis_state(num_qubits: int, bits: str | int) -> np.ndarray:
+    """A computational basis state.
+
+    Args:
+        num_qubits: Number of qubits.
+        bits: Either an integer index or a bit string like ``"0101"``
+            (qubit 0 first, i.e. most significant).
+    """
+    index = int(bits, 2) if isinstance(bits, str) else int(bits)
+    if not 0 <= index < 2**num_qubits:
+        raise ValueError(f"basis index {index} out of range for {num_qubits} qubits")
+    state = np.zeros(2**num_qubits, dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+def apply_gate(state: np.ndarray, gate: Gate, num_qubits: int) -> np.ndarray:
+    """Apply a unitary ``gate`` to ``state`` and return the new vector.
+
+    Non-unitary operations (measure, prep, barrier) are rejected; use
+    :class:`StateVector` to run full programs including measurement.
+    """
+    matrix = gate.matrix()
+    return _apply_matrix(state, matrix, gate.qubits, num_qubits)
+
+
+def _apply_matrix(
+    state: np.ndarray,
+    matrix: np.ndarray,
+    qubits: Sequence[int],
+    num_qubits: int,
+) -> np.ndarray:
+    k = len(qubits)
+    tensor = state.reshape([2] * num_qubits)
+    # Move the operand axes to the front, in gate order.
+    axes = list(qubits)
+    rest = [q for q in range(num_qubits) if q not in set(axes)]
+    tensor = np.transpose(tensor, axes + rest)
+    tensor = tensor.reshape(2**k, -1)
+    tensor = matrix @ tensor
+    tensor = tensor.reshape([2] * num_qubits)
+    # Undo the permutation.
+    inverse = np.argsort(axes + rest)
+    tensor = np.transpose(tensor, inverse)
+    return tensor.reshape(-1)
+
+
+class StateVector:
+    """A mutable statevector with gate application and measurement.
+
+    Measurement uses a supplied :class:`numpy.random.Generator` (or a
+    seeded default) so runs are reproducible.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        state: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.num_qubits = num_qubits
+        self.state = zero_state(num_qubits) if state is None else state.astype(complex)
+        if self.state.shape != (2**num_qubits,):
+            raise ValueError("state vector has wrong dimension")
+        self.rng = rng or np.random.default_rng(0)
+        #: Classical results of measure operations, keyed by qubit.
+        self.results: dict[int, int] = {}
+
+    def apply(self, gate: Gate) -> "StateVector":
+        """Apply one gate (unitary, measure, prep_z, or barrier).
+
+        Classically conditioned gates consult the recorded measurement
+        result of their condition bit and are skipped when unsatisfied.
+
+        Raises:
+            RuntimeError: when a condition references a bit that has not
+                been measured yet.
+        """
+        if gate.is_barrier:
+            return self
+        if gate.name == "measure":
+            self.measure(gate.qubits[0])
+            return self
+        if gate.name == "prep_z":
+            self._prep_z(gate.qubits[0])
+            return self
+        if gate.condition is not None:
+            bit, value = gate.condition
+            if bit not in self.results:
+                raise RuntimeError(
+                    f"gate {gate} conditioned on unmeasured qubit {bit}"
+                )
+            if self.results[bit] != value:
+                return self
+        self.state = apply_gate(self.state, gate, self.num_qubits)
+        return self
+
+    def run(self, circuit: Circuit) -> "StateVector":
+        """Apply every gate of ``circuit`` in order."""
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError("circuit and state have different qubit counts")
+        for gate in circuit.gates:
+            self.apply(gate)
+        return self
+
+    # ------------------------------------------------------------------
+    # Measurement and probabilities
+    # ------------------------------------------------------------------
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each basis outcome."""
+        return np.abs(self.state) ** 2
+
+    def probability_of(self, qubit: int, value: int) -> float:
+        """Marginal probability that ``qubit`` measures to ``value``."""
+        probs = self.probabilities().reshape([2] * self.num_qubits)
+        marginal = probs.sum(axis=tuple(a for a in range(self.num_qubits) if a != qubit))
+        return float(marginal[value])
+
+    def measure(self, qubit: int) -> int:
+        """Projectively measure ``qubit``; collapses the state."""
+        p1 = self.probability_of(qubit, 1)
+        outcome = int(self.rng.random() < p1)
+        self._project(qubit, outcome)
+        self.results[qubit] = outcome
+        return outcome
+
+    def sample_counts(self, shots: int, qubits: Sequence[int] | None = None) -> dict[str, int]:
+        """Sample measurement outcomes without collapsing the state.
+
+        Returns a histogram keyed by bit string (qubit order as given,
+        defaulting to all qubits in index order).
+        """
+        qubits = list(qubits) if qubits is not None else list(range(self.num_qubits))
+        probs = self.probabilities()
+        draws = self.rng.choice(len(probs), size=shots, p=probs / probs.sum())
+        counts: dict[str, int] = {}
+        for index in draws:
+            bits = format(index, f"0{self.num_qubits}b")
+            key = "".join(bits[q] for q in qubits)
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+
+    def _project(self, qubit: int, outcome: int) -> None:
+        tensor = self.state.reshape([2] * self.num_qubits)
+        index = [slice(None)] * self.num_qubits
+        index[qubit] = 1 - outcome
+        tensor[tuple(index)] = 0.0
+        flat = tensor.reshape(-1)
+        norm = np.linalg.norm(flat)
+        if norm < 1e-12:
+            raise RuntimeError("measurement projected onto zero-probability branch")
+        self.state = flat / norm
+
+    def _prep_z(self, qubit: int) -> None:
+        outcome = self.measure(qubit)
+        if outcome == 1:
+            self.state = apply_gate(self.state, Gate("x", (qubit,)), self.num_qubits)
+        self.results.pop(qubit, None)
+
+    def fidelity(self, other: "StateVector | np.ndarray") -> float:
+        """|<self|other>|^2."""
+        vec = other.state if isinstance(other, StateVector) else other
+        return float(abs(np.vdot(self.state, vec)) ** 2)
+
+
+def simulate(
+    circuit: Circuit,
+    initial: np.ndarray | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Run ``circuit`` from ``initial`` (default |0...0>) and return the state."""
+    sv = StateVector(circuit.num_qubits, initial, np.random.default_rng(seed))
+    sv.run(circuit)
+    return sv.state

@@ -1,0 +1,116 @@
+"""Full-circuit unitary construction.
+
+For small circuits (the regime where the paper's exact mapper [57] also
+operates) we can build the complete ``2^n x 2^n`` unitary and compare
+circuits exactly.  This backs the strongest form of mapping verification:
+the mapped circuit's unitary must equal the original's up to global phase
+and the output-permutation induced by routing SWAPs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.circuit import Circuit
+from ..core.gates import Gate
+
+__all__ = [
+    "circuit_unitary",
+    "gate_unitary",
+    "permutation_unitary",
+    "allclose_up_to_global_phase",
+]
+
+#: Above this qubit count the dense unitary (4**n complex entries) is
+#: unreasonable to build; callers should fall back to statevector checks.
+MAX_DENSE_QUBITS = 12
+
+
+def gate_unitary(gate: Gate, num_qubits: int) -> np.ndarray:
+    """The ``2^n x 2^n`` unitary of one gate embedded on ``num_qubits`` lines."""
+    if not gate.is_unitary:
+        raise ValueError(f"gate {gate.name!r} is not unitary")
+    small = gate.matrix()
+    return _embed(small, gate.qubits, num_qubits)
+
+
+def _embed(matrix: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    # Act on each basis column with the statevector kernel; fast enough
+    # for the MAX_DENSE_QUBITS regime and shares one code path with
+    # simulation, so the two can never disagree.
+    from .statevector import _apply_matrix  # local import to avoid cycle
+
+    dim = 2**num_qubits
+    out = np.empty((dim, dim), dtype=complex)
+    eye = np.eye(dim, dtype=complex)
+    for col in range(dim):
+        out[:, col] = _apply_matrix(eye[:, col], matrix, qubits, num_qubits)
+    return out
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """The unitary implemented by ``circuit`` (barriers ignored).
+
+    Raises:
+        ValueError: when the circuit contains measurements/preparations or
+            has more than :data:`MAX_DENSE_QUBITS` qubits.
+    """
+    n = circuit.num_qubits
+    if n > MAX_DENSE_QUBITS:
+        raise ValueError(
+            f"refusing to build dense unitary for {n} qubits "
+            f"(limit {MAX_DENSE_QUBITS})"
+        )
+    from .statevector import _apply_matrix
+
+    dim = 2**n
+    unitary = np.eye(dim, dtype=complex)
+    for gate in circuit.gates:
+        if gate.is_barrier:
+            continue
+        if not gate.is_unitary:
+            raise ValueError(f"circuit contains non-unitary gate {gate.name!r}")
+        if gate.condition is not None:
+            raise ValueError("circuit contains classically conditioned gates")
+        matrix = gate.matrix()
+        for col in range(dim):
+            unitary[:, col] = _apply_matrix(unitary[:, col], matrix, gate.qubits, n)
+    return unitary
+
+
+def permutation_unitary(perm: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Unitary relabelling qubit ``q`` to ``perm[q]``.
+
+    ``perm[q] = p`` means the state of (old) qubit ``q`` ends up on (new)
+    line ``p``.  Used to account for the final placement after routing.
+    """
+    if sorted(perm) != list(range(num_qubits)):
+        raise ValueError(f"{perm!r} is not a permutation of 0..{num_qubits - 1}")
+    dim = 2**num_qubits
+    unitary = np.zeros((dim, dim), dtype=complex)
+    for src in range(dim):
+        bits = format(src, f"0{num_qubits}b")
+        new_bits = ["0"] * num_qubits
+        for q in range(num_qubits):
+            new_bits[perm[q]] = bits[q]
+        dst = int("".join(new_bits), 2)
+        unitary[dst, src] = 1.0
+    return unitary
+
+
+def allclose_up_to_global_phase(
+    a: np.ndarray, b: np.ndarray, atol: float = 1e-8
+) -> bool:
+    """True when ``a = exp(i phi) * b`` for some real ``phi``."""
+    if a.shape != b.shape:
+        return False
+    flat_a, flat_b = a.reshape(-1), b.reshape(-1)
+    pivot = int(np.argmax(np.abs(flat_b)))
+    if abs(flat_b[pivot]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = flat_a[pivot] / flat_b[pivot]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(flat_a, phase * flat_b, atol=atol))

@@ -1,0 +1,12 @@
+"""Verification: mapped-circuit equivalence checking."""
+
+from .equivalence import apply_permutation, equivalent_circuits, equivalent_mapped
+from .feedforward import data_qubit_fidelity, equivalent_mapped_with_feedforward
+
+__all__ = [
+    "apply_permutation",
+    "data_qubit_fidelity",
+    "equivalent_circuits",
+    "equivalent_mapped",
+    "equivalent_mapped_with_feedforward",
+]

@@ -1,0 +1,116 @@
+"""Equivalence checking between original and mapped circuits.
+
+Mapping must preserve the computation: the routed/decomposed circuit,
+run on the physical qubits, must implement the original circuit up to
+
+* a *global phase* (physically unobservable), and
+* the *output permutation* induced by routing SWAPs — the paper's Fig. 2
+  notes that "the initial placement of the program qubits may differ
+  from the final placement".
+
+Formally, with initial placement ``pi0`` and final placement ``pif``
+(both full bijections including dummy/free qubits), the mapped circuit
+``M`` must satisfy ``M = P(sigma) . E`` where ``E`` is the original
+circuit embedded on physical qubits via ``pi0`` and ``sigma`` is the
+physical permutation ``pif o pi0^{-1}``.
+
+Small circuits are compared by dense unitaries; larger ones by applying
+both sides to random statevectors (complete with probability 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.circuit import Circuit
+from ..mapping.placement import Placement
+from ..sim.statevector import simulate
+from ..sim.unitary import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    permutation_unitary,
+)
+
+__all__ = [
+    "equivalent_circuits",
+    "equivalent_mapped",
+    "apply_permutation",
+]
+
+#: Use dense unitaries at or below this qubit count; random states above.
+_UNITARY_LIMIT = 8
+
+
+def equivalent_circuits(a: Circuit, b: Circuit, atol: float = 1e-7) -> bool:
+    """True when two same-width circuits agree up to global phase."""
+    if a.num_qubits != b.num_qubits:
+        return False
+    if a.num_qubits <= _UNITARY_LIMIT:
+        return allclose_up_to_global_phase(
+            circuit_unitary(a), circuit_unitary(b), atol
+        )
+    return _random_state_check(a, b, list(range(a.num_qubits)), atol)
+
+
+def apply_permutation(state: np.ndarray, perm: list[int]) -> np.ndarray:
+    """Move the amplitude of (old) qubit ``q`` onto line ``perm[q]``."""
+    n = len(perm)
+    tensor = state.reshape([2] * n)
+    # new axis perm[q] carries old axis q => transpose with inverse map.
+    inverse = [0] * n
+    for old, new in enumerate(perm):
+        inverse[new] = old
+    return np.transpose(tensor, inverse).reshape(-1)
+
+
+def equivalent_mapped(
+    original: Circuit,
+    mapped: Circuit,
+    initial: Placement,
+    final: Placement,
+    atol: float = 1e-7,
+) -> bool:
+    """Check a mapping result against the original circuit.
+
+    Args:
+        original: The pre-mapping circuit on program qubits.
+        mapped: The routed (optionally decomposed) circuit on physical
+            qubits; must be unitary-only (no measurements).
+        initial: Placement before the first mapped gate.
+        final: Placement after the last mapped gate.
+        atol: Numerical tolerance.
+
+    Returns:
+        True when ``mapped`` equals the embedded original followed by the
+        routing permutation, up to global phase.
+    """
+    m = mapped.num_qubits
+    if initial.num_physical != m or final.num_physical != m:
+        raise ValueError("placements do not match the mapped circuit size")
+    embedding = {q: initial.phys(q) for q in range(original.num_qubits)}
+    embedded = original.remap_qubits(embedding, num_qubits=m)
+    sigma = initial.permutation_to(final)
+
+    if m <= _UNITARY_LIMIT:
+        lhs = circuit_unitary(mapped)
+        rhs = permutation_unitary(sigma, m) @ circuit_unitary(embedded)
+        return allclose_up_to_global_phase(lhs, rhs, atol)
+
+    return _random_state_check(mapped, embedded, sigma, atol)
+
+
+def _random_state_check(
+    lhs: Circuit, rhs: Circuit, sigma: list[int], atol: float, trials: int = 3
+) -> bool:
+    """Compare circuits on random states: lhs|psi> vs P(sigma) rhs|psi>."""
+    n = lhs.num_qubits
+    rng = np.random.default_rng(1234)
+    for _ in range(trials):
+        psi = rng.normal(size=2**n) + 1j * rng.normal(size=2**n)
+        psi /= np.linalg.norm(psi)
+        out_l = simulate(lhs, psi)
+        out_r = apply_permutation(simulate(rhs, psi), sigma)
+        overlap = abs(np.vdot(out_l, out_r))
+        if abs(overlap - 1.0) > max(atol, 1e-7) * 100:
+            return False
+    return True

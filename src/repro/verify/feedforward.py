@@ -1,0 +1,110 @@
+"""Equivalence checking for mapped circuits with measurement feedforward.
+
+Teleportation-based routing produces circuits containing measurements
+and classically conditioned corrections, so the unitary-based checker of
+:mod:`repro.verify.equivalence` does not apply.  Teleportation is
+nevertheless deterministic *on the data qubits*: whatever the Bell
+outcomes, the corrected state equals the input.  This checker therefore
+
+1. prepares a random product state on the program qubits (the same
+   preparation on both sides),
+2. runs the original circuit and the mapped circuit (collapsing
+   measurements with a seeded RNG),
+3. compares the mapped run's **reduced state on the final data qubits**
+   against the original's output via the fidelity
+   ``<phi| rho_data |phi>``, which must be 1 for every trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.circuit import Circuit
+from ..core import gates as G
+from ..mapping.placement import Placement
+from ..sim.statevector import StateVector
+
+__all__ = ["equivalent_mapped_with_feedforward", "data_qubit_fidelity"]
+
+
+def data_qubit_fidelity(
+    state: np.ndarray,
+    data_qubits: list[int],
+    expected: np.ndarray,
+) -> float:
+    """``<expected| rho_data |expected>`` for a pure global ``state``.
+
+    Args:
+        state: Full pure statevector on ``n`` qubits.
+        data_qubits: The lines holding the data register, in the order
+            matching ``expected``'s qubits.
+        expected: Pure state on ``len(data_qubits)`` qubits.
+
+    Returns:
+        The fidelity of the reduced data state with ``expected``.
+    """
+    n = int(round(np.log2(state.size)))
+    k = len(data_qubits)
+    rest = [q for q in range(n) if q not in set(data_qubits)]
+    tensor = state.reshape([2] * n)
+    tensor = np.transpose(tensor, list(data_qubits) + rest)
+    matrix = tensor.reshape(2**k, -1)
+    # <phi| rho |phi> = sum_j |<phi| col_j>|^2.
+    overlaps = expected.conj() @ matrix
+    return float(np.sum(np.abs(overlaps) ** 2))
+
+
+def equivalent_mapped_with_feedforward(
+    original: Circuit,
+    mapped: Circuit,
+    initial: Placement,
+    final: Placement,
+    *,
+    trials: int = 3,
+    seed: int = 11,
+    atol: float = 1e-7,
+) -> bool:
+    """Check a feedforward-containing mapping result.
+
+    Args:
+        original: The pre-mapping circuit on program qubits (unitary).
+        mapped: The routed circuit on physical qubits; may contain
+            measurements, preparations and conditioned gates.
+        initial: Placement before the first mapped gate.
+        final: Placement after the last mapped gate.
+        trials: Number of random product input states (each trial also
+            draws fresh measurement outcomes).
+        seed: RNG seed.
+        atol: Fidelity tolerance.
+
+    Returns:
+        True when every trial's data-qubit state matches the original's
+        output with fidelity 1.
+    """
+    n_prog = original.num_qubits
+    m = mapped.num_qubits
+    rng = np.random.default_rng(seed)
+
+    for trial in range(trials):
+        # Random product input, applied as u3 gates on both sides.
+        angles = rng.uniform(-np.pi, np.pi, size=(n_prog, 3))
+        prep_program = Circuit(n_prog)
+        prep_mapped = Circuit(m)
+        for q in range(n_prog):
+            theta, phi, lam = angles[q]
+            prep_program.u(theta, phi, lam, q)
+            prep_mapped.u(theta, phi, lam, initial.phys(q))
+
+        ideal = StateVector(n_prog, rng=np.random.default_rng(trial))
+        ideal.run(prep_program)
+        ideal.run(original)
+
+        actual = StateVector(m, rng=np.random.default_rng(1000 + trial))
+        actual.run(prep_mapped)
+        actual.run(mapped)
+
+        data = [final.phys(q) for q in range(n_prog)]
+        fidelity = data_qubit_fidelity(actual.state, data, ideal.state)
+        if abs(fidelity - 1.0) > max(atol, 1e-7) * 100:
+            return False
+    return True

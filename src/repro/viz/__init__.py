@@ -1,0 +1,5 @@
+"""ASCII visualisation of circuits, schedules, and devices."""
+
+from .ascii import draw_circuit, draw_device, draw_schedule
+
+__all__ = ["draw_circuit", "draw_device", "draw_schedule"]

@@ -1,0 +1,174 @@
+"""ASCII rendering of circuits, schedules, and device topologies.
+
+The paper communicates entirely through circuit diagrams (Figs. 1, 3, 5,
+6) and topology sketches (Figs. 3a, 4).  These renderers produce the
+text equivalents used by the examples and benchmark reports.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import Circuit
+from ..core.gates import Gate
+from ..devices.device import Device
+from ..mapping.scheduler import Schedule
+
+__all__ = ["draw_circuit", "draw_schedule", "draw_device"]
+
+_SYMBOLS_2Q = {
+    "cnot": ("*", "+"),
+    "cz": ("*", "*"),
+    "cp": ("*", "*"),
+    "crz": ("*", "R"),
+    "swap": ("x", "x"),
+}
+
+
+def _label(gate: Gate) -> str:
+    if gate.params:
+        angles = ",".join(f"{p:.2f}" for p in gate.params)
+        text = f"{gate.name.upper()}({angles})"
+    elif gate.is_measurement:
+        text = "M"
+    else:
+        text = gate.name.upper()
+    if gate.condition is not None:
+        text += f"?c{gate.condition[0]}"
+    return text
+
+
+def draw_circuit(circuit: Circuit, *, qubit_prefix: str = "q") -> str:
+    """Render ``circuit`` as a moment-aligned text diagram.
+
+    One row per qubit; gates in the same moment share a column, with
+    ``*`` marking controls, ``+`` CNOT targets, and ``x`` SWAP ends, as
+    in the paper's figures.
+    """
+    n = circuit.num_qubits
+    moments = circuit.moments()
+    rows = [[f"{qubit_prefix}{q}: "] for q in range(n)]
+    pad = max(len(r[0]) for r in rows)
+    for r in rows:
+        r[0] = r[0].rjust(pad)
+
+    for moment in moments:
+        cells = ["-"] * n
+        links: list[tuple[int, int]] = []
+        for gate in moment:
+            if gate.is_barrier:
+                for q in gate.qubits or range(n):
+                    cells[q] = "|"
+                continue
+            if len(gate.qubits) == 1:
+                cells[gate.qubits[0]] = _label(gate)
+            elif len(gate.qubits) == 2 and gate.name in _SYMBOLS_2Q:
+                a, b = gate.qubits
+                sa, sb = _SYMBOLS_2Q[gate.name]
+                cells[a], cells[b] = sa, sb
+                links.append((min(a, b), max(a, b)))
+            else:
+                # Toffoli/Fredkin: controls then target(s).
+                *controls, target = gate.qubits
+                for c in controls:
+                    cells[c] = "*"
+                cells[target] = "+" if gate.name == "toffoli" else "x"
+                links.append((min(gate.qubits), max(gate.qubits)))
+        # Mark through-lines of vertical connections.
+        for lo, hi in links:
+            for q in range(lo + 1, hi):
+                if cells[q] == "-":
+                    cells[q] = "|"
+        width = max(len(c) for c in cells)
+        for q in range(n):
+            if cells[q] == "|":
+                rows[q].append("|".center(width, " "))
+            else:
+                rows[q].append(cells[q].center(width, "-"))
+    return _join_rows(rows)
+
+
+def _join_rows(rows: list[list[str]]) -> str:
+    lines = []
+    for parts in rows:
+        head, cells = parts[0], parts[1:]
+        lines.append(head + "-" + "--".join(cells) + "-")
+    return "\n".join(lines)
+
+
+def draw_schedule(schedule: Schedule) -> str:
+    """Render a schedule as one column per start cycle.
+
+    Cells show the gate label; idle qubits show dashes.  Multi-cycle
+    gates are marked on their start cycle only (the table shows starts,
+    like the paper's cycle tables).
+    """
+    n = schedule.num_qubits
+    cycles = sorted({item.start for item in schedule if not item.gate.is_barrier})
+    rows = [[f"Q{q}:"] for q in range(n)]
+    header = ["cyc"]
+    for cycle in cycles:
+        cells = [""] * n
+        for item in schedule.gates_starting_at(cycle):
+            if item.gate.is_barrier:
+                continue
+            label = _label(item.gate)
+            if len(item.gate.qubits) == 2:
+                a, b = item.gate.qubits
+                sa, sb = _SYMBOLS_2Q.get(item.gate.name, ("#", "#"))
+                cells[a] = cells[a] + sa if cells[a] else sa
+                cells[b] = cells[b] + sb if cells[b] else sb
+            else:
+                for q in item.gate.qubits:
+                    cells[q] = label
+        width = max([len(c) for c in cells] + [len(str(cycle))])
+        header.append(str(cycle).rjust(width))
+        for q in range(n):
+            rows[q].append((cells[q] or ".").rjust(width))
+    lines = [" ".join(header)]
+    for parts in rows:
+        lines.append(" ".join(parts))
+    return "\n".join(lines)
+
+
+def draw_device(device: Device) -> str:
+    """Render the coupling graph using the device's 2D positions.
+
+    Nodes are qubit indices placed on a character canvas; the edge list
+    (with CNOT directions where asymmetric) follows below.
+    """
+    lines = [f"device {device.name}: {device.num_qubits} qubits"]
+    if device.positions:
+        xs = [p[0] for p in device.positions.values()]
+        ys = [p[1] for p in device.positions.values()]
+        min_x, max_x = min(xs), max(xs)
+        min_y, max_y = min(ys), max(ys)
+        scale_x, scale_y = 6, 2
+        cols = int((max_x - min_x) * scale_x) + 4
+        rows_n = int((max_y - min_y) * scale_y) + 1
+        canvas = [[" "] * (cols + 2) for _ in range(rows_n + 1)]
+        for q, (x, y) in sorted(device.positions.items()):
+            col = int((x - min_x) * scale_x)
+            row = int((max_y - y) * scale_y)
+            text = f"({q})"
+            for k, ch in enumerate(text):
+                if col + k < len(canvas[row]):
+                    canvas[row][col + k] = ch
+        lines.extend("".join(r).rstrip() for r in canvas if "".join(r).strip())
+    if device.symmetric:
+        edge_text = ", ".join(f"{a}-{b}" for a, b in device.undirected_edges())
+        lines.append(f"edges (symmetric): {edge_text}")
+    else:
+        edge_text = ", ".join(f"{a}->{b}" for a, b in sorted(device.edges))
+        lines.append(f"edges (control->target): {edge_text}")
+    if device.constraints and device.constraints.frequency_group:
+        groups: dict[int, list[int]] = {}
+        for q, g in device.constraints.frequency_group.items():
+            groups.setdefault(g, []).append(q)
+        for g in sorted(groups):
+            lines.append(f"frequency f{g + 1}: qubits {sorted(groups[g])}")
+    if device.constraints and device.constraints.feedline:
+        feeds: dict[int, list[int]] = {}
+        for q, f in device.constraints.feedline.items():
+            feeds.setdefault(f, []).append(q)
+        for f in sorted(feeds):
+            lines.append(f"feedline {f}: qubits {sorted(feeds[f])}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Workload generators: paper examples, standard algorithms, random circuits."""
+
+from .algorithms import deutsch_jozsa, hidden_shift, phase_estimation, w_state
+from .paper import fig1_circuit, fig1_cnot_skeleton, fig1_qx4_placement, fig2_circuit
+from .random_circuits import random_circuit, random_cnot_circuit, random_clifford_t
+from .standard import (
+    WORKLOADS,
+    bernstein_vazirani,
+    cuccaro_adder,
+    get_workload,
+    ghz,
+    hardware_efficient_ansatz,
+    grover,
+    qft,
+    quantum_volume_layers,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "bernstein_vazirani",
+    "cuccaro_adder",
+    "deutsch_jozsa",
+    "fig1_circuit",
+    "fig1_cnot_skeleton",
+    "fig1_qx4_placement",
+    "fig2_circuit",
+    "get_workload",
+    "ghz",
+    "grover",
+    "hardware_efficient_ansatz",
+    "hidden_shift",
+    "phase_estimation",
+    "qft",
+    "quantum_volume_layers",
+    "random_circuit",
+    "random_cnot_circuit",
+    "random_clifford_t",
+    "w_state",
+]

@@ -1,0 +1,149 @@
+"""Further textbook algorithm workloads.
+
+Extends :mod:`repro.workloads.standard` with the remaining classics the
+mapping literature benchmarks on: quantum phase estimation (built on the
+inverse QFT), Deutsch-Jozsa, W-state preparation, and the hidden-shift
+style bent-function circuits.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.circuit import Circuit
+from .standard import qft
+
+__all__ = [
+    "phase_estimation",
+    "deutsch_jozsa",
+    "w_state",
+    "hidden_shift",
+]
+
+
+def phase_estimation(counting_qubits: int, phase: float) -> Circuit:
+    """Quantum phase estimation of ``U = Rz``-like phase gate.
+
+    Estimates ``phase`` (in turns, i.e. the eigenvalue is
+    ``exp(2*pi*i*phase)``) of the single-qubit phase unitary applied to
+    the eigenstate |1>.  Qubits ``0 .. counting_qubits - 1`` form the
+    counting register (qubit 0 the most significant bit of the result);
+    the last qubit carries the eigenstate.
+
+    Measuring the counting register yields ``round(phase * 2**n)`` with
+    certainty when the phase is an exact ``n``-bit fraction.
+    """
+    if counting_qubits < 1:
+        raise ValueError("need at least one counting qubit")
+    n = counting_qubits
+    circuit = Circuit(n + 1, name=f"qpe{n}")
+    target = n
+    circuit.x(target)  # eigenstate |1> of the phase gate
+    for q in range(n):
+        circuit.h(q)
+    # Controlled-U^(2^k): qubit q controls 2^(n-1-q) applications.
+    for q in range(n):
+        repetitions = 2 ** (n - 1 - q)
+        angle = 2.0 * math.pi * phase * repetitions
+        circuit.cp(angle, q, target)
+    # Inverse QFT on the counting register: after kickback the register
+    # holds QFT|phase * 2^n>, so the full inverse transform recovers the
+    # binary expansion exactly.
+    for gate in qft(n).inverse().gates:
+        circuit.append(gate)
+    return circuit
+
+
+def deutsch_jozsa(num_qubits: int, oracle: str = "balanced") -> Circuit:
+    """Deutsch-Jozsa on ``num_qubits`` data qubits plus one ancilla.
+
+    Args:
+        num_qubits: Data register width.
+        oracle: ``"constant0"``, ``"constant1"``, or ``"balanced"`` (the
+            balanced function is the parity of the first data qubit).
+
+    Measuring the data register gives all zeros iff the function is
+    constant.
+    """
+    if oracle not in ("constant0", "constant1", "balanced"):
+        raise ValueError(f"unknown oracle {oracle!r}")
+    n = num_qubits
+    circuit = Circuit(n + 1, name=f"dj{n}_{oracle}")
+    ancilla = n
+    circuit.x(ancilla)
+    for q in range(n + 1):
+        circuit.h(q)
+    if oracle == "constant1":
+        circuit.x(ancilla)
+    elif oracle == "balanced":
+        circuit.cnot(0, ancilla)
+    for q in range(n):
+        circuit.h(q)
+    for q in range(n):
+        circuit.measure(q)
+    return circuit
+
+
+def w_state(num_qubits: int) -> Circuit:
+    """Prepare the W state (equal superposition of one-hot strings).
+
+    Uses the standard cascade of partial rotations and CNOTs: qubit 0
+    starts in |1> and the excitation is coherently shared down the line.
+    """
+    if num_qubits < 1:
+        raise ValueError("need at least one qubit")
+    circuit = Circuit(num_qubits, name=f"w{num_qubits}")
+    circuit.x(0)
+    for k in range(1, num_qubits):
+        # Controlled rotation sharing 1/(n-k+1) of the remaining weight,
+        # implemented as Ry conjugation around a CNOT (a controlled-Ry).
+        remaining = num_qubits - k + 1
+        theta = 2.0 * math.acos(math.sqrt(1.0 / remaining))
+        circuit.ry(theta / 2.0, k)
+        circuit.cnot(k - 1, k)
+        circuit.ry(-theta / 2.0, k)
+        circuit.cnot(k - 1, k)
+        circuit.cnot(k, k - 1)
+    return circuit
+
+
+def hidden_shift(shift: str) -> Circuit:
+    """A Clifford hidden-shift circuit for the bit string ``shift``.
+
+    Uses the Maiorana-McFarland bent function given by the full CZ
+    pairing of adjacent qubits, which requires an *even* number of
+    qubits.  Structure: Hadamard wall, shift (X on the set bits), CZ
+    ladder, shift again, Hadamard wall, CZ ladder, Hadamard wall.
+    Measuring yields ``shift``.  A routing-friendly benchmark family
+    with tunable width.
+    """
+    if not shift or any(ch not in "01" for ch in shift):
+        raise ValueError("shift must be a non-empty bit string")
+    if len(shift) % 2 != 0:
+        raise ValueError("hidden_shift needs an even number of qubits")
+    n = len(shift)
+    circuit = Circuit(n, name=f"hs{shift}")
+
+    def walls() -> None:
+        for q in range(n):
+            circuit.h(q)
+
+    def apply_shift() -> None:
+        for q, bit in enumerate(shift):
+            if bit == "1":
+                circuit.x(q)
+
+    def ladder() -> None:
+        for q in range(0, n - 1, 2):
+            circuit.cz(q, q + 1)
+
+    walls()
+    apply_shift()
+    ladder()
+    apply_shift()
+    walls()
+    ladder()
+    walls()
+    for q in range(n):
+        circuit.measure(q)
+    return circuit

@@ -1,0 +1,78 @@
+"""The worked example circuits of the paper.
+
+The paper's running example (Fig. 1) is a four-qubit circuit mixing
+single-qubit gates with five CNOTs whose first CNOT has control ``q3``
+and target ``q4`` — the gate that is "not allowed" on IBM QX4 under the
+placement ``q_i -> Q_i`` (Section IV).  The exact figure artwork is not
+machine-readable, so the circuit here is reconstructed to satisfy every
+property the text states about it:
+
+* four program qubits ``q1..q4`` (indices 0..3 here), single-qubit H/T
+  gates plus five CNOTs, the first being ``CNOT(q3, q4)``;
+* under placement ``q_i -> Q_i`` on IBM QX4 that first CNOT violates the
+  coupling constraints (Fig. 3);
+* its interaction graph contains a triangle, so on the (bipartite,
+  triangle-free) Surface-17 lattice no placement makes every CNOT pair
+  adjacent — Qmap needs exactly one SWAP (Fig. 5);
+* the naive / heuristic [54] / exact [57] QX4 mappings of Fig. 3 rank
+  naive >= heuristic >= exact in overhead.
+
+Fig. 2's flow example uses three program qubits with H and CNOT gates on
+Surface-7; :func:`fig2_circuit` provides that fragment.
+"""
+
+from __future__ import annotations
+
+from ..core.circuit import Circuit
+from ..mapping.placement import Placement
+
+__all__ = [
+    "fig1_circuit",
+    "fig1_cnot_skeleton",
+    "fig2_circuit",
+    "fig1_qx4_placement",
+]
+
+
+def fig1_circuit() -> Circuit:
+    """The paper's Fig. 1(a) example circuit (reconstruction, see module doc).
+
+    Program indices 0..3 stand for the paper's ``q1..q4``.
+    """
+    circuit = Circuit(4, name="fig1")
+    circuit.h(0)         # H on q1
+    circuit.t(3)         # T on q4
+    circuit.cnot(2, 3)   # CNOT(q3, q4) -- the first CNOT of Section IV
+    circuit.h(2)
+    circuit.cnot(0, 2)   # CNOT(q1, q3)
+    circuit.t(1)
+    circuit.cnot(3, 1)   # CNOT(q4, q2)
+    circuit.cnot(1, 2)   # CNOT(q2, q3)
+    circuit.h(3)
+    circuit.cnot(0, 2)   # CNOT(q1, q3)
+    return circuit
+
+
+def fig1_cnot_skeleton() -> Circuit:
+    """Fig. 1(b): the example with "all single-qubit gates removed"."""
+    skeleton = fig1_circuit().only_two_qubit()
+    skeleton.name = "fig1b"
+    return skeleton
+
+
+def fig1_qx4_placement(num_physical: int = 5) -> Placement:
+    """The Section IV placement ``q1..q4 -> Q1..Q4`` (physical Q0 free)."""
+    return Placement.from_partial(
+        {0: 1, 1: 2, 2: 3, 3: 4}, num_program=4, num_physical=num_physical
+    )
+
+
+def fig2_circuit() -> Circuit:
+    """The three-qubit H/CNOT fragment of the paper's Fig. 2 flow example."""
+    circuit = Circuit(3, name="fig2")
+    circuit.h(0)
+    circuit.cnot(0, 1)
+    circuit.h(2)
+    circuit.cnot(1, 2)
+    circuit.cnot(0, 2)
+    return circuit

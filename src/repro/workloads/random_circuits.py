@@ -1,0 +1,79 @@
+"""Random circuit generators for router stress testing.
+
+Routing papers (Section III-B) evaluate on large suites of random and
+RevLib circuits; these generators provide reproducible random workloads
+with controllable width, size, and two-qubit-gate density.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..core.circuit import Circuit
+
+__all__ = ["random_circuit", "random_cnot_circuit", "random_clifford_t"]
+
+_ONE_QUBIT = ("h", "x", "y", "z", "s", "t", "sdg", "tdg")
+
+
+def random_circuit(
+    num_qubits: int,
+    num_gates: int,
+    *,
+    two_qubit_fraction: float = 0.5,
+    parametrised: bool = True,
+    seed: int = 0,
+) -> Circuit:
+    """A random circuit over the universal gate set.
+
+    Args:
+        num_qubits: Circuit width (>= 2 when two-qubit gates requested).
+        num_gates: Total gate count.
+        two_qubit_fraction: Probability of drawing a CNOT per slot.
+        parametrised: Include random-angle rotations among the
+            single-qubit choices.
+        seed: RNG seed for reproducibility.
+    """
+    if num_qubits < 2 and two_qubit_fraction > 0:
+        raise ValueError("two-qubit gates need at least two qubits")
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=f"rand{num_qubits}x{num_gates}s{seed}")
+    for _ in range(num_gates):
+        if rng.random() < two_qubit_fraction:
+            a, b = rng.sample(range(num_qubits), 2)
+            circuit.cnot(a, b)
+        else:
+            q = rng.randrange(num_qubits)
+            if parametrised and rng.random() < 0.3:
+                axis = rng.choice(("rx", "ry", "rz"))
+                angle = rng.uniform(-math.pi, math.pi)
+                getattr(circuit, axis)(angle, q)
+            else:
+                getattr(circuit, rng.choice(_ONE_QUBIT))(q)
+    return circuit
+
+
+def random_cnot_circuit(num_qubits: int, num_cnots: int, seed: int = 0) -> Circuit:
+    """CNOTs only — the pure routing workload (cf. the paper's Fig. 1b)."""
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=f"cnots{num_qubits}x{num_cnots}s{seed}")
+    for _ in range(num_cnots):
+        a, b = rng.sample(range(num_qubits), 2)
+        circuit.cnot(a, b)
+    return circuit
+
+
+def random_clifford_t(num_qubits: int, num_gates: int, seed: int = 0) -> Circuit:
+    """Random Clifford+T circuit (H, S, T, CNOT) — fault-tolerant flavour."""
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=f"cliffordt{num_qubits}x{num_gates}s{seed}")
+    for _ in range(num_gates):
+        choice = rng.random()
+        if choice < 0.4 and num_qubits >= 2:
+            a, b = rng.sample(range(num_qubits), 2)
+            circuit.cnot(a, b)
+        else:
+            q = rng.randrange(num_qubits)
+            getattr(circuit, rng.choice(("h", "s", "t")))(q)
+    return circuit

@@ -1,0 +1,248 @@
+"""Standard quantum algorithm workloads.
+
+The mapping literature the paper surveys benchmarks on well-known
+algorithm families; this module generates them as circuits over the
+paper's universal gate set (Section II), ready for the compilation
+pipeline:
+
+* :func:`ghz` — GHZ state preparation (maximal entanglement, a chain of
+  CNOTs; routing-friendly);
+* :func:`qft` — quantum Fourier transform (all-to-all controlled-phase
+  interactions; routing-hostile, the classic mapping stress test);
+* :func:`bernstein_vazirani` — the Bernstein-Vazirani algorithm for a
+  hidden bit string (star-shaped interaction onto the ancilla);
+* :func:`grover` — Grover search with a marked computational-basis state
+  (multi-controlled phase oracles, exercises Toffoli decomposition);
+* :func:`cuccaro_adder` — the ripple-carry adder of Cuccaro et al.
+  (MAJ/UMA ladders of Toffolis and CNOTs);
+* :func:`quantum_volume_layers` — alternating permutation + two-qubit
+  layers in the spirit of quantum-volume circuits.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..core.circuit import Circuit
+
+__all__ = [
+    "ghz",
+    "hardware_efficient_ansatz",
+    "qft",
+    "bernstein_vazirani",
+    "grover",
+    "cuccaro_adder",
+    "quantum_volume_layers",
+    "WORKLOADS",
+    "get_workload",
+]
+
+
+def ghz(num_qubits: int) -> Circuit:
+    """GHZ state preparation: H then a CNOT chain."""
+    if num_qubits < 1:
+        raise ValueError("GHZ needs at least one qubit")
+    circuit = Circuit(num_qubits, name=f"ghz{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cnot(q, q + 1)
+    return circuit
+
+
+def qft(num_qubits: int, *, include_swaps: bool = True) -> Circuit:
+    """Quantum Fourier transform on ``num_qubits`` qubits.
+
+    Args:
+        include_swaps: Append the final qubit-reversal SWAPs (set False
+            when the caller tracks the reversal classically).
+    """
+    circuit = Circuit(num_qubits, name=f"qft{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control in range(target + 1, num_qubits):
+            angle = math.pi / (2 ** (control - target))
+            circuit.cp(angle, control, target)
+    if include_swaps:
+        for q in range(num_qubits // 2):
+            circuit.swap(q, num_qubits - 1 - q)
+    return circuit
+
+
+def bernstein_vazirani(secret: str) -> Circuit:
+    """Bernstein-Vazirani for the hidden string ``secret``.
+
+    Uses ``len(secret)`` data qubits plus one ancilla (the last qubit).
+    After the circuit, measuring the data qubits yields ``secret``.
+    """
+    if not secret or any(ch not in "01" for ch in secret):
+        raise ValueError("secret must be a non-empty bit string")
+    n = len(secret)
+    circuit = Circuit(n + 1, name=f"bv{secret}")
+    ancilla = n
+    circuit.x(ancilla)
+    for q in range(n + 1):
+        circuit.h(q)
+    for q, bit in enumerate(secret):
+        if bit == "1":
+            circuit.cnot(q, ancilla)
+    for q in range(n):
+        circuit.h(q)
+    for q in range(n):
+        circuit.measure(q)
+    return circuit
+
+
+def grover(num_qubits: int, marked: int, iterations: int | None = None) -> Circuit:
+    """Grover search for the computational-basis state ``marked``.
+
+    Supports 2 and 3 qubits (the regime of the paper's devices); the
+    oracle and diffuser use CZ / CCZ built from the universal set.
+
+    Args:
+        num_qubits: Search register width (2 or 3).
+        marked: Index of the marked basis state.
+        iterations: Grover iterations (default: the optimal
+            ``round(pi/4 * sqrt(N))``).
+    """
+    if num_qubits not in (2, 3):
+        raise ValueError("grover() supports 2 or 3 qubits")
+    if not 0 <= marked < 2**num_qubits:
+        raise ValueError("marked state out of range")
+    if iterations is None:
+        iterations = max(1, math.floor(math.pi / 4 * math.sqrt(2**num_qubits)))
+    circuit = Circuit(num_qubits, name=f"grover{num_qubits}_m{marked}")
+    for q in range(num_qubits):
+        circuit.h(q)
+    bits = format(marked, f"0{num_qubits}b")
+
+    def flip_marked() -> None:
+        for q, bit in enumerate(bits):
+            if bit == "0":
+                circuit.x(q)
+
+    for _ in range(iterations):
+        # Oracle: phase flip on |marked>.
+        flip_marked()
+        _controlled_z_all(circuit, num_qubits)
+        flip_marked()
+        # Diffuser: inversion about the mean.
+        for q in range(num_qubits):
+            circuit.h(q)
+            circuit.x(q)
+        _controlled_z_all(circuit, num_qubits)
+        for q in range(num_qubits):
+            circuit.x(q)
+            circuit.h(q)
+    return circuit
+
+
+def _controlled_z_all(circuit: Circuit, num_qubits: int) -> None:
+    """CZ (2 qubits) or CCZ (3 qubits, via H-conjugated Toffoli)."""
+    if num_qubits == 2:
+        circuit.cz(0, 1)
+    else:
+        circuit.h(2)
+        circuit.toffoli(0, 1, 2)
+        circuit.h(2)
+
+
+def cuccaro_adder(bits: int) -> Circuit:
+    """Cuccaro ripple-carry adder computing ``b += a`` on ``bits``-bit registers.
+
+    Layout: qubit 0 is the incoming carry, then pairs ``(a_i, b_i)`` per
+    bit, and a final carry-out qubit — ``2 * bits + 2`` qubits in total.
+    """
+    if bits < 1:
+        raise ValueError("adder needs at least one bit")
+    n = 2 * bits + 2
+    circuit = Circuit(n, name=f"adder{bits}")
+    carry_in = 0
+    a = [1 + 2 * i for i in range(bits)]
+    b = [2 + 2 * i for i in range(bits)]
+    carry_out = n - 1
+
+    def maj(x: int, y: int, z: int) -> None:
+        circuit.cnot(z, y)
+        circuit.cnot(z, x)
+        circuit.toffoli(x, y, z)
+
+    def uma(x: int, y: int, z: int) -> None:
+        circuit.toffoli(x, y, z)
+        circuit.cnot(z, x)
+        circuit.cnot(x, y)
+
+    maj(carry_in, b[0], a[0])
+    for i in range(1, bits):
+        maj(a[i - 1], b[i], a[i])
+    circuit.cnot(a[bits - 1], carry_out)
+    for i in range(bits - 1, 0, -1):
+        uma(a[i - 1], b[i], a[i])
+    uma(carry_in, b[0], a[0])
+    return circuit
+
+
+def hardware_efficient_ansatz(
+    num_qubits: int, layers: int, seed: int = 0
+) -> Circuit:
+    """A hardware-efficient variational ansatz (VQE/QAOA-style NISQ load).
+
+    Each layer applies per-qubit Ry and Rz rotations with random
+    parameters followed by a CNOT entangler ring — the circuit family
+    most near-term applications compile, and a routing workload whose
+    interaction graph is a cycle.
+    """
+    if num_qubits < 2:
+        raise ValueError("ansatz needs at least two qubits")
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=f"hea{num_qubits}x{layers}")
+    for _ in range(layers):
+        for q in range(num_qubits):
+            circuit.ry(rng.uniform(-math.pi, math.pi), q)
+            circuit.rz(rng.uniform(-math.pi, math.pi), q)
+        for q in range(num_qubits):
+            circuit.cnot(q, (q + 1) % num_qubits)
+    return circuit
+
+
+def quantum_volume_layers(
+    num_qubits: int, depth: int, seed: int = 0
+) -> Circuit:
+    """Alternating random-pairing entangling layers (quantum-volume style).
+
+    Each layer randomly pairs the qubits and applies a CNOT dressed with
+    random single-qubit rotations on each pair — a dense, unstructured
+    workload that stresses routers uniformly.
+    """
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=f"qv{num_qubits}x{depth}")
+    for _ in range(depth):
+        order = list(range(num_qubits))
+        rng.shuffle(order)
+        for i in range(0, num_qubits - 1, 2):
+            a, b = order[i], order[i + 1]
+            circuit.ry(rng.uniform(0, math.pi), a)
+            circuit.rz(rng.uniform(0, 2 * math.pi), b)
+            circuit.cnot(a, b)
+    return circuit
+
+
+#: Named workload families for bench parameterisation.  Each entry maps a
+#: name to a zero-argument default-instance factory.
+WORKLOADS = {
+    "ghz": lambda: ghz(5),
+    "qft": lambda: qft(4),
+    "bv": lambda: bernstein_vazirani("1011"),
+    "grover": lambda: grover(2, marked=3),
+    "adder": lambda: cuccaro_adder(1),
+    "qv": lambda: quantum_volume_layers(5, 4),
+    "hea": lambda: hardware_efficient_ansatz(5, 3),
+}
+
+
+def get_workload(name: str) -> Circuit:
+    """Default instance of the named workload family."""
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}")

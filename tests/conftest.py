@@ -1,0 +1,61 @@
+"""Shared fixtures: devices and reference circuits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Circuit
+from repro.devices import (
+    all_to_all_device,
+    grid_device,
+    ibm_qx4,
+    ibm_qx5,
+    linear_device,
+    surface7,
+    surface17,
+)
+
+
+@pytest.fixture
+def qx4():
+    return ibm_qx4()
+
+
+@pytest.fixture
+def qx5():
+    return ibm_qx5()
+
+
+@pytest.fixture
+def s17():
+    return surface17()
+
+
+@pytest.fixture
+def s7():
+    return surface7()
+
+
+@pytest.fixture
+def line5():
+    return linear_device(5)
+
+
+@pytest.fixture
+def grid33():
+    return grid_device(3, 3)
+
+
+@pytest.fixture
+def ions5():
+    return all_to_all_device(5)
+
+
+@pytest.fixture
+def bell():
+    return Circuit(2, name="bell").h(0).cnot(0, 1)
+
+
+@pytest.fixture
+def ghz3():
+    return Circuit(3, name="ghz3").h(0).cnot(0, 1).cnot(1, 2)

@@ -1,0 +1,121 @@
+"""Tests for the extended algorithm workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core import Circuit
+from repro.sim import StateVector, simulate
+from repro.workloads import (
+    deutsch_jozsa,
+    hidden_shift,
+    phase_estimation,
+    w_state,
+)
+
+
+class TestPhaseEstimation:
+    @pytest.mark.parametrize(
+        "counting,phase",
+        [(2, 0.25), (3, 0.25), (3, 0.625), (4, 0.3125)],
+    )
+    def test_exact_phase_recovered_with_certainty(self, counting, phase):
+        state = simulate(phase_estimation(counting, phase))
+        probs = np.abs(state) ** 2
+        index = int(np.argmax(probs))
+        bits = format(index, f"0{counting + 1}b")[:counting]
+        assert int(bits, 2) / 2**counting == pytest.approx(phase)
+        assert probs[index] == pytest.approx(1.0)
+
+    def test_inexact_phase_peaks_near_truth(self):
+        phase = 0.3  # not a 3-bit fraction
+        state = simulate(phase_estimation(3, phase))
+        probs = np.abs(state) ** 2
+        index = int(np.argmax(probs))
+        bits = format(index, "04b")[:3]
+        estimate = int(bits, 2) / 8
+        assert abs(estimate - phase) <= 1 / 8
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            phase_estimation(0, 0.5)
+
+
+class TestDeutschJozsa:
+    @pytest.mark.parametrize("oracle", ["constant0", "constant1"])
+    def test_constant_measures_all_zero(self, oracle):
+        sv = StateVector(4, rng=np.random.default_rng(0))
+        sv.run(deutsch_jozsa(3, oracle))
+        assert all(sv.results[q] == 0 for q in range(3))
+
+    def test_balanced_measures_nonzero(self):
+        sv = StateVector(4, rng=np.random.default_rng(0))
+        sv.run(deutsch_jozsa(3, "balanced"))
+        assert any(sv.results[q] == 1 for q in range(3))
+
+    def test_unknown_oracle(self):
+        with pytest.raises(ValueError):
+            deutsch_jozsa(2, "chaotic")
+
+
+class TestWState:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_uniform_one_hot_superposition(self, n):
+        state = simulate(w_state(n))
+        probs = np.abs(state) ** 2
+        for index, p in enumerate(probs):
+            weight = bin(index).count("1")
+            if weight == 1:
+                assert p == pytest.approx(1.0 / n, abs=1e-9)
+            else:
+                assert p == pytest.approx(0.0, abs=1e-9)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            w_state(0)
+
+
+class TestHiddenShift:
+    @pytest.mark.parametrize("shift", ["00", "11", "1010", "0110", "111111"])
+    def test_recovers_shift(self, shift):
+        sv = StateVector(len(shift), rng=np.random.default_rng(3))
+        sv.run(hidden_shift(shift))
+        measured = "".join(str(sv.results[q]) for q in range(len(shift)))
+        assert measured == shift
+
+    def test_invalid_shift(self):
+        with pytest.raises(ValueError):
+            hidden_shift("")
+        with pytest.raises(ValueError):
+            hidden_shift("012")
+        with pytest.raises(ValueError):
+            hidden_shift("101")  # odd width has no full pairing
+
+
+class TestMappedAlgorithms:
+    """The algorithms must survive the full pipeline."""
+
+    def test_qpe_on_qx5(self):
+        from repro.core.pipeline import compile_circuit
+        from repro.devices import ibm_qx5
+        from repro.verify import equivalent_mapped
+
+        circuit = phase_estimation(3, 0.625)
+        device = ibm_qx5()
+        result = compile_circuit(circuit, device, placer="greedy")
+        assert device.conforms(result.native)
+        assert equivalent_mapped(
+            circuit, result.native, result.routed.initial, result.routed.final
+        )
+
+    def test_w_state_on_surface17(self):
+        from repro.core.pipeline import compile_circuit
+        from repro.devices import surface17
+        from repro.verify import equivalent_mapped
+
+        circuit = w_state(5)
+        device = surface17()
+        result = compile_circuit(circuit, device, placer="greedy", optimize=True)
+        assert device.conforms(result.native)
+        assert equivalent_mapped(
+            circuit, result.native, result.routed.initial, result.routed.final
+        )

@@ -1,0 +1,144 @@
+"""Tests for commutation-aware dependency analysis (ref [58])."""
+
+import pytest
+
+from repro.core import Circuit, DependencyGraph
+from repro.core.commutation import commutation_class, commutes_on, relaxed_dependencies
+from repro.core.gates import Gate
+from repro.verify import equivalent_circuits, equivalent_mapped
+
+
+class TestCommutationClass:
+    def test_z_diagonal_single_qubit(self):
+        for name in ("z", "s", "t", "tdg", "rz"):
+            gate = Gate(name, (0,), (0.5,) if name == "rz" else ())
+            assert commutation_class(gate, 0) == "z"
+
+    def test_x_diagonal_single_qubit(self):
+        for name, params in (("x", ()), ("rx", (0.5,)), ("x90", ()), ("xm90", ())):
+            assert commutation_class(Gate(name, (0,), params), 0) == "x"
+
+    def test_opaque_single_qubit(self):
+        assert commutation_class(Gate("h", (0,)), 0) is None
+        assert commutation_class(Gate("y", (0,)), 0) is None
+        assert commutation_class(Gate("u", (0,), (1, 2, 3)), 0) is None
+
+    def test_cnot_roles(self):
+        cnot = Gate("cnot", (0, 1))
+        assert commutation_class(cnot, 0) == "z"  # control
+        assert commutation_class(cnot, 1) == "x"  # target
+
+    def test_cz_both_z(self):
+        cz = Gate("cz", (0, 1))
+        assert commutation_class(cz, 0) == "z"
+        assert commutation_class(cz, 1) == "z"
+
+    def test_toffoli(self):
+        tof = Gate("toffoli", (0, 1, 2))
+        assert commutation_class(tof, 0) == "z"
+        assert commutation_class(tof, 1) == "z"
+        assert commutation_class(tof, 2) == "x"
+
+    def test_conditioned_gate_is_opaque(self):
+        gate = Gate("x", (0,), condition=(1, 1))
+        assert commutation_class(gate, 0) is None
+
+    def test_wrong_qubit_raises(self):
+        with pytest.raises(ValueError):
+            commutation_class(Gate("x", (0,)), 1)
+
+    def test_commutes_on(self):
+        a = Gate("cnot", (0, 1))
+        b = Gate("cnot", (0, 2))
+        assert commutes_on(a, b, 0)       # shared control
+        c = Gate("cnot", (1, 0))
+        assert not commutes_on(a, c, 0)   # control vs target
+
+
+class TestRelaxedGraph:
+    def test_shared_control_cnots_unordered(self):
+        circuit = Circuit(3).cnot(0, 1).cnot(0, 2)
+        strict = DependencyGraph(circuit)
+        relaxed = DependencyGraph(circuit, commutation=True)
+        assert strict.predecessors(1) == [0]
+        assert relaxed.predecessors(1) == []
+
+    def test_shared_target_cnots_unordered(self):
+        circuit = Circuit(3).cnot(1, 0).cnot(2, 0)
+        relaxed = DependencyGraph(circuit, commutation=True)
+        assert relaxed.predecessors(1) == []
+
+    def test_rz_through_control(self):
+        circuit = Circuit(2).rz(0.5, 0).cnot(0, 1)
+        relaxed = DependencyGraph(circuit, commutation=True)
+        assert relaxed.predecessors(1) == []
+
+    def test_h_blocks(self):
+        circuit = Circuit(2).h(0).cnot(0, 1)
+        relaxed = DependencyGraph(circuit, commutation=True)
+        assert relaxed.predecessors(1) == [0]
+
+    def test_opposite_direction_cnots_ordered(self):
+        circuit = Circuit(2).cnot(0, 1).cnot(1, 0)
+        relaxed = DependencyGraph(circuit, commutation=True)
+        assert relaxed.predecessors(1) == [0]
+
+    def test_block_boundary_orders_across(self):
+        # cnot(0,1); cnot(0,2)  [commuting block on q0]; h(0) ends it.
+        circuit = Circuit(3).cnot(0, 1).cnot(0, 2).h(0)
+        relaxed = DependencyGraph(circuit, commutation=True)
+        assert set(relaxed.predecessors(2)) == {0, 1}
+
+    def test_edges_subset_of_strict_order(self):
+        from repro.workloads import random_circuit
+
+        circuit = random_circuit(5, 25, seed=3)
+        for earlier, later in relaxed_dependencies(circuit):
+            assert earlier < later
+
+
+class TestRelaxedSemantics:
+    """Linearising the relaxed DAG must preserve the unitary."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_any_topological_order_is_equivalent(self, seed):
+        import networkx as nx
+
+        from repro.workloads import random_circuit
+
+        circuit = random_circuit(4, 18, seed=seed)
+        relaxed = DependencyGraph(circuit, commutation=True)
+        # A deliberately different linearisation: reverse-lexicographic.
+        order = list(
+            nx.lexicographical_topological_sort(
+                relaxed.graph, key=lambda n: -n
+            )
+        )
+        reordered = Circuit(
+            circuit.num_qubits, [circuit.gates[i] for i in order]
+        )
+        assert equivalent_circuits(circuit, reordered)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_commutation_aware_routing_equivalent(self, seed):
+        from repro.devices import ibm_qx5
+        from repro.mapping.routing import route_sabre
+        from repro.workloads import random_circuit
+
+        device = ibm_qx5()
+        circuit = random_circuit(8, 30, seed=seed, two_qubit_fraction=0.6)
+        result = route_sabre(circuit, device, commutation=True)
+        assert equivalent_mapped(
+            circuit, result.circuit, result.initial, result.final
+        )
+
+    def test_commutation_reduces_swaps_on_qft(self):
+        from repro.devices import linear_device
+        from repro.mapping.routing import route_sabre
+        from repro.workloads import qft
+
+        device = linear_device(8)
+        circuit = qft(8)
+        strict = route_sabre(circuit, device)
+        relaxed = route_sabre(circuit, device, commutation=True)
+        assert relaxed.added_swaps <= strict.added_swaps

@@ -1,0 +1,129 @@
+"""Tests for controlled / multi-controlled gate synthesis."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Circuit
+from repro.core.gates import Gate, gate_matrix
+from repro.decompose import (
+    controlled_gate,
+    controlled_unitary,
+    multi_controlled_x,
+    multi_controlled_z,
+)
+from repro.sim import allclose_up_to_global_phase, circuit_unitary
+
+
+def _cu(matrix):
+    full = np.eye(4, dtype=complex)
+    full[2:, 2:] = matrix
+    return full
+
+
+class TestControlledUnitary:
+    @pytest.mark.parametrize("name", ["x", "y", "z", "h", "s", "t", "sdg"])
+    def test_fixed_gates(self, name):
+        u = gate_matrix(name)
+        circuit = Circuit(2, controlled_unitary(u, 0, 1))
+        assert allclose_up_to_global_phase(circuit_unitary(circuit), _cu(u))
+
+    def test_random_unitaries(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            a, b, c, d = rng.uniform(-math.pi, math.pi, 4)
+            u = (
+                np.exp(1j * d)
+                * gate_matrix("rz", [a])
+                @ gate_matrix("ry", [b])
+                @ gate_matrix("rz", [c])
+            )
+            circuit = Circuit(2, controlled_unitary(u, 0, 1))
+            assert allclose_up_to_global_phase(circuit_unitary(circuit), _cu(u))
+
+    def test_identity_needs_no_gates(self):
+        sequence = controlled_unitary(np.eye(2), 0, 1)
+        # Two cancelling CNOTs at most; no rotations.
+        assert all(g.name == "cnot" for g in sequence)
+
+    def test_gate_budget(self):
+        u = gate_matrix("h")
+        sequence = controlled_unitary(u, 0, 1)
+        assert sum(1 for g in sequence if g.name == "cnot") == 2
+        assert len(sequence) <= 7
+
+    def test_controlled_gate_wrapper(self):
+        sequence = controlled_gate(Gate("t", (2,)), control=0)
+        circuit = Circuit(3, sequence)
+        expected = Circuit(3, [Gate("cp", (0, 2), (math.pi / 4,))])
+        assert allclose_up_to_global_phase(
+            circuit_unitary(circuit), circuit_unitary(expected)
+        )
+
+    def test_wrapper_rejects_two_qubit_gate(self):
+        with pytest.raises(ValueError):
+            controlled_gate(Gate("cz", (0, 1)), control=2)
+
+
+class TestMultiControlledX:
+    def test_single_control_is_cnot(self):
+        assert multi_controlled_x([0], 1) == [Gate("cnot", (0, 1))]
+
+    def test_double_control_is_toffoli(self):
+        assert multi_controlled_x([0, 1], 2) == [Gate("toffoli", (0, 1, 2))]
+
+    @pytest.mark.parametrize("num_controls", [3, 4])
+    def test_ladder_truth_table(self, num_controls):
+        ancillas = list(range(num_controls + 1, 2 * num_controls - 1))
+        target = num_controls
+        n = num_controls + 1 + len(ancillas)
+        circuit = Circuit(n, multi_controlled_x(list(range(num_controls)), target, ancillas))
+        unitary = circuit_unitary(circuit)
+        for bits in itertools.product([0, 1], repeat=num_controls + 1):
+            index = int("".join(map(str, bits)) + "0" * len(ancillas), 2)
+            column = unitary[:, index]
+            out = int(np.argmax(np.abs(column)))
+            expected = list(bits)
+            if all(bits[:num_controls]):
+                expected[num_controls] ^= 1
+            expected_index = int(
+                "".join(map(str, expected)) + "0" * len(ancillas), 2
+            )
+            assert out == expected_index, bits
+            assert abs(abs(column[out]) - 1.0) < 1e-9
+
+    def test_ancillas_restored(self):
+        """The uncompute half returns every ancilla to |0>."""
+        circuit = Circuit(5, multi_controlled_x([0, 1, 2], 3, [4]))
+        unitary = circuit_unitary(circuit)
+        for index in range(0, 2**5, 2):  # ancilla (last qubit) = 0 inputs
+            column = unitary[:, index]
+            out = int(np.argmax(np.abs(column)))
+            assert out % 2 == 0  # ancilla still 0
+
+    def test_requires_enough_ancillas(self):
+        with pytest.raises(ValueError):
+            multi_controlled_x([0, 1, 2], 3)  # needs 1 ancilla
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            multi_controlled_x([0, 1], 1)
+
+    def test_rejects_empty_controls(self):
+        with pytest.raises(ValueError):
+            multi_controlled_x([], 0)
+
+
+class TestMultiControlledZ:
+    def test_two_controls_matches_ccz(self):
+        circuit = Circuit(3, multi_controlled_z([0, 1], 2))
+        expected = np.diag([1, 1, 1, 1, 1, 1, 1, -1]).astype(complex)
+        assert allclose_up_to_global_phase(circuit_unitary(circuit), expected)
+
+    def test_symmetric_in_roles(self):
+        """CCZ is symmetric: any qubit may play the 'target'."""
+        a = circuit_unitary(Circuit(3, multi_controlled_z([0, 1], 2)))
+        b = circuit_unitary(Circuit(3, multi_controlled_z([2, 1], 0)))
+        assert allclose_up_to_global_phase(a, b)

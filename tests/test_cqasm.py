@@ -1,0 +1,171 @@
+"""Tests for the cQASM parser (Fig. 2 input format)."""
+
+import math
+
+import pytest
+
+from repro.core import Circuit
+from repro.qasm import CqasmError, parse_cqasm, schedule_to_cqasm, to_cqasm
+from repro.verify import equivalent_circuits
+
+
+class TestBasics:
+    def test_minimal_program(self):
+        circuit = parse_cqasm(
+            """
+            version 1.0
+            qubits 2
+
+            h q[0]
+            cnot q[0], q[1]
+            """
+        )
+        assert circuit.num_qubits == 2
+        assert [g.name for g in circuit] == ["h", "cnot"]
+
+    def test_comments_ignored(self):
+        circuit = parse_cqasm("version 1.0\nqubits 1\n# a comment\nh q[0]  # inline\n")
+        assert circuit.size() == 1
+
+    def test_rotation_with_angle(self):
+        circuit = parse_cqasm("version 1.0\nqubits 1\nrx q[0], 1.5\n")
+        assert circuit.gates[0].params == (1.5,)
+
+    def test_pi_literal(self):
+        circuit = parse_cqasm("version 1.0\nqubits 1\nrz q[0], pi\n")
+        assert circuit.gates[0].params[0] == pytest.approx(math.pi)
+
+    def test_named_90_rotations(self):
+        circuit = parse_cqasm(
+            "version 1.0\nqubits 1\nx90 q[0]\nmx90 q[0]\nmy90 q[0]\n"
+        )
+        assert [g.name for g in circuit] == ["x90", "xm90", "ym90"]
+
+    def test_measure_and_prep(self):
+        circuit = parse_cqasm(
+            "version 1.0\nqubits 1\nprep_z q[0]\nmeasure_z q[0]\n"
+        )
+        assert [g.name for g in circuit] == ["prep_z", "measure"]
+
+    def test_toffoli(self):
+        circuit = parse_cqasm(
+            "version 1.0\nqubits 3\ntoffoli q[0], q[1], q[2]\n"
+        )
+        assert circuit.gates[0].name == "toffoli"
+
+    def test_crk_phase_gate(self):
+        circuit = parse_cqasm("version 1.0\nqubits 2\ncrk q[0], q[1], 3\n")
+        gate = circuit.gates[0]
+        assert gate.name == "cp"
+        assert gate.params[0] == pytest.approx(math.pi / 4)
+
+    def test_wait_ignored(self):
+        circuit = parse_cqasm("version 1.0\nqubits 1\nh q[0]\nwait 3\nx q[0]\n")
+        assert circuit.size() == 2
+
+
+class TestBundles:
+    def test_bundle_flattened(self):
+        circuit = parse_cqasm(
+            "version 1.0\nqubits 2\n{ x q[0] | y q[1] }\n"
+        )
+        assert circuit.size() == 2
+
+    def test_bundle_overlap_rejected(self):
+        with pytest.raises(CqasmError, match="overlap"):
+            parse_cqasm("version 1.0\nqubits 1\n{ x q[0] | y q[0] }\n")
+
+    def test_unterminated_bundle(self):
+        with pytest.raises(CqasmError, match="unterminated"):
+            parse_cqasm("version 1.0\nqubits 2\n{ x q[0] | y q[1]\n")
+
+
+class TestErrors:
+    def test_missing_qubits_declaration(self):
+        with pytest.raises(CqasmError, match="qubits"):
+            parse_cqasm("version 1.0\nh q[0]\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(CqasmError, match="unsupported gate"):
+            parse_cqasm("version 1.0\nqubits 1\nwarp q[0]\n")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CqasmError, match="expects"):
+            parse_cqasm("version 1.0\nqubits 2\ncnot q[0]\n")
+
+    def test_bad_parameter(self):
+        with pytest.raises(CqasmError, match="bad parameter"):
+            parse_cqasm("version 1.0\nqubits 1\nrx q[0], banana\n")
+
+    def test_qubit_out_of_range(self):
+        with pytest.raises(CqasmError):
+            parse_cqasm("version 1.0\nqubits 1\nh q[5]\n")
+
+    def test_error_carries_line(self):
+        with pytest.raises(CqasmError, match="line 4"):
+            parse_cqasm("version 1.0\nqubits 1\nh q[0]\nbad q[0]\n")
+
+
+class TestBinaryControlled:
+    def test_parse_positive_condition(self):
+        circuit = parse_cqasm(
+            "version 1.0\nqubits 2\nmeasure_z q[0]\nc-x b[0], q[1]\n"
+        )
+        assert circuit.gates[1].condition == (0, 1)
+
+    def test_parse_negated_condition(self):
+        circuit = parse_cqasm(
+            "version 1.0\nqubits 2\nmeasure_z q[0]\nc-z !b[0], q[1]\n"
+        )
+        assert circuit.gates[1].condition == (0, 0)
+
+    def test_missing_bit_operand(self):
+        with pytest.raises(CqasmError, match="b\\[<bit>\\]"):
+            parse_cqasm("version 1.0\nqubits 2\nc-x q[0], q[1]\n")
+
+    def test_feedforward_roundtrip(self):
+        from repro.core.gates import Gate
+
+        circuit = Circuit(3)
+        circuit.measure(0)
+        circuit.append(Gate("x", (1,), condition=(0, 1)))
+        circuit.append(Gate("z", (2,), condition=(0, 0)))
+        back = parse_cqasm(to_cqasm(circuit))
+        assert back.gates == circuit.gates
+
+    def test_teleported_circuit_roundtrip(self):
+        from repro.devices import linear_device
+        from repro.mapping.placement import Placement
+        from repro.mapping.routing import route_teleport
+        from repro.verify import equivalent_mapped_with_feedforward
+
+        device = linear_device(6)
+        circuit = Circuit(2).h(0).cnot(0, 1)
+        placement = Placement.from_partial({0: 0, 1: 5}, 2, 6)
+        result = route_teleport(circuit, device, placement)
+        back = parse_cqasm(to_cqasm(result.circuit))
+        assert back.gates == result.circuit.gates
+        assert equivalent_mapped_with_feedforward(
+            circuit, back, result.initial, result.final
+        )
+
+
+class TestRoundTrips:
+    def test_writer_parser_roundtrip(self):
+        circuit = (
+            Circuit(3).h(0).t(1).cnot(0, 1).cz(1, 2)
+            .rx(0.7, 2).swap(0, 2).measure(1)
+        )
+        back = parse_cqasm(to_cqasm(circuit))
+        assert back.gates == circuit.gates
+
+    def test_scheduled_bundle_roundtrip_is_equivalent(self, s17):
+        from repro.decompose import decompose_circuit
+        from repro.mapping.scheduler import asap_schedule
+        from repro.workloads import fig2_circuit
+
+        native = decompose_circuit(fig2_circuit(), s17)
+        text = schedule_to_cqasm(asap_schedule(native, s17))
+        back = parse_cqasm(text)
+        assert back.num_qubits == native.num_qubits
+        assert equivalent_circuits(native, back)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.dag (Section VI-B dependency graph)."""
+
+from repro.core import Circuit, DependencyGraph
+
+
+class TestDependencies:
+    def test_chain_on_one_qubit(self):
+        circuit = Circuit(1).h(0).t(0).h(0)
+        dag = DependencyGraph(circuit)
+        assert dag.predecessors(1) == [0]
+        assert dag.predecessors(2) == [1]
+        assert dag.successors(0) == [1]
+
+    def test_independent_gates_have_no_edges(self):
+        circuit = Circuit(2).h(0).h(1)
+        dag = DependencyGraph(circuit)
+        assert dag.predecessors(1) == []
+
+    def test_two_qubit_gate_joins_lines(self):
+        circuit = Circuit(2).h(0).h(1).cnot(0, 1)
+        dag = DependencyGraph(circuit)
+        assert dag.predecessors(2) == [0, 1]
+
+    def test_only_direct_dependencies_stored(self):
+        circuit = Circuit(1).h(0).t(0).h(0)
+        dag = DependencyGraph(circuit)
+        # h(0) #2 depends directly on t, not on the first h.
+        assert dag.predecessors(2) == [1]
+
+    def test_barrier_orders_everything_it_spans(self):
+        circuit = Circuit(2).h(0).barrier(0, 1).h(1)
+        dag = DependencyGraph(circuit)
+        assert dag.predecessors(1) == [0]
+        assert dag.predecessors(2) == [1]
+
+    def test_empty_barrier_spans_all_qubits(self):
+        circuit = Circuit(2).h(0).barrier().h(1)
+        dag = DependencyGraph(circuit)
+        assert dag.predecessors(2) == [1]
+
+
+class TestTraversals:
+    def test_front_layer_initial(self):
+        circuit = Circuit(3).h(0).cnot(0, 1).h(2)
+        dag = DependencyGraph(circuit)
+        assert dag.front_layer() == [0, 2]
+
+    def test_front_layer_with_done(self):
+        circuit = Circuit(3).h(0).cnot(0, 1).h(2)
+        dag = DependencyGraph(circuit)
+        assert dag.front_layer(done={0, 2}) == [1]
+
+    def test_topological_respects_gate_order(self):
+        circuit = Circuit(2).h(0).h(1).cnot(0, 1)
+        dag = DependencyGraph(circuit)
+        order = list(dag.topological())
+        assert order.index(0) < order.index(2)
+        assert order.index(1) < order.index(2)
+
+    def test_asap_levels(self):
+        circuit = Circuit(3).h(0).h(1).cnot(0, 1).cnot(1, 2)
+        dag = DependencyGraph(circuit)
+        assert dag.asap_levels() == [0, 0, 1, 2]
+
+    def test_layers_group_by_level(self):
+        circuit = Circuit(3).h(0).h(1).cnot(0, 1).cnot(1, 2)
+        dag = DependencyGraph(circuit)
+        assert dag.layers() == [[0, 1], [2], [3]]
+
+    def test_two_qubit_layers_skip_single_qubit_gates(self):
+        circuit = Circuit(4).h(0).cnot(0, 1).h(1).cnot(2, 3).cnot(1, 2)
+        dag = DependencyGraph(circuit)
+        layers = dag.two_qubit_layers()
+        # cnot(0,1) and cnot(2,3) are independent -> same layer; the h(1)
+        # between them is transparent for two-qubit layering.
+        assert layers == [[1, 3], [4]]
+
+    def test_critical_path(self):
+        circuit = Circuit(2).h(0).cnot(0, 1).h(1)
+        dag = DependencyGraph(circuit)
+        assert dag.critical_path_length() == 3
+
+    def test_empty_circuit(self):
+        dag = DependencyGraph(Circuit(2))
+        assert len(dag) == 0
+        assert dag.layers() == []
+        assert dag.critical_path_length() == 0
+
+    def test_gate_accessor(self, ghz3):
+        dag = DependencyGraph(ghz3)
+        assert dag.gate(0).name == "h"

@@ -1,0 +1,213 @@
+"""Unit tests for repro.devices.device (the machine description)."""
+
+import json
+
+import pytest
+
+from repro.core import Circuit
+from repro.core.gates import Gate
+from repro.devices import ControlConstraints, Device, get_device, available_devices
+
+
+def _toy_device(symmetric=True):
+    return Device(
+        "toy",
+        3,
+        [(0, 1), (1, 2)],
+        ["h", "t", "cnot"],
+        symmetric=symmetric,
+        durations={"h": 1, "cnot": 2},
+    )
+
+
+class TestGraphStructure:
+    def test_symmetric_edges_doubled(self):
+        device = _toy_device()
+        assert (0, 1) in device.edges and (1, 0) in device.edges
+
+    def test_asymmetric_edges_kept_directed(self):
+        device = Device("d", 2, [(0, 1)], ["cnot"], symmetric=False)
+        assert device.has_edge(0, 1) and not device.has_edge(1, 0)
+        assert device.connected(1, 0)
+
+    def test_invalid_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Device("d", 2, [(0, 2)], ["cnot"])
+        with pytest.raises(ValueError):
+            Device("d", 2, [(0, 0)], ["cnot"])
+
+    def test_distance_matrix(self):
+        device = _toy_device()
+        assert device.distance(0, 0) == 0
+        assert device.distance(0, 1) == 1
+        assert device.distance(0, 2) == 2
+
+    def test_distance_on_disconnected_chip_is_sentinel(self):
+        device = Device("d", 3, [(0, 1)], ["cnot"])
+        assert device.distance(0, 2) >= 9
+
+    def test_neighbours(self):
+        device = _toy_device()
+        assert device.neighbours[1] == (0, 2)
+
+    def test_shortest_path(self):
+        device = _toy_device()
+        assert device.shortest_path(0, 2) == [0, 1, 2]
+
+    def test_undirected_edges_unique(self):
+        device = _toy_device()
+        assert device.undirected_edges() == [(0, 1), (1, 2)]
+
+
+class TestGateAdmissibility:
+    def test_native_one_qubit(self):
+        device = _toy_device()
+        assert device.allows(Gate("h", (0,)))
+        assert not device.allows(Gate("x", (0,)))
+
+    def test_measure_prep_barrier_always_allowed(self):
+        device = _toy_device()
+        assert device.allows(Gate("measure", (0,)))
+        assert device.allows(Gate("prep_z", (1,)))
+        assert device.allows(Gate("barrier", ()))
+
+    def test_connectivity_enforced(self):
+        device = _toy_device()
+        assert device.allows(Gate("cnot", (0, 1)))
+        assert not device.allows(Gate("cnot", (0, 2)))
+        assert "not connected" in device.violation(Gate("cnot", (0, 2)))
+
+    def test_direction_enforced_on_asymmetric(self):
+        device = Device("d", 2, [(0, 1)], ["cnot"], symmetric=False)
+        assert device.allows(Gate("cnot", (0, 1)))
+        assert not device.allows(Gate("cnot", (1, 0)))
+        assert "direction" in device.violation(Gate("cnot", (1, 0)))
+
+    def test_symmetric_gate_ignores_direction(self):
+        device = Device("d", 2, [(0, 1)], ["cz"], symmetric=False, two_qubit_gate="cz")
+        assert device.allows(Gate("cz", (1, 0)))
+
+    def test_multi_qubit_gates_rejected(self):
+        device = Device("d", 3, [(0, 1), (1, 2)], ["toffoli", "cnot"])
+        assert not device.allows(Gate("toffoli", (0, 1, 2)))
+
+    def test_validate_circuit_reports_everything(self):
+        device = _toy_device()
+        circuit = Circuit(3).x(0).cnot(0, 2)
+        problems = device.validate_circuit(circuit)
+        assert len(problems) == 2
+        assert problems[0].gate_index == 0
+
+    def test_validate_circuit_size(self):
+        device = _toy_device()
+        problems = device.validate_circuit(Circuit(4))
+        assert problems and "4 qubits" in problems[0].reason
+
+    def test_conforms(self):
+        device = _toy_device()
+        assert device.conforms(Circuit(2).h(0).cnot(0, 1))
+
+
+class TestDurations:
+    def test_explicit_duration(self):
+        device = _toy_device()
+        assert device.duration("cnot") == 2
+        assert device.duration(Gate("h", (0,))) == 1
+
+    def test_default_duration(self):
+        assert _toy_device().duration("t") == 1
+
+    def test_duration_ns(self):
+        device = _toy_device()
+        assert device.duration_ns("cnot") == 2 * device.cycle_time_ns
+
+
+class TestControlConstraints:
+    def test_same_awg(self):
+        constraints = ControlConstraints(frequency_group={0: 0, 1: 0, 2: 1})
+        assert constraints.same_awg(0, 1)
+        assert not constraints.same_awg(0, 2)
+        assert not constraints.same_awg(0, 5)  # unknown qubit
+
+    def test_same_feedline(self):
+        constraints = ControlConstraints(feedline={0: 0, 1: 0, 2: 1})
+        assert constraints.same_feedline(0, 1)
+        assert not constraints.same_feedline(1, 2)
+
+    def test_parked_qubits_spectators_of_detuned(self):
+        # 0 (f1) -- 1 (f2); 0 also neighbours 2 (f2) and 3 (f1).
+        constraints = ControlConstraints(
+            frequency_group={0: 0, 1: 1, 2: 1, 3: 0}
+        )
+        neighbours = {0: (1, 2, 3), 1: (0,), 2: (0,), 3: (0,)}
+        parked = constraints.parked_qubits(0, 1, neighbours)
+        # 0 detunes to f2; spectator 2 sits at f2 -> parked; 3 at f1 -> safe.
+        assert parked == {2}
+
+    def test_parked_qubits_disabled(self):
+        constraints = ControlConstraints(
+            frequency_group={0: 0, 1: 1, 2: 1}, park_on_cz=False
+        )
+        assert constraints.parked_qubits(0, 1, {0: (1, 2)}) == set()
+
+    def test_same_frequency_pair_parks_nothing(self):
+        constraints = ControlConstraints(frequency_group={0: 1, 1: 1, 2: 1})
+        assert constraints.parked_qubits(0, 1, {0: (1, 2)}) == set()
+
+
+class TestSerialisation:
+    def test_roundtrip_preserves_structure(self, s17):
+        text = s17.to_json()
+        restored = Device.from_json(text)
+        assert restored.num_qubits == s17.num_qubits
+        assert restored.edges == s17.edges
+        assert restored.native_gates == s17.native_gates
+        assert restored.symmetric == s17.symmetric
+        assert restored.durations == s17.durations
+        assert restored.constraints.frequency_group == dict(
+            s17.constraints.frequency_group
+        )
+        assert restored.constraints.feedline == dict(s17.constraints.feedline)
+
+    def test_roundtrip_directed(self, qx4):
+        restored = Device.from_dict(qx4.to_dict())
+        assert restored.symmetric is False
+        assert restored.has_edge(1, 0) and not restored.has_edge(0, 1)
+
+    def test_json_file_roundtrip(self, tmp_path, qx4):
+        path = tmp_path / "qx4.json"
+        qx4.to_json(path)
+        restored = Device.from_json(path)
+        assert restored.edges == qx4.edges
+
+    def test_dict_is_json_serialisable(self, s17):
+        json.dumps(s17.to_dict())
+
+
+class TestRegistry:
+    def test_available_devices(self):
+        names = available_devices()
+        for expected in ("ibm_qx4", "ibm_qx5", "surface17", "surface7", "grid"):
+            assert expected in names
+
+    def test_get_fixed_device(self):
+        assert get_device("ibm_qx4").num_qubits == 5
+        assert get_device("surface17").num_qubits == 17
+
+    def test_fixed_device_rejects_params(self):
+        with pytest.raises(TypeError):
+            get_device("ibm_qx4", rows=2)
+
+    def test_parametric_devices(self):
+        assert get_device("linear", num_qubits=7).num_qubits == 7
+        assert get_device("ring", num_qubits=6).undirected.degree(0) == 2
+        assert get_device("grid", rows=2, cols=3).num_qubits == 6
+        ions = get_device("all_to_all", num_qubits=4)
+        assert len(ions.undirected_edges()) == 6
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            get_device("sycamore")
+
+    def test_repr(self, qx4):
+        assert "ibm_qx4" in repr(qx4)

@@ -1,0 +1,86 @@
+"""Unit and property tests for repro.decompose.euler (ZYZ synthesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gates import gate_matrix
+from repro.decompose import u_angles, zyz_angles
+from repro.sim import allclose_up_to_global_phase
+
+
+def _reconstruct(theta, phi, lam, alpha=0.0):
+    return (
+        np.exp(1j * alpha)
+        * gate_matrix("rz", [phi])
+        @ gate_matrix("ry", [theta])
+        @ gate_matrix("rz", [lam])
+    )
+
+
+class TestKnownGates:
+    @pytest.mark.parametrize("name", ["h", "x", "y", "z", "s", "t", "x90", "ym90"])
+    def test_fixed_gates_roundtrip_exactly(self, name):
+        matrix = gate_matrix(name)
+        theta, phi, lam, alpha = zyz_angles(matrix)
+        assert np.allclose(_reconstruct(theta, phi, lam, alpha), matrix, atol=1e-9)
+
+    def test_identity_gives_zero_theta(self):
+        theta, _, _, _ = zyz_angles(np.eye(2))
+        assert math.isclose(theta, 0.0, abs_tol=1e-9)
+
+    def test_u_angles_up_to_phase(self):
+        matrix = gate_matrix("h")
+        theta, phi, lam = u_angles(matrix)
+        assert allclose_up_to_global_phase(
+            gate_matrix("u", [theta, phi, lam]), matrix
+        )
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            zyz_angles(np.ones((2, 3)))
+
+    def test_rejects_non_unitary(self):
+        with pytest.raises(ValueError):
+            zyz_angles(np.array([[1, 1], [0, 1]], dtype=complex))
+
+    def test_theta_range(self):
+        for name in ("h", "x", "t", "y90"):
+            theta, _, _, _ = zyz_angles(gate_matrix(name))
+            assert 0.0 <= theta <= math.pi + 1e-9
+
+
+def _random_unitary(a, b, c, d):
+    """Random U(2) from four angles (Euler + phase)."""
+    return (
+        np.exp(1j * d)
+        * gate_matrix("rz", [a])
+        @ gate_matrix("ry", [b])
+        @ gate_matrix("rz", [c])
+    )
+
+
+angles = st.floats(
+    min_value=-2 * math.pi, max_value=2 * math.pi, allow_nan=False
+)
+
+
+class TestPropertyBased:
+    @given(angles, angles, angles, angles)
+    @settings(max_examples=200, deadline=None)
+    def test_zyz_reconstructs_any_unitary_exactly(self, a, b, c, d):
+        matrix = _random_unitary(a, b, c, d)
+        theta, phi, lam, alpha = zyz_angles(matrix)
+        assert np.allclose(_reconstruct(theta, phi, lam, alpha), matrix, atol=1e-7)
+
+    @given(angles, angles, angles)
+    @settings(max_examples=100, deadline=None)
+    def test_u_angles_phase_free(self, a, b, c):
+        matrix = _random_unitary(a, b, c, 0.0)
+        theta, phi, lam = u_angles(matrix)
+        assert allclose_up_to_global_phase(
+            gate_matrix("u", [theta, phi, lam]), matrix, atol=1e-7
+        )

@@ -1,0 +1,90 @@
+"""Tests for architecture exploration (paper Sec. VII / ref [69])."""
+
+import pytest
+
+from repro.core import Circuit
+from repro.devices import get_device, linear_device
+from repro.explore import (
+    augment_topology,
+    compare_topologies,
+    evaluate_architecture,
+)
+from repro.workloads import qft, random_circuit
+
+
+class TestEvaluate:
+    def test_all_to_all_costs_zero_swaps(self):
+        device = get_device("all_to_all", num_qubits=5)
+        assert evaluate_architecture(device, [qft(5)]) == 0
+
+    def test_line_costs_more_than_grid(self):
+        workloads = [random_circuit(6, 20, seed=s, two_qubit_fraction=0.7) for s in range(3)]
+        line = evaluate_architecture(linear_device(6), workloads)
+        grid = evaluate_architecture(get_device("grid", rows=2, cols=3), workloads)
+        assert line >= grid
+
+    def test_depth_metric(self):
+        device = linear_device(4)
+        cost = evaluate_architecture(device, [qft(4)], metric="depth")
+        assert cost > 0
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            evaluate_architecture(linear_device(3), [], metric="joy")
+
+
+class TestAugment:
+    def test_adds_helpful_edge_to_line(self):
+        # QFT's all-to-all interaction graph cannot embed in a line, so
+        # routing costs SWAPs; one well-chosen extra coupling must help.
+        device = linear_device(5)
+        circuit = qft(5)
+        assert evaluate_architecture(device, [circuit]) > 0
+        result = augment_topology(
+            device, [circuit], edge_budget=1, max_candidate_distance=4
+        )
+        assert result.added_edges  # something was added
+        assert result.cost < result.base_cost
+        assert result.improvement > 0
+
+    def test_budget_respected(self):
+        device = linear_device(5)
+        workloads = [random_circuit(5, 15, seed=s, two_qubit_fraction=0.8) for s in range(2)]
+        result = augment_topology(device, workloads, edge_budget=2)
+        assert len(result.added_edges) <= 2
+
+    def test_stops_when_no_improvement(self):
+        device = get_device("all_to_all", num_qubits=4)
+        result = augment_topology(device, [qft(4)], edge_budget=3)
+        assert result.added_edges == []
+        assert result.cost == result.base_cost
+
+    def test_result_device_contains_new_edges(self):
+        device = linear_device(4)
+        circuit = Circuit(4).cnot(0, 3).cnot(0, 3)
+        result = augment_topology(
+            device, [circuit], edge_budget=1, max_candidate_distance=3
+        )
+        for a, b in result.added_edges:
+            assert result.device.connected(a, b)
+            assert not device.connected(a, b)
+
+    def test_summary_text(self):
+        device = linear_device(4)
+        result = augment_topology(device, [qft(4)], edge_budget=1)
+        text = result.summary()
+        assert "base cost" in text and "final cost" in text
+
+
+class TestCompare:
+    def test_ranking_sorted_best_first(self):
+        workloads = [qft(4)]
+        devices = [
+            linear_device(4),
+            get_device("grid", rows=2, cols=2),
+            get_device("all_to_all", num_qubits=4),
+        ]
+        ranking = compare_topologies(workloads, devices)
+        costs = [cost for _, cost in ranking]
+        assert costs == sorted(costs)
+        assert ranking[0][0] == "ions4"  # all-to-all always wins

@@ -1,0 +1,182 @@
+"""Unit tests for repro.core.gates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import gates as G
+from repro.core.gates import GATE_SPECS, Gate, canonical_name, gate_matrix
+
+
+def _is_unitary(m: np.ndarray) -> bool:
+    return np.allclose(m @ m.conj().T, np.eye(m.shape[0]), atol=1e-10)
+
+
+class TestGateSpecs:
+    def test_registry_contains_paper_universal_set(self):
+        for name in ("h", "x", "y", "z", "t", "cnot", "cz", "swap"):
+            assert name in GATE_SPECS
+
+    def test_every_unitary_spec_produces_unitary_matrix(self):
+        for name, spec in GATE_SPECS.items():
+            if spec.matrix is None:
+                continue
+            params = tuple(0.3 * (i + 1) for i in range(spec.num_params))
+            matrix = spec.matrix(params)
+            assert matrix.shape == (2**spec.num_qubits,) * 2, name
+            assert _is_unitary(matrix), name
+
+    def test_symmetric_flags(self):
+        assert GATE_SPECS["cz"].symmetric
+        assert GATE_SPECS["swap"].symmetric
+        assert GATE_SPECS["cp"].symmetric
+        assert not GATE_SPECS["cnot"].symmetric
+
+    def test_self_inverse_flags_match_matrices(self):
+        for name, spec in GATE_SPECS.items():
+            if spec.matrix is None or spec.num_params:
+                continue
+            if spec.self_inverse:
+                m = spec.matrix(())
+                assert np.allclose(m @ m, np.eye(m.shape[0]), atol=1e-10), name
+
+
+class TestPaperMatrices:
+    """The explicit matrices printed in the paper's Section II."""
+
+    def test_hadamard(self):
+        expected = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        assert np.allclose(gate_matrix("h"), expected)
+
+    def test_paulis(self):
+        assert np.allclose(gate_matrix("x"), [[0, 1], [1, 0]])
+        assert np.allclose(gate_matrix("y"), [[0, -1j], [1j, 0]])
+        assert np.allclose(gate_matrix("z"), [[1, 0], [0, -1]])
+
+    def test_t_gate(self):
+        expected = np.diag([1, np.exp(1j * math.pi / 4)])
+        assert np.allclose(gate_matrix("t"), expected)
+
+    def test_cnot(self):
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]]
+        )
+        assert np.allclose(gate_matrix("cnot"), expected)
+
+    def test_cz(self):
+        assert np.allclose(gate_matrix("cz"), np.diag([1, 1, 1, -1]))
+
+    def test_swap(self):
+        expected = np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]]
+        )
+        assert np.allclose(gate_matrix("swap"), expected)
+
+    def test_u_is_euler_decomposition(self):
+        """U(theta, phi, lam) = Rz(phi) Ry(theta) Rz(lam) (Section IV)."""
+        theta, phi, lam = 0.7, -0.4, 2.1
+        expected = (
+            gate_matrix("rz", [phi])
+            @ gate_matrix("ry", [theta])
+            @ gate_matrix("rz", [lam])
+        )
+        assert np.allclose(gate_matrix("u", [theta, phi, lam]), expected)
+
+    def test_named_90_rotations(self):
+        assert np.allclose(gate_matrix("x90"), gate_matrix("rx", [math.pi / 2]))
+        assert np.allclose(gate_matrix("ym90"), gate_matrix("ry", [-math.pi / 2]))
+
+
+class TestAliases:
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [("cx", "cnot"), ("ccx", "toffoli"), ("u3", "u"), ("id", "i"),
+         ("cswap", "fredkin"), ("CX", "cnot"), ("H", "h")],
+    )
+    def test_alias_resolution(self, alias, canonical):
+        assert canonical_name(alias) == canonical
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            canonical_name("frobnicate")
+
+
+class TestGateInstances:
+    def test_constructor_validates_arity(self):
+        with pytest.raises(ValueError):
+            Gate("cnot", (0,))
+        with pytest.raises(ValueError):
+            Gate("h", (0, 1))
+
+    def test_constructor_validates_params(self):
+        with pytest.raises(ValueError):
+            Gate("rx", (0,))
+        with pytest.raises(ValueError):
+            Gate("h", (0,), (0.5,))
+
+    def test_constructor_rejects_duplicate_qubits(self):
+        with pytest.raises(ValueError):
+            Gate("cnot", (1, 1))
+
+    def test_constructor_rejects_negative_qubits(self):
+        with pytest.raises(ValueError):
+            Gate("h", (-1,))
+
+    def test_constructor_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (0, 1))  # aliases must be resolved first
+
+    def test_inverse_of_self_inverse(self):
+        gate = G.cnot(0, 1)
+        assert gate.inverse() == gate
+
+    def test_inverse_of_named_pairs(self):
+        assert G.t(0).inverse() == G.tdg(0)
+        assert G.s(2).inverse() == G.sdg(2)
+        assert G.y90(1).inverse() == G.ym90(1)
+
+    def test_inverse_of_rotations_negates_angle(self):
+        assert G.rx(0.5, 0).inverse() == G.rx(-0.5, 0)
+
+    def test_inverse_of_u_is_correct_unitary(self):
+        gate = G.u(0.7, -0.3, 1.9, 0)
+        product = gate.inverse().matrix() @ gate.matrix()
+        assert np.allclose(product, np.eye(2), atol=1e-10)
+
+    def test_inverse_of_measure_raises(self):
+        with pytest.raises(ValueError):
+            G.measure(0).inverse()
+
+    def test_remap(self):
+        gate = G.cnot(0, 1).remap({0: 4, 1: 2})
+        assert gate.qubits == (4, 2)
+
+    def test_reversed_qubits(self):
+        assert G.cz(1, 3).reversed_qubits().qubits == (3, 1)
+
+    def test_str_formats(self):
+        assert str(G.cnot(0, 1)) == "cnot q0, q1"
+        assert "rx(0.5)" in str(G.rx(0.5, 2))
+
+    def test_flags(self):
+        assert G.measure(0).is_measurement
+        assert not G.measure(0).is_unitary
+        assert G.barrier().is_barrier
+        assert G.cz(0, 1).is_symmetric
+        assert G.cnot(0, 1).is_two_qubit
+        assert not G.measure(0).is_two_qubit
+
+    def test_matrix_of_nonunitary_raises(self):
+        with pytest.raises(ValueError):
+            G.barrier(0).matrix()
+
+    def test_matrix_basis_convention_first_qubit_msb(self):
+        # CNOT with control=qubit0 flips qubit1 when qubit0 (MSB) is 1:
+        # |10> -> |11>, i.e. column 2 has a one in row 3.
+        m = G.cnot(0, 1).matrix()
+        assert m[3, 2] == 1 and m[2, 3] == 1
+
+    def test_gate_is_hashable_value_object(self):
+        assert G.h(0) == G.h(0)
+        assert len({G.h(0), G.h(0), G.h(1)}) == 2

@@ -1,0 +1,97 @@
+"""End-to-end integration: the complete Fig. 2 path on every device family.
+
+For each machine description: OpenQASM text in -> parse -> compile
+(place, route, fix directions, lower, optimise, schedule) -> conformance
+-> semantic equivalence -> cQASM out -> (where constraints exist)
+control-signal lowering.  One parametrized test per device keeps
+regressions in any stage loud.
+"""
+
+import pytest
+
+from repro import compile_circuit, equivalent_mapped, get_device, parse_qasm
+from repro.pulse import lower_to_pulses
+from repro.qasm import parse_cqasm, schedule_to_cqasm, to_openqasm
+from repro.workloads import random_circuit
+
+DEVICES = [
+    ("ibm_qx4", {}),
+    ("ibm_qx5", {}),
+    ("surface7", {}),
+    ("surface17", {}),
+    ("linear", {"num_qubits": 6}),
+    ("ring", {"num_qubits": 6}),
+    ("grid", {"rows": 2, "cols": 3}),
+    ("all_to_all", {"num_qubits": 5}),
+    ("dots", {"rows": 2, "cols": 3}),
+    ("iontrap", {"num_qubits": 5}),
+    ("photonic", {"num_qubits": 5}),
+]
+
+
+@pytest.mark.parametrize("name,params", DEVICES)
+def test_full_flow_on_device(name, params):
+    device = get_device(name, **params)
+    width = min(device.num_qubits, 5)
+    circuit = random_circuit(width, 14, seed=hash(name) % 997)
+
+    # Round-trip through the QASM front end first (Fig. 2 input).
+    circuit = parse_qasm(to_openqasm(circuit))
+
+    result = compile_circuit(
+        circuit,
+        device,
+        placer="greedy",
+        router="sabre",
+        optimize=True,
+        schedule="constraints",
+    )
+    assert device.conforms(result.native), device.validate_circuit(result.native)[:3]
+    assert result.schedule is not None
+    assert result.schedule.validate() == []
+    assert equivalent_mapped(
+        circuit, result.native, result.routed.initial, result.routed.final
+    )
+
+    # Fig. 2 outputs: scheduled cQASM bundles...
+    text = schedule_to_cqasm(result.schedule)
+    back = parse_cqasm(text)
+    assert back.size() == result.native.size()
+
+    # ...and, where control electronics are modelled, the channelised
+    # pulse program.
+    if device.constraints is not None:
+        program = lower_to_pulses(result.schedule, device)
+        assert program.validate() == []
+        assert program.latency == result.schedule.latency
+
+
+@pytest.mark.parametrize("router", ["naive", "astar", "latency"])
+def test_full_flow_alternate_routers(router):
+    device = get_device("surface17")
+    circuit = random_circuit(5, 14, seed=31)
+    result = compile_circuit(
+        circuit, device, placer="assignment", router=router,
+        optimize=True, schedule="constraints",
+    )
+    assert device.conforms(result.native)
+    assert equivalent_mapped(
+        circuit, result.native, result.routed.initial, result.routed.final
+    )
+    program = lower_to_pulses(result.schedule, device)
+    assert program.validate() == []
+
+
+def test_full_flow_with_measurements():
+    device = get_device("surface17")
+    circuit = random_circuit(5, 10, seed=7)
+    circuit.measure_all()
+    circuit = parse_qasm(to_openqasm(circuit))
+    result = compile_circuit(
+        circuit, device, placer="greedy", schedule="constraints"
+    )
+    assert device.conforms(result.native)
+    assert result.native.count("measure") == 5
+    program = lower_to_pulses(result.schedule, device)
+    readout = [e for e in program if e.channel.kind == "readout"]
+    assert readout

@@ -1,0 +1,113 @@
+"""Tests for the LNN parallel-SWAP router and spectral placement."""
+
+import pytest
+
+from repro.core import Circuit
+from repro.devices import get_device, grid_device, linear_device, surface17
+from repro.mapping.placement import spectral_placement, trivial_placement, Placement
+from repro.mapping.routing import RoutingError, route, route_lnn, route_sabre
+from repro.mapping.routing.lnn import line_order
+from repro.verify import equivalent_mapped
+from repro.workloads import ghz, qft, random_circuit
+
+
+class TestLineOrder:
+    def test_simple_chain(self):
+        order = line_order(linear_device(5))
+        assert order in ([0, 1, 2, 3, 4], [4, 3, 2, 1, 0])
+
+    def test_single_qubit(self):
+        assert line_order(linear_device(1)) == [0]
+
+    def test_rejects_grid(self):
+        with pytest.raises(RoutingError):
+            line_order(grid_device(2, 3))
+
+    def test_rejects_ring(self):
+        with pytest.raises(RoutingError):
+            line_order(get_device("ring", num_qubits=5))
+
+
+class TestLnnRouter:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivalence_on_random_circuits(self, seed):
+        device = linear_device(7)
+        circuit = random_circuit(7, 24, seed=seed, two_qubit_fraction=0.6)
+        result = route_lnn(circuit, device)
+        assert equivalent_mapped(
+            circuit, result.circuit, result.initial, result.final
+        )
+
+    def test_adjacent_gates_need_nothing(self):
+        device = linear_device(5)
+        result = route_lnn(ghz(5), device)
+        assert result.added_swaps == 0
+        assert result.metadata["phases"] == 0
+
+    def test_parallel_phases_bound_depth(self):
+        """Swap layers are disjoint, so routed depth stays close to the
+        phase count rather than the swap count."""
+        device = linear_device(8)
+        circuit = qft(8)
+        result = route_lnn(circuit, device)
+        sabre = route_sabre(circuit, device)
+        # More swaps than sabre is fine; depth must not be worse.
+        assert result.circuit.depth() <= sabre.circuit.depth() + 2
+
+    def test_respects_initial_placement(self):
+        device = linear_device(4)
+        circuit = Circuit(2).cnot(0, 1)
+        placement = Placement.from_partial({0: 0, 1: 3}, 2, 4)
+        result = route_lnn(circuit, device, placement)
+        assert result.added_swaps > 0
+        assert equivalent_mapped(
+            circuit, result.circuit, result.initial, result.final
+        )
+
+    def test_registered(self):
+        device = linear_device(5)
+        result = route(qft(4), device, "lnn")
+        assert result.router == "lnn"
+
+    def test_multi_qubit_rejected(self):
+        with pytest.raises(RoutingError):
+            route_lnn(Circuit(3).toffoli(0, 1, 2), linear_device(3))
+
+
+class TestSpectralPlacement:
+    def test_beats_trivial_in_aggregate(self):
+        device = surface17()
+        total_spectral = total_trivial = 0
+        for seed in range(4):
+            circuit = random_circuit(7, 25, seed=seed, two_qubit_fraction=0.6)
+            total_spectral += route(
+                circuit, device, "sabre", spectral_placement(circuit, device)
+            ).added_swaps
+            total_trivial += route(
+                circuit, device, "sabre", trivial_placement(circuit, device)
+            ).added_swaps
+        assert total_spectral < total_trivial
+
+    def test_chain_embeds_into_line_exactly(self):
+        device = linear_device(6)
+        circuit = ghz(6)
+        placement = spectral_placement(circuit, device)
+        assert route(circuit, device, "sabre", placement).added_swaps == 0
+
+    def test_is_a_valid_bijection(self):
+        device = grid_device(3, 3)
+        circuit = qft(5)
+        placement = spectral_placement(circuit, device)
+        assert sorted(placement.prog_to_phys()) == list(range(9))
+        assert placement.num_program == 5
+
+    def test_isolated_qubits_handled(self):
+        device = linear_device(4)
+        circuit = Circuit(3).h(0).h(1).h(2)  # no interactions at all
+        placement = spectral_placement(circuit, device)
+        assert placement.num_program == 3
+
+    def test_registered_in_placers(self):
+        from repro.mapping.placement import PLACERS
+
+        assert "spectral" in PLACERS

@@ -1,0 +1,69 @@
+"""Tests for repro.metrics."""
+
+from repro.core import Circuit
+from repro.core.pipeline import compile_circuit
+from repro.metrics import (
+    CircuitMetrics,
+    circuit_metrics,
+    format_table,
+    mapping_overhead,
+)
+from repro.sim.noise import NoiseModel
+from repro.workloads import ghz
+
+
+class TestCircuitMetrics:
+    def test_counts(self):
+        circuit = Circuit(3).h(0).cnot(0, 1).cnot(1, 2).t(2)
+        metrics = circuit_metrics(circuit)
+        assert metrics == CircuitMetrics(
+            gates=4, two_qubit_gates=2, depth=4, two_qubit_depth=2
+        )
+
+    def test_empty(self):
+        metrics = circuit_metrics(Circuit(2))
+        assert metrics.gates == 0 and metrics.depth == 0
+
+
+class TestOverheadReport:
+    def test_basic_fields(self, qx4):
+        result = compile_circuit(ghz(4), qx4, placer="greedy")
+        report = mapping_overhead(result)
+        assert report.added_swaps == result.added_swaps
+        assert report.native_gates == result.native.size()
+        assert report.latency_cycles == result.latency
+        assert report.success_probability is None
+
+    def test_custom_label(self, qx4):
+        result = compile_circuit(ghz(4), qx4)
+        assert mapping_overhead(result, label="xyz").label == "xyz"
+
+    def test_default_label_names_blocks(self, qx4):
+        result = compile_circuit(ghz(4), qx4, placer="greedy", router="sabre")
+        assert mapping_overhead(result).label == "greedy+sabre"
+
+    def test_success_probability_with_noise(self, qx4):
+        result = compile_circuit(ghz(4), qx4)
+        report = mapping_overhead(result, noise=NoiseModel())
+        assert 0.0 < report.success_probability < 1.0
+
+    def test_success_probability_without_schedule(self, qx4):
+        result = compile_circuit(ghz(4), qx4, schedule=None)
+        report = mapping_overhead(result, noise=NoiseModel())
+        assert report.success_probability is not None
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self, qx4):
+        rows = [
+            mapping_overhead(compile_circuit(ghz(4), qx4, router=router), label=router)
+            for router in ("naive", "sabre")
+        ]
+        table = format_table(rows, title="ghz4 on QX4")
+        assert "ghz4 on QX4" in table
+        assert "naive" in table and "sabre" in table
+        assert "swaps" in table
+
+    def test_missing_success_shown_as_dash(self, qx4):
+        rows = [mapping_overhead(compile_circuit(ghz(4), qx4))]
+        assert " -" in format_table(rows)

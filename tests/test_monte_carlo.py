@@ -1,0 +1,79 @@
+"""Tests for the Monte-Carlo noisy simulator."""
+
+import math
+
+import pytest
+
+from repro.core import Circuit
+from repro.sim.monte_carlo import average_fidelity, sample_noisy_counts
+from repro.sim.noise import NoiseModel
+
+
+class TestAverageFidelity:
+    def test_noiseless_is_one(self, ghz3):
+        noise = NoiseModel(error_1q=0, error_2q=0)
+        assert average_fidelity(ghz3, noise, trials=20) == pytest.approx(1.0)
+
+    def test_analytic_product_is_a_lower_bound(self):
+        # 10 single-qubit gates at 2% error: analytic success 0.98^10.
+        # Some injected Paulis leave the state invariant (e.g. X on |+>),
+        # so the sampled fidelity lies above the analytic product but
+        # within the one-error budget (~sum of error rates).
+        circuit = Circuit(1)
+        for _ in range(10):
+            circuit.h(0)
+        noise = NoiseModel(error_1q=0.02, error_2q=0.0)
+        sampled = average_fidelity(circuit, noise, trials=1500, seed=3)
+        analytic = 0.98**10
+        assert analytic - 0.02 <= sampled <= analytic + 10 * 0.02
+
+    def test_more_noise_less_fidelity(self, ghz3):
+        low = average_fidelity(ghz3, NoiseModel(error_1q=0.01, error_2q=0.01), trials=400, seed=1)
+        high = average_fidelity(ghz3, NoiseModel(error_1q=0.2, error_2q=0.2), trials=400, seed=1)
+        assert high < low
+
+    def test_rejects_measurement(self):
+        with pytest.raises(ValueError):
+            average_fidelity(Circuit(1).measure(0), NoiseModel())
+
+    def test_seeded(self, ghz3):
+        noise = NoiseModel(error_1q=0.05)
+        a = average_fidelity(ghz3, noise, trials=50, seed=9)
+        b = average_fidelity(ghz3, noise, trials=50, seed=9)
+        assert a == b
+
+
+class TestSampleNoisyCounts:
+    def test_noiseless_deterministic_circuit(self):
+        circuit = Circuit(2).x(0)
+        noise = NoiseModel(error_1q=0, error_2q=0, error_measure=0)
+        counts = sample_noisy_counts(circuit, noise, shots=50)
+        assert counts == {"10": 50}
+
+    def test_shots_conserved(self, ghz3):
+        counts = sample_noisy_counts(ghz3, NoiseModel(), shots=64)
+        assert sum(counts.values()) == 64
+
+    def test_readout_errors_flip_outcomes(self):
+        circuit = Circuit(1).measure(0)
+        noise = NoiseModel(error_1q=0, error_2q=0, error_measure=0.5)
+        counts = sample_noisy_counts(circuit, noise, shots=600, seed=4)
+        assert set(counts) == {"0", "1"}
+        assert abs(counts["1"] - 300) < 90
+
+    def test_explicit_measure_qubits(self):
+        circuit = Circuit(3).x(2)
+        noise = NoiseModel(error_1q=0, error_measure=0)
+        counts = sample_noisy_counts(circuit, noise, shots=10, measure_qubits=[2])
+        assert counts == {"1": 10}
+
+    def test_gate_errors_spread_distribution(self):
+        circuit = Circuit(1).x(0)
+        noise = NoiseModel(error_1q=0.4, error_measure=0)
+        counts = sample_noisy_counts(circuit, noise, shots=400, seed=5)
+        assert counts.get("0", 0) > 0  # errors visible
+
+    def test_ghz_ideal_correlations(self, ghz3):
+        noise = NoiseModel(error_1q=0, error_2q=0, error_measure=0)
+        counts = sample_noisy_counts(ghz3, noise, shots=200, seed=6)
+        assert set(counts) <= {"000", "111"}

@@ -1,0 +1,115 @@
+"""Tests for the reliability model (repro.sim.noise)."""
+
+import math
+
+import pytest
+
+from repro.core import Circuit
+from repro.core.gates import Gate
+from repro.devices import linear_device
+from repro.mapping.scheduler import asap_schedule
+from repro.sim.noise import NoiseModel
+
+
+class TestGateErrors:
+    def test_one_qubit_default(self):
+        model = NoiseModel(error_1q=0.01)
+        assert model.gate_error(Gate("h", (0,))) == 0.01
+
+    def test_two_qubit_default(self):
+        model = NoiseModel(error_2q=0.05)
+        assert model.gate_error(Gate("cnot", (0, 1))) == 0.05
+
+    def test_measurement(self):
+        model = NoiseModel(error_measure=0.03)
+        assert model.gate_error(Gate("measure", (0,))) == 0.03
+
+    def test_barrier_prep_identity_free(self):
+        model = NoiseModel()
+        assert model.gate_error(Gate("barrier", ())) == 0.0
+        assert model.gate_error(Gate("prep_z", (0,))) == 0.0
+        assert model.gate_error(Gate("i", (0,))) == 0.0
+
+    def test_edge_override_is_orderless(self):
+        model = NoiseModel(error_2q=0.01, edge_error={(0, 1): 0.2})
+        assert model.gate_error(Gate("cnot", (1, 0))) == 0.2
+        assert model.gate_error(Gate("cz", (0, 1))) == 0.2
+
+    def test_gate_success(self):
+        model = NoiseModel(error_1q=0.1)
+        assert model.gate_success(Gate("x", (0,))) == pytest.approx(0.9)
+
+
+class TestScheduleSuccess:
+    def test_perfect_device(self):
+        device = linear_device(2)
+        model = NoiseModel(error_1q=0, error_2q=0, t2_ns=float("inf"))
+        circuit = Circuit(2).h(0).cnot(0, 1)
+        success = model.schedule_success(asap_schedule(circuit, device))
+        assert success == pytest.approx(1.0)
+
+    def test_gate_errors_multiply(self):
+        device = linear_device(2)
+        model = NoiseModel(error_1q=0.1, error_2q=0.2, t2_ns=float("inf"))
+        circuit = Circuit(2).h(0).cnot(0, 1)
+        success = model.schedule_success(asap_schedule(circuit, device))
+        assert success == pytest.approx(0.9 * 0.8)
+
+    def test_idle_decoherence_reduces_success(self):
+        device = linear_device(2)
+        model = NoiseModel(error_1q=0, error_2q=0, t2_ns=100.0)
+        # Qubit 1 idles while qubit 0 works.
+        busy = Circuit(2).h(0).h(0).h(0).h(1)
+        success = model.schedule_success(asap_schedule(busy, device))
+        assert success < 1.0
+
+    def test_unused_qubits_do_not_decohere(self):
+        device = linear_device(3)
+        model = NoiseModel(error_1q=0, t2_ns=10.0)
+        circuit = Circuit(3).h(0).h(0)
+        success = model.schedule_success(asap_schedule(circuit, device))
+        assert success == pytest.approx(1.0)  # qubits 1, 2 never touched
+
+    def test_more_gates_lower_success(self):
+        device = linear_device(3)
+        model = NoiseModel()
+        short = Circuit(3).cnot(0, 1)
+        long = Circuit(3).cnot(0, 1).cnot(1, 2).cnot(0, 1).cnot(1, 2)
+        assert model.circuit_success(long, device) < model.circuit_success(
+            short, device
+        )
+
+
+class TestRandomEdgeErrors:
+    def test_seeded_and_bounded(self):
+        device = linear_device(5)
+        a = NoiseModel.with_random_edge_errors(device, seed=1, base_2q=0.01, spread=3)
+        b = NoiseModel.with_random_edge_errors(device, seed=1, base_2q=0.01, spread=3)
+        assert a.edge_error == b.edge_error
+        for error in a.edge_error.values():
+            assert 0.01 / 3 <= error <= 0.01 * 3
+
+    def test_covers_every_edge(self):
+        device = linear_device(4)
+        model = NoiseModel.with_random_edge_errors(device, seed=2)
+        assert set(model.edge_error) == set(device.undirected_edges())
+
+
+class TestWeightedDistances:
+    def test_prefers_reliable_path(self):
+        # Triangle 0-1-2 with a terrible direct edge 0-2: the weighted
+        # distance 0->2 should route via 1.
+        from repro.devices import Device
+
+        device = Device("tri", 3, [(0, 1), (1, 2), (0, 2)], ["u", "cnot"])
+        model = NoiseModel(
+            error_2q=0.01, edge_error={(0, 2): 0.5, (0, 1): 0.01, (1, 2): 0.01}
+        )
+        matrix = model.weighted_distance_matrix(device)
+        two_hops = -2 * math.log(0.99)
+        assert matrix[0][2] == pytest.approx(two_hops, rel=1e-6)
+
+    def test_zero_on_diagonal(self):
+        device = linear_device(3)
+        matrix = NoiseModel().weighted_distance_matrix(device)
+        assert matrix[1][1] == 0.0

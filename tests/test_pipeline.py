@@ -1,0 +1,110 @@
+"""Integration tests for the full compilation pipeline (Fig. 2 flow)."""
+
+import pytest
+
+from repro.core import Circuit
+from repro.core.pipeline import compile_circuit
+from repro.devices import get_device
+from repro.verify import equivalent_mapped
+from repro.workloads import ghz, qft, random_circuit
+
+DEVICES = ["ibm_qx4", "surface17", "surface7"]
+ROUTERS = ["naive", "sabre", "astar", "latency"]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("device_name", DEVICES)
+    @pytest.mark.parametrize("router", ROUTERS)
+    def test_random_circuits_conform_and_stay_equivalent(self, device_name, router):
+        device = get_device(device_name)
+        n = min(device.num_qubits, 5)
+        circuit = random_circuit(n, 14, seed=hash((device_name, router)) % 1000)
+        result = compile_circuit(circuit, device, router=router, placer="greedy")
+        assert device.conforms(result.native), device.validate_circuit(result.native)[:3]
+        assert equivalent_mapped(
+            circuit, result.native, result.routed.initial, result.routed.final
+        )
+
+    def test_multi_qubit_gates_are_predecomposed(self, qx4):
+        circuit = Circuit(3).toffoli(0, 1, 2)
+        result = compile_circuit(circuit, qx4)
+        assert qx4.conforms(result.native)
+        assert equivalent_mapped(
+            circuit, result.native, result.routed.initial, result.routed.final
+        )
+
+    def test_qft_compiles_everywhere(self):
+        circuit = qft(4)
+        for device_name in DEVICES:
+            device = get_device(device_name)
+            result = compile_circuit(circuit, device, placer="greedy", router="sabre")
+            assert device.conforms(result.native)
+
+
+class TestOptions:
+    def test_decompose_false_keeps_swaps(self, s17, ghz3):
+        result = compile_circuit(ghz3, s17, decompose=False, schedule=None)
+        assert result.native is result.routed.circuit
+
+    def test_schedule_none(self, s17, ghz3):
+        result = compile_circuit(ghz3, s17, schedule=None)
+        assert result.schedule is None
+        assert result.latency == 0
+
+    def test_schedule_modes(self, s17, ghz3):
+        asap = compile_circuit(ghz3, s17, schedule="asap")
+        alap = compile_circuit(ghz3, s17, schedule="alap")
+        constrained = compile_circuit(ghz3, s17, schedule="constraints")
+        assert asap.latency == alap.latency
+        assert constrained.latency >= asap.latency
+
+    def test_unknown_schedule_mode(self, s17, ghz3):
+        with pytest.raises(ValueError):
+            compile_circuit(ghz3, s17, schedule="magic")
+
+    def test_callable_placer(self, s17, ghz3):
+        from repro.mapping.placement import trivial_placement
+
+        result = compile_circuit(ghz3, s17, placer=trivial_placement)
+        assert result.placer == "trivial_placement"
+
+    def test_router_options_forwarded(self, s17, ghz3):
+        result = compile_circuit(
+            ghz3, s17, router="sabre", router_options={"lookahead": 3}
+        )
+        assert result.routed.metadata["lookahead"] == 3
+
+    def test_control_constraints_flag(self, s17):
+        circuit = ghz(4)
+        on = compile_circuit(circuit, s17, schedule="constraints")
+        off = compile_circuit(
+            circuit, s17, schedule="constraints", control_constraints=False
+        )
+        assert on.latency >= off.latency
+
+
+class TestResultMetrics:
+    def test_summary_text(self, qx4, ghz3):
+        result = compile_circuit(ghz3, qx4)
+        text = result.summary()
+        assert "ibm_qx4" in text and "SWAP" in text
+
+    def test_gate_overhead_nonnegative_after_lowering(self, qx4):
+        circuit = Circuit(3).cnot(0, 1).cnot(1, 2)
+        result = compile_circuit(circuit, qx4, placer="trivial")
+        assert result.gate_overhead >= 0
+
+    def test_depth_ratio(self, qx4, ghz3):
+        result = compile_circuit(ghz3, qx4)
+        assert result.depth_ratio > 0
+
+    def test_added_swaps_matches_routed(self, s17):
+        circuit = random_circuit(5, 15, seed=9)
+        result = compile_circuit(circuit, s17, placer="trivial", router="naive")
+        assert result.added_swaps == result.routed.added_swaps
+
+    def test_measured_circuit_compiles(self, s17):
+        circuit = Circuit(3).h(0).cnot(0, 1).measure_all()
+        result = compile_circuit(circuit, s17, schedule="constraints")
+        assert result.native.count("measure") == 3
+        assert result.schedule.validate() == []

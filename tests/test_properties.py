@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The headline invariant of the whole system: *mapping never changes the
+computation*.  Random circuits are pushed through every router and the
+full pipeline on several devices, and checked for equivalence up to the
+tracked output permutation and global phase.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Circuit
+from repro.core.dag import DependencyGraph
+from repro.core.pipeline import compile_circuit
+from repro.devices import get_device
+from repro.mapping.placement import Placement
+from repro.mapping.routing import route
+from repro.mapping.scheduler import asap_schedule
+from repro.qasm import parse_qasm, to_openqasm
+from repro.verify import equivalent_circuits, equivalent_mapped
+from repro.workloads import random_circuit
+
+_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def circuits(draw, max_qubits=5, max_gates=14):
+    n = draw(st.integers(min_value=2, max_value=max_qubits))
+    num_gates = draw(st.integers(min_value=0, max_value=max_gates))
+    circuit = Circuit(n)
+    for _ in range(num_gates):
+        kind = draw(st.sampled_from(["h", "t", "x", "rz", "cnot", "cz", "swap"]))
+        if kind in ("cnot", "cz", "swap"):
+            a = draw(st.integers(min_value=0, max_value=n - 1))
+            b = draw(
+                st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != a)
+            )
+            getattr(circuit, kind if kind != "cnot" else "cnot")(a, b)
+        elif kind == "rz":
+            angle = draw(
+                st.floats(
+                    min_value=-math.pi, max_value=math.pi, allow_nan=False
+                )
+            )
+            circuit.rz(angle, draw(st.integers(min_value=0, max_value=n - 1)))
+        else:
+            getattr(circuit, kind)(draw(st.integers(min_value=0, max_value=n - 1)))
+    return circuit
+
+
+class TestRoutingInvariant:
+    @given(circuits(), st.sampled_from(["naive", "sabre", "astar", "latency"]))
+    @settings(**_SETTINGS)
+    def test_routing_preserves_semantics_on_qx4(self, circuit, router):
+        device = get_device("ibm_qx4")
+        result = route(circuit, device, router)
+        assert equivalent_mapped(
+            circuit, result.circuit, result.initial, result.final
+        )
+
+    @given(circuits(max_qubits=5, max_gates=10))
+    @settings(max_examples=15, deadline=None)
+    def test_exact_never_worse_than_heuristics(self, circuit):
+        device = get_device("linear", num_qubits=5)
+        exact = route(circuit, device, "exact")
+        sabre = route(circuit, device, "sabre")
+        astar = route(circuit, device, "astar")
+        assert exact.added_swaps <= min(sabre.added_swaps, astar.added_swaps)
+
+    @given(circuits(max_qubits=4, max_gates=12))
+    @settings(**_SETTINGS)
+    def test_full_pipeline_on_surface7(self, circuit):
+        device = get_device("surface7")
+        result = compile_circuit(circuit, device, placer="greedy", router="sabre")
+        assert device.conforms(result.native)
+        assert equivalent_mapped(
+            circuit, result.native, result.routed.initial, result.routed.final
+        )
+
+
+class TestPlacementInvariants:
+    @given(
+        st.permutations(list(range(6))),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=5),
+            ).filter(lambda p: p[0] != p[1]),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_placement_stays_bijective_under_swaps(self, perm, swaps):
+        placement = Placement(list(perm), 4)
+        for a, b in swaps:
+            placement.apply_swap(a, b)
+        assert sorted(placement.prog_to_phys()) == list(range(6))
+        for prog in range(6):
+            assert placement.slot(placement.phys(prog)) == prog
+
+    @given(st.permutations(list(range(5))), st.permutations(list(range(5))))
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_to_is_consistent(self, p0, p1):
+        initial, final = Placement(list(p0)), Placement(list(p1))
+        sigma = initial.permutation_to(final)
+        for prog in range(5):
+            assert sigma[initial.phys(prog)] == final.phys(prog)
+
+
+class TestScheduleInvariants:
+    @given(circuits(max_qubits=5, max_gates=20))
+    @settings(**_SETTINGS)
+    def test_asap_schedule_is_valid_and_complete(self, circuit):
+        device = get_device("all_to_all", num_qubits=circuit.num_qubits)
+        schedule = asap_schedule(circuit, device)
+        assert schedule.validate() == []
+        assert len(schedule) == len(circuit.gates)
+
+    @given(circuits(max_qubits=5, max_gates=20))
+    @settings(**_SETTINGS)
+    def test_asap_latency_bounded_by_serial_sum(self, circuit):
+        device = get_device("all_to_all", num_qubits=circuit.num_qubits)
+        schedule = asap_schedule(circuit, device)
+        serial = sum(device.duration(g) for g in circuit.gates if not g.is_barrier)
+        assert schedule.latency <= serial
+
+
+class TestQasmRoundtrip:
+    @given(circuits(max_qubits=4, max_gates=12))
+    @settings(**_SETTINGS)
+    def test_openqasm_roundtrip_is_equivalent(self, circuit):
+        back = parse_qasm(to_openqasm(circuit))
+        assert back.num_qubits == circuit.num_qubits
+        assert equivalent_circuits(circuit, back)
+
+
+class TestDagInvariants:
+    @given(circuits(max_qubits=5, max_gates=20))
+    @settings(**_SETTINGS)
+    def test_layers_partition_and_respect_dependencies(self, circuit):
+        dag = DependencyGraph(circuit)
+        layers = dag.layers()
+        seen = [i for layer in layers for i in layer]
+        assert sorted(seen) == list(range(len(circuit.gates)))
+        level_of = {}
+        for level, layer in enumerate(layers):
+            for index in layer:
+                level_of[index] = level
+        for index in range(len(circuit.gates)):
+            for pred in dag.predecessors(index):
+                assert level_of[pred] < level_of[index]
+
+
+class TestInverseInvariant:
+    @given(circuits(max_qubits=4, max_gates=10))
+    @settings(**_SETTINGS)
+    def test_circuit_times_inverse_is_identity(self, circuit):
+        import numpy as np
+
+        from repro.sim import circuit_unitary
+
+        combined = circuit.compose(circuit.inverse())
+        unitary = circuit_unitary(combined)
+        assert np.allclose(unitary, np.eye(unitary.shape[0]), atol=1e-7)

@@ -1,0 +1,147 @@
+"""Property-based tests over the newer subsystems.
+
+Complements ``test_properties.py`` with hypothesis coverage of the
+optimizer, commutation relaxation, constraint scheduling, pulse
+lowering, and the shuttle router — all anchored on the one invariant
+that matters: the computation never changes.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Circuit
+from repro.core.dag import DependencyGraph
+from repro.decompose import decompose_circuit
+from repro.devices import get_device, quantum_dot_device, surface17
+from repro.mapping.control import schedule_with_constraints
+from repro.mapping.routing import route_sabre, route_shuttle
+from repro.optimize import optimize_circuit
+from repro.pulse import lower_to_pulses
+from repro.verify import equivalent_circuits, equivalent_mapped
+
+_SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def circuits(draw, max_qubits=5, max_gates=14):
+    n = draw(st.integers(min_value=2, max_value=max_qubits))
+    num_gates = draw(st.integers(min_value=0, max_value=max_gates))
+    circuit = Circuit(n)
+    for _ in range(num_gates):
+        kind = draw(
+            st.sampled_from(
+                ["h", "t", "tdg", "x", "s", "rz", "rx", "cnot", "cz", "swap", "cp"]
+            )
+        )
+        if kind in ("cnot", "cz", "swap", "cp"):
+            a = draw(st.integers(min_value=0, max_value=n - 1))
+            b = draw(
+                st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != a)
+            )
+            if kind == "cp":
+                angle = draw(
+                    st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False)
+                )
+                circuit.cp(angle, a, b)
+            else:
+                getattr(circuit, kind)(a, b)
+        elif kind in ("rz", "rx"):
+            angle = draw(
+                st.floats(min_value=-math.pi, max_value=math.pi, allow_nan=False)
+            )
+            getattr(circuit, kind)(angle, draw(st.integers(min_value=0, max_value=n - 1)))
+        else:
+            getattr(circuit, kind)(draw(st.integers(min_value=0, max_value=n - 1)))
+    return circuit
+
+
+class TestOptimizerProperties:
+    @given(circuits())
+    @settings(**_SETTINGS)
+    def test_optimizer_preserves_unitary(self, circuit):
+        assert equivalent_circuits(circuit, optimize_circuit(circuit))
+
+    @given(circuits())
+    @settings(**_SETTINGS)
+    def test_optimizer_with_fusion_preserves_unitary(self, circuit):
+        assert equivalent_circuits(circuit, optimize_circuit(circuit, fuse=True))
+
+    @given(circuits())
+    @settings(**_SETTINGS)
+    def test_optimizer_is_idempotent_on_size(self, circuit):
+        once = optimize_circuit(circuit)
+        twice = optimize_circuit(once)
+        assert twice.size() == once.size()
+
+
+class TestCommutationProperties:
+    @given(circuits())
+    @settings(**_SETTINGS)
+    def test_relaxed_edges_are_subset_of_strict_closure(self, circuit):
+        import networkx as nx
+
+        strict = DependencyGraph(circuit)
+        relaxed = DependencyGraph(circuit, commutation=True)
+        closure = nx.transitive_closure_dag(strict.graph)
+        for earlier, later in relaxed.graph.edges:
+            assert closure.has_edge(earlier, later)
+
+    @given(circuits(max_qubits=4, max_gates=12))
+    @settings(max_examples=15, deadline=None)
+    def test_commutation_routing_preserves_semantics(self, circuit):
+        device = get_device("ibm_qx4")
+        result = route_sabre(circuit, device, commutation=True)
+        assert equivalent_mapped(
+            circuit, result.circuit, result.initial, result.final
+        )
+
+
+class TestSchedulingProperties:
+    @given(circuits(max_qubits=5, max_gates=12))
+    @settings(max_examples=12, deadline=None)
+    def test_constraint_schedule_valid_and_complete(self, circuit):
+        device = surface17()
+        routed = route_sabre(circuit, device).circuit
+        native = decompose_circuit(routed, device)
+        schedule = schedule_with_constraints(native, device)
+        assert schedule.validate() == []
+        assert len(schedule) == len(native.gates)
+
+    @given(circuits(max_qubits=5, max_gates=12))
+    @settings(max_examples=12, deadline=None)
+    def test_pulse_lowering_always_validates(self, circuit):
+        device = surface17()
+        routed = route_sabre(circuit, device).circuit
+        native = decompose_circuit(routed, device)
+        schedule = schedule_with_constraints(native, device)
+        program = lower_to_pulses(schedule, device)
+        assert program.validate() == []
+        assert program.latency == schedule.latency
+
+
+class TestShuttleProperties:
+    @given(circuits(max_qubits=5, max_gates=12))
+    @settings(max_examples=12, deadline=None)
+    def test_shuttle_routing_preserves_semantics(self, circuit):
+        device = quantum_dot_device(3, 3)
+        result = route_shuttle(circuit, device)
+        assert equivalent_mapped(
+            circuit, result.circuit, result.initial, result.final
+        )
+
+
+class TestQasmProperties:
+    @given(circuits(max_qubits=4, max_gates=10))
+    @settings(**_SETTINGS)
+    def test_cqasm_roundtrip(self, circuit):
+        from repro.qasm import parse_cqasm, to_cqasm
+
+        back = parse_cqasm(to_cqasm(circuit))
+        assert back.gates == circuit.gates

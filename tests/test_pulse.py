@@ -1,0 +1,151 @@
+"""Tests for pulse-level lowering (the control signals of Fig. 2)."""
+
+import pytest
+
+from repro.core import Circuit
+from repro.core.gates import Gate
+from repro.devices import ControlConstraints, Device, ibm_qx4, surface17
+from repro.mapping.control import schedule_with_constraints
+from repro.mapping.scheduler import Schedule, ScheduledGate, asap_schedule
+from repro.pulse import Channel, PulseProgram, lower_to_pulses
+
+
+def _chip():
+    return Device(
+        "chip3",
+        3,
+        [(0, 1), (0, 2)],
+        ["x", "y", "rx", "ry", "cz"],
+        two_qubit_gate="cz",
+        durations={"x": 1, "y": 1, "cz": 2, "measure": 5},
+        constraints=ControlConstraints(
+            frequency_group={0: 0, 1: 1, 2: 1},
+            feedline={0: 0, 1: 0, 2: 0},
+        ),
+    )
+
+
+class TestChannelAssignment:
+    def test_awg_channel_per_frequency_group(self):
+        device = _chip()
+        schedule = asap_schedule(Circuit(3).x(0).x(1), device)
+        program = lower_to_pulses(schedule, device)
+        kinds = {str(e.channel) for e in program}
+        assert kinds == {"awg[0]", "awg[1]"}
+
+    def test_drive_channel_without_groups(self, qx4):
+        circuit = Circuit(2).u(0.1, 0.2, 0.3, 0).u(0.1, 0.2, 0.3, 1)
+        program = lower_to_pulses(asap_schedule(circuit, qx4), qx4)
+        assert {str(e.channel) for e in program} == {"drive[0]", "drive[1]"}
+
+    def test_flux_channel_per_edge(self):
+        device = _chip()
+        circuit = Circuit(3).cz(0, 1).cz(0, 2)
+        program = lower_to_pulses(asap_schedule(circuit, device), device)
+        flux = {str(e.channel) for e in program if e.channel.kind == "flux"}
+        assert flux == {"flux[0,1]", "flux[0,2]"}
+
+    def test_readout_channel_per_feedline(self):
+        device = _chip()
+        schedule = schedule_with_constraints(
+            Circuit(3).measure(1).measure(2), device
+        )
+        program = lower_to_pulses(schedule, device)
+        readout = [e for e in program if e.channel.kind == "readout"]
+        assert len(readout) == 1  # co-started measurements share the tone
+        assert readout[0].qubits == (1, 2)
+
+
+class TestAwgMerging:
+    def test_identical_co_started_gates_merge(self):
+        device = _chip()
+        schedule = schedule_with_constraints(Circuit(3).x(1).x(2), device)
+        program = lower_to_pulses(schedule, device)
+        awg1 = [e for e in program if e.channel == Channel("awg", (1,))]
+        assert len(awg1) == 1
+        assert awg1[0].qubits == (1, 2)
+
+    def test_different_gates_do_not_merge(self):
+        device = _chip()
+        schedule = schedule_with_constraints(Circuit(3).x(1).y(2), device)
+        program = lower_to_pulses(schedule, device)
+        awg1 = [e for e in program if e.channel == Channel("awg", (1,))]
+        assert len(awg1) == 2
+        assert {e.start for e in awg1} == {0, 1}  # serialised by the AWG
+
+    def test_awg_violating_schedule_rejected(self):
+        device = _chip()
+        # Hand-build an invalid schedule: x and y co-starting in group 1.
+        bad = Schedule(
+            [
+                ScheduledGate(Gate("x", (1,)), 0, 1),
+                ScheduledGate(Gate("y", (2,)), 0, 1),
+            ],
+            3,
+            device.cycle_time_ns,
+        )
+        with pytest.raises(ValueError, match="control-channel"):
+            lower_to_pulses(bad, device)
+
+
+class TestProgramProperties:
+    def test_latency_matches_schedule(self, s17):
+        from repro.mapping import qmap
+        from repro.workloads import fig1_circuit
+
+        result = qmap(fig1_circuit(), s17)
+        program = lower_to_pulses(result.schedule, s17)
+        assert program.latency == result.schedule.latency
+
+    def test_validate_clean_on_constraint_schedules(self, s17):
+        from repro.decompose import decompose_circuit
+        from repro.mapping.routing import route
+        from repro.workloads import random_circuit
+
+        circuit = random_circuit(5, 18, seed=4)
+        routed = route(circuit, s17, "sabre").circuit
+        native = decompose_circuit(routed, s17)
+        schedule = schedule_with_constraints(native, s17)
+        program = lower_to_pulses(schedule, s17)
+        assert program.validate() == []
+
+    def test_feedforward_marked(self):
+        device = _chip()
+        circuit = Circuit(3)
+        circuit.measure(0)
+        circuit.append(Gate("x", (1,), condition=(0, 1)))
+        schedule = schedule_with_constraints(circuit, device)
+        program = lower_to_pulses(schedule, device)
+        conditioned = [e for e in program if e.feedforward]
+        assert len(conditioned) == 1
+        assert conditioned[0].label == "x"
+
+    def test_timeline_renders_all_channels(self):
+        device = _chip()
+        schedule = asap_schedule(Circuit(3).x(0).cz(0, 1), device)
+        program = lower_to_pulses(schedule, device)
+        text = program.timeline()
+        assert "awg[0]" in text and "flux[0,1]" in text
+        assert "#" in text
+
+    def test_events_on_sorted(self):
+        device = _chip()
+        circuit = Circuit(3).x(0).y(0).x(0)
+        program = lower_to_pulses(asap_schedule(circuit, device), device)
+        starts = [e.start for e in program.events_on(Channel("awg", (0,)))]
+        assert starts == sorted(starts)
+
+    def test_barriers_produce_no_pulses(self):
+        device = _chip()
+        program = lower_to_pulses(
+            asap_schedule(Circuit(3).barrier().x(0), device), device
+        )
+        assert len(program) == 1
+
+    def test_init_uses_readout_path(self):
+        device = _chip()
+        program = lower_to_pulses(
+            asap_schedule(Circuit(3).prep_z(0), device), device
+        )
+        assert program.events[0].channel.kind == "readout"
+        assert program.events[0].label == "init"

@@ -1,0 +1,148 @@
+"""Tests for the matching decoder and the logical memory experiment."""
+
+import itertools
+
+import pytest
+
+from repro.qec import (
+    MatchingDecoder,
+    MemoryResult,
+    RotatedSurfaceCode,
+    SyndromeExtractor,
+    memory_experiment,
+    unprotected_failure_rate,
+)
+
+
+@pytest.fixture(scope="module")
+def code():
+    return RotatedSurfaceCode(3)
+
+
+@pytest.fixture(scope="module")
+def decoder(code):
+    return MatchingDecoder(code)
+
+
+def _quiet_after(extractor):
+    extractor.syndrome()  # settle the change-based frame
+    return extractor.syndrome() == {"X": frozenset(), "Z": frozenset()}
+
+
+class TestMatchingDecoder:
+    def test_empty_syndrome(self, decoder):
+        assert decoder.decode({"X": frozenset(), "Z": frozenset()}) == {
+            "X": (),
+            "Z": (),
+        }
+
+    @pytest.mark.parametrize("data_qubit", range(9))
+    def test_single_x_errors(self, code, decoder, data_qubit):
+        extractor = SyndromeExtractor(code, seed=data_qubit)
+        extractor.establish_reference()
+        extractor.inject("x", data_qubit)
+        correction = decoder.decode(extractor.syndrome())
+        extractor.apply_correction("x", correction["X"])
+        assert _quiet_after(extractor)
+        assert extractor.logical_z_expectation() == pytest.approx(1.0)
+
+    def test_single_z_error(self, code, decoder):
+        extractor = SyndromeExtractor(code, seed=99)
+        extractor.establish_reference()
+        extractor.inject("z", 4)
+        correction = decoder.decode(extractor.syndrome())
+        assert correction["Z"]
+        extractor.apply_correction("z", correction["Z"])
+        assert _quiet_after(extractor)
+
+    def test_double_errors_always_return_to_codespace(self, code, decoder):
+        """Weight-2 may fail *logically* (d=3) but must clear the syndrome."""
+        pairs = list(itertools.combinations(range(9), 2))[::3]  # sample
+        for a, b in pairs:
+            extractor = SyndromeExtractor(code, seed=a * 16 + b)
+            extractor.establish_reference()
+            extractor.inject("x", a)
+            extractor.inject("x", b)
+            correction = decoder.decode(extractor.syndrome())
+            extractor.apply_correction("x", correction["X"])
+            assert _quiet_after(extractor), (a, b)
+
+    def test_some_double_errors_recover_logically(self, code, decoder):
+        recovered = 0
+        pairs = list(itertools.combinations(range(9), 2))[::2]  # sample 18
+        for a, b in pairs:
+            extractor = SyndromeExtractor(code, seed=300 + a * 16 + b)
+            extractor.establish_reference()
+            extractor.inject("x", a)
+            extractor.inject("x", b)
+            correction = decoder.decode(extractor.syndrome())
+            extractor.apply_correction("x", correction["X"])
+            extractor.syndrome()
+            extractor.syndrome()
+            if extractor.logical_z_expectation() > 0.99:
+                recovered += 1
+        # d=3 guarantees weight-1; a good matcher still recovers many
+        # weight-2 cases (same-plaquette degeneracies and near pairs).
+        assert recovered >= 6
+
+    def test_handles_lookup_miss_syndromes(self, code, decoder):
+        """A syndrome the lookup table rejects must still match."""
+        from repro.qec import LookupDecoder
+
+        extractor = SyndromeExtractor(code, seed=7)
+        extractor.establish_reference()
+        extractor.inject("x", 0)
+        extractor.inject("x", 4)
+        extractor.inject("x", 8)
+        syndrome = extractor.syndrome()
+        lookup = LookupDecoder(code)
+        try:
+            lookup.decode(syndrome)
+            lookup_handles = True
+        except KeyError:
+            lookup_handles = False
+        correction = decoder.decode(syndrome)
+        extractor.apply_correction("x", correction["X"])
+        assert _quiet_after(extractor)
+        assert not lookup_handles or correction  # matcher always answers
+
+
+class TestMemoryExperiment:
+    def test_zero_error_rate_never_fails(self, code):
+        result = memory_experiment(
+            code, error_rate=0.0, rounds=2, trials=3, seed=1
+        )
+        assert result.failures == 0
+        assert result.logical_error_rate == 0.0
+
+    def test_result_fields(self, code):
+        result = memory_experiment(
+            code, error_rate=0.05, rounds=1, trials=4, seed=2
+        )
+        assert isinstance(result, MemoryResult)
+        assert result.trials == 4
+        assert 0.0 <= result.logical_error_rate <= 1.0
+
+    def test_suppression_below_pseudothreshold(self, code):
+        """At small p the corrected logical error rate beats the
+        unprotected qubit's failure rate."""
+        p, rounds = 0.02, 2
+        result = memory_experiment(
+            code, error_rate=p, rounds=rounds, trials=12, seed=3
+        )
+        assert result.logical_error_rate <= unprotected_failure_rate(p, rounds)
+
+
+class TestUnprotectedRate:
+    def test_zero(self):
+        assert unprotected_failure_rate(0.0, 5) == 0.0
+
+    def test_single_round(self):
+        assert unprotected_failure_rate(0.1, 1) == pytest.approx(0.1)
+
+    def test_saturates_at_half(self):
+        assert unprotected_failure_rate(0.5, 10) == pytest.approx(0.5)
+
+    def test_monotone_in_rounds(self):
+        rates = [unprotected_failure_rate(0.05, r) for r in range(1, 6)]
+        assert rates == sorted(rates)

@@ -1,0 +1,201 @@
+"""Tests for the routers: connectivity, equivalence, and known optima."""
+
+import pytest
+
+from repro.core import Circuit
+from repro.devices import Device, grid_device, linear_device
+from repro.mapping.placement import Placement
+from repro.mapping.routing import (
+    ROUTERS,
+    RoutingError,
+    check_connectivity,
+    route,
+    route_astar,
+    route_exact,
+    route_latency,
+    route_naive,
+    route_sabre,
+)
+from repro.verify import equivalent_mapped
+from repro.workloads import random_circuit
+
+ALL_ROUTERS = ["naive", "sabre", "astar", "exact", "latency"]
+
+
+def _assert_routed_ok(circuit, device, result):
+    check_connectivity(result.circuit, device)
+    assert result.circuit.num_qubits == device.num_qubits
+    assert result.circuit.count("swap") == result.added_swaps
+    assert equivalent_mapped(
+        circuit, result.circuit, result.initial, result.final
+    )
+
+
+class TestDispatcher:
+    def test_registry_complete(self):
+        assert set(ROUTERS) == {
+            "naive", "sabre", "astar", "exact", "latency", "reliability",
+            "shuttle", "teleport", "lnn",
+        }
+
+    def test_unknown_router(self, line5, bell):
+        with pytest.raises(KeyError):
+            route(bell, line5, "warp")
+
+    def test_route_checks_connectivity(self, line5, ghz3):
+        result = route(ghz3, line5, "sabre")
+        check_connectivity(result.circuit, line5)
+
+
+class TestAdjacentGatesNeedNoSwaps:
+    @pytest.mark.parametrize("router", ALL_ROUTERS)
+    def test_ghz_on_line(self, router, line5):
+        circuit = Circuit(5).h(0)
+        for q in range(4):
+            circuit.cnot(q, q + 1)
+        result = route(circuit, line5, router)
+        assert result.added_swaps == 0
+        assert result.initial == result.final
+        _assert_routed_ok(circuit, line5, result)
+
+
+class TestDistantGate:
+    @pytest.mark.parametrize("router", ALL_ROUTERS)
+    def test_end_to_end_cnot_on_line(self, router):
+        device = linear_device(4)
+        circuit = Circuit(4).cnot(0, 3)
+        result = route(circuit, device, router)
+        assert result.added_swaps == 2  # distance 3 -> two swaps
+        _assert_routed_ok(circuit, device, result)
+
+    @pytest.mark.parametrize("router", ["sabre", "astar", "exact", "latency"])
+    def test_repeated_distant_pair_swapped_once(self, router):
+        device = linear_device(3)
+        circuit = Circuit(3).cnot(0, 2).cnot(0, 2).cnot(0, 2)
+        result = route(circuit, device, router)
+        assert result.added_swaps == 1  # move once, stay adjacent
+        _assert_routed_ok(circuit, device, result)
+
+    def test_naive_keeps_placement_moving(self):
+        # Naive still only pays once here because the qubits stay moved.
+        device = linear_device(3)
+        circuit = Circuit(3).cnot(0, 2).cnot(0, 2)
+        result = route_naive(circuit, device)
+        assert result.added_swaps == 1
+
+
+class TestFinalPlacementTracking:
+    def test_final_differs_after_swaps(self):
+        device = linear_device(3)
+        circuit = Circuit(3).cnot(0, 2)
+        result = route(circuit, device, "sabre")
+        assert result.initial != result.final
+
+    def test_placement_respected(self):
+        device = linear_device(3)
+        circuit = Circuit(3).cnot(0, 1)
+        placement = Placement([2, 1, 0])  # reversed
+        result = route(circuit, device, "sabre", placement)
+        first = next(g for g in result.circuit if g.name == "cnot")
+        assert first.qubits == (2, 1)
+
+
+class TestMultiQubitGatesRejected:
+    @pytest.mark.parametrize("router", ALL_ROUTERS)
+    def test_toffoli_rejected(self, router, line5):
+        circuit = Circuit(3).toffoli(0, 1, 2)
+        with pytest.raises(RoutingError):
+            route(circuit, line5, router)
+
+
+class TestExactRouter:
+    def test_optimality_vs_heuristics(self):
+        device = grid_device(2, 3)
+        for seed in range(5):
+            circuit = random_circuit(5, 10, seed=seed, two_qubit_fraction=0.7)
+            exact = route_exact(circuit, device)
+            for heuristic in (route_sabre, route_astar):
+                other = heuristic(circuit, device)
+                assert exact.added_swaps <= other.added_swaps, seed
+
+    def test_refuses_large_devices(self):
+        with pytest.raises(RoutingError):
+            route_exact(Circuit(2).cnot(0, 1), grid_device(3, 3))
+
+    def test_metadata_cost_accounting(self, qx4):
+        circuit = Circuit(2).cnot(1, 0)  # wrong direction on QX4? 1->0 ok
+        result = route_exact(circuit, qx4)
+        assert result.metadata["cost"] == 0
+        flipped = route_exact(Circuit(2).cnot(0, 1), qx4)
+        assert flipped.metadata["cost"] == 4  # one direction flip
+        assert flipped.metadata["flips"] == 1
+
+    def test_optimize_placement_never_worse(self, qx4):
+        circuit = random_circuit(4, 8, seed=2, two_qubit_fraction=0.8)
+        fixed = route_exact(circuit, qx4)
+        free = route_exact(circuit, qx4, optimize_placement=True)
+        assert free.metadata["cost"] <= fixed.metadata["cost"]
+        _assert_routed_ok(circuit, qx4, free)
+
+    def test_custom_costs(self):
+        device = linear_device(3)
+        circuit = Circuit(3).cnot(0, 2)
+        result = route_exact(circuit, device, swap_cost=10, flip_cost=0)
+        assert result.metadata["cost"] == 10
+
+
+class TestSabreOptions:
+    def test_lookahead_zero_still_correct(self, grid33):
+        circuit = random_circuit(6, 15, seed=4, two_qubit_fraction=0.7)
+        result = route_sabre(circuit, grid33, lookahead=0)
+        _assert_routed_ok(circuit, grid33, result)
+
+    def test_decay_disabled_still_correct(self, grid33):
+        circuit = random_circuit(6, 15, seed=5, two_qubit_fraction=0.7)
+        result = route_sabre(circuit, grid33, use_decay=False)
+        _assert_routed_ok(circuit, grid33, result)
+
+    def test_metadata(self, line5, ghz3):
+        result = route_sabre(ghz3, line5, lookahead=7)
+        assert result.metadata["lookahead"] == 7
+
+
+class TestAstarOptions:
+    def test_multiple_lookahead_layers(self, grid33):
+        circuit = random_circuit(6, 12, seed=6, two_qubit_fraction=0.7)
+        result = route_astar(circuit, grid33, lookahead_layers=3)
+        _assert_routed_ok(circuit, grid33, result)
+
+    def test_no_lookahead(self, grid33):
+        circuit = random_circuit(6, 12, seed=7, two_qubit_fraction=0.7)
+        result = route_astar(circuit, grid33, lookahead_layers=0)
+        _assert_routed_ok(circuit, grid33, result)
+
+    def test_interleaved_independent_layers(self):
+        # Regression: gates of later DAG layers appearing early in the
+        # original order must not confuse the rebuild.
+        device = linear_device(5)
+        circuit = Circuit(5).cnot(0, 1).cnot(0, 2).cnot(3, 4)
+        result = route_astar(circuit, device)
+        _assert_routed_ok(circuit, device, result)
+
+
+class TestLatencyRouter:
+    def test_estimates_latency(self, s17, ghz3):
+        result = route_latency(ghz3, s17)
+        assert result.metadata["estimated_latency"] > 0
+        _assert_routed_ok(ghz3, s17, result)
+
+    def test_latency_weight_changes_choices_but_not_correctness(self, grid33):
+        circuit = random_circuit(6, 20, seed=8, two_qubit_fraction=0.7)
+        for weight in (0.0, 0.5, 5.0):
+            result = route_latency(circuit, grid33, latency_weight=weight)
+            _assert_routed_ok(circuit, grid33, result)
+
+
+class TestDisconnectedDevice:
+    def test_naive_raises_cleanly(self):
+        device = Device("split", 4, [(0, 1), (2, 3)], ["u", "cnot"])
+        circuit = Circuit(4).cnot(0, 3)
+        with pytest.raises(Exception):
+            route_naive(circuit, device)

@@ -1,0 +1,127 @@
+"""Tests for quantum-dot devices and shuttle-based routing (Sec. VI-C)."""
+
+import pytest
+
+from repro.core import Circuit
+from repro.core.gates import Gate, gate_matrix
+from repro.decompose import decompose_circuit
+from repro.devices import get_device, quantum_dot_device
+from repro.mapping.placement import FREE, Placement
+from repro.mapping.routing import route, route_sabre, route_shuttle
+from repro.verify import equivalent_mapped
+from repro.workloads import qft, random_circuit
+
+import numpy as np
+
+
+class TestShuttleGate:
+    def test_unitary_equals_swap(self):
+        assert np.allclose(gate_matrix("shuttle"), gate_matrix("swap"))
+
+    def test_symmetric_and_self_inverse(self):
+        gate = Gate("shuttle", (0, 1))
+        assert gate.is_symmetric
+        assert gate.inverse() == gate
+
+
+class TestDotDevice:
+    def test_has_shuttling_feature(self):
+        device = quantum_dot_device(3, 3)
+        assert "shuttling" in device.features
+        assert "shuttle" in device.native_gates
+
+    def test_registry(self):
+        device = get_device("dots", rows=2, cols=3)
+        assert device.num_qubits == 6
+        assert "shuttling" in device.features
+
+    def test_serialisation_keeps_feature(self):
+        from repro.devices import Device
+
+        device = quantum_dot_device(2, 3)
+        restored = Device.from_json(device.to_json())
+        assert "shuttling" in restored.features
+        assert "shuttle" in restored.native_gates
+
+    def test_shuttle_cheaper_than_swap(self):
+        device = quantum_dot_device(2, 3)
+        assert device.duration("shuttle") < device.duration("swap")
+
+    def test_grid_device_has_no_shuttling(self):
+        assert "shuttling" not in get_device("grid", rows=2, cols=2).features
+
+
+class TestShuttleRouter:
+    def test_prefers_shuttle_into_empty_site(self):
+        # Line of 3 sites, 2 program qubits at the ends; the middle is
+        # empty, so one shuttle (not swaps) brings them together.
+        device = quantum_dot_device(1, 3)
+        circuit = Circuit(2).cnot(0, 1)
+        placement = Placement.from_partial({0: 0, 1: 2}, 2, 3)
+        result = route_shuttle(circuit, device, placement)
+        assert result.metadata["shuttles"] == 1
+        assert result.metadata["swaps"] == 0
+        assert equivalent_mapped(circuit, result.circuit, result.initial, result.final)
+
+    def test_falls_back_to_swaps_when_full(self):
+        device = quantum_dot_device(1, 3)
+        circuit = Circuit(3).cnot(0, 2)  # every site occupied
+        result = route_shuttle(circuit, device)
+        assert result.metadata["shuttles"] == 0
+        assert result.metadata["swaps"] >= 1
+
+    def test_move_cost_beats_pure_swap_on_sparse_array(self):
+        device = quantum_dot_device(3, 4)
+        wins = 0
+        for seed in range(4):
+            circuit = random_circuit(6, 25, seed=seed, two_qubit_fraction=0.6)
+            swap_cost = 3 * route_sabre(circuit, device).added_swaps
+            shuttle_cost = route_shuttle(circuit, device).metadata["move_cost"]
+            if shuttle_cost <= swap_cost:
+                wins += 1
+        assert wins >= 3
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_equivalence_on_random_circuits(self, seed):
+        device = quantum_dot_device(3, 3)
+        circuit = random_circuit(5, 20, seed=seed)
+        result = route(circuit, device, "shuttle")
+        assert equivalent_mapped(circuit, result.circuit, result.initial, result.final)
+
+    def test_tracks_placement_through_shuttles(self):
+        device = quantum_dot_device(1, 3)
+        circuit = Circuit(2).cnot(0, 1)
+        placement = Placement.from_partial({0: 0, 1: 2}, 2, 3)
+        result = route_shuttle(circuit, device, placement)
+        assert result.initial != result.final
+        moved = [result.final.phys(q) for q in range(2)]
+        assert device.connected(*moved)
+
+    def test_on_non_shuttling_device_uses_swaps_only(self):
+        device = get_device("grid", rows=2, cols=3)
+        circuit = random_circuit(5, 15, seed=1, two_qubit_fraction=0.7)
+        result = route_shuttle(circuit, device)
+        assert result.metadata["shuttles"] == 0
+        assert equivalent_mapped(circuit, result.circuit, result.initial, result.final)
+
+    def test_shuttle_decomposes_to_swap_elsewhere(self):
+        device = get_device("grid", rows=1, cols=2)
+        circuit = Circuit(2, [Gate("shuttle", (0, 1))])
+        lowered = decompose_circuit(circuit, device)
+        assert "shuttle" not in {g.name for g in lowered}
+        assert device.conforms(lowered)
+
+
+class TestFullPipelineOnDots:
+    def test_compile_circuit_with_shuttle_router(self):
+        from repro.core.pipeline import compile_circuit
+
+        device = quantum_dot_device(3, 4)
+        circuit = qft(5)
+        result = compile_circuit(circuit, device, placer="greedy", router="shuttle")
+        assert device.conforms(result.native)
+        assert equivalent_mapped(
+            circuit, result.native, result.routed.initial, result.routed.final
+        )
+        # Shuttles survive lowering (they are native on dots).
+        assert result.routed.circuit.count("shuttle") == result.native.count("shuttle")

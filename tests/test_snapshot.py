@@ -1,0 +1,112 @@
+"""Tests for the execution snapshot (Section VI-B)."""
+
+import pytest
+
+from repro.core import Circuit
+from repro.core.snapshot import ExecutionSnapshot, GateColor
+from repro.mapping.placement import FREE, Placement
+
+
+class TestColours:
+    def test_initial_colouring(self, s17, ghz3):
+        snapshot = ExecutionSnapshot.begin(ghz3, s17)
+        assert snapshot.colors[0] is GateColor.READY
+        assert snapshot.colors[1] is GateColor.PENDING
+
+    def test_schedule_recolours_successors(self, s17, ghz3):
+        snapshot = ExecutionSnapshot.begin(ghz3, s17)
+        snapshot.schedule(0, 0)
+        assert snapshot.colors[0] is GateColor.DONE
+        assert snapshot.colors[1] is GateColor.READY
+
+    def test_cannot_schedule_pending(self, s17, ghz3):
+        snapshot = ExecutionSnapshot.begin(ghz3, s17)
+        with pytest.raises(ValueError):
+            snapshot.schedule(1, 0)
+
+    def test_cannot_schedule_twice(self, s17, ghz3):
+        snapshot = ExecutionSnapshot.begin(ghz3, s17)
+        snapshot.schedule(0, 0)
+        with pytest.raises(ValueError):
+            snapshot.schedule(0, 5)
+
+    def test_finished(self, s17, bell):
+        snapshot = ExecutionSnapshot.begin(bell, s17)
+        assert not snapshot.finished()
+        snapshot.schedule(0, 0)
+        snapshot.schedule(1, 1)
+        assert snapshot.finished()
+
+
+class TestCompatibility:
+    def test_busy_qubits_excluded(self, s17):
+        circuit = Circuit(4).x(0).cz(0, 3)  # 0 and 3 are coupled on S-17
+        snapshot = ExecutionSnapshot.begin(circuit, s17)
+        snapshot.schedule(0, 0)  # x on qubit 0, busy during cycle 0
+        assert 1 not in snapshot.compatible_gates(0)
+        assert 1 in snapshot.compatible_gates(1)
+
+    def test_disconnected_two_qubit_excluded(self, s17):
+        circuit = Circuit(3).cz(0, 1)
+        placement = Placement.from_partial({0: 1, 1: 7, 2: 2}, 3, 17)
+        snapshot = ExecutionSnapshot.begin(circuit, s17, placement)
+        # 1 and 7 are not connected on Surface-17.
+        assert snapshot.compatible_gates(0) == []
+
+    def test_non_native_excluded(self, s17, ghz3):
+        snapshot = ExecutionSnapshot.begin(ghz3, s17)
+        # h and cnot are not Surface-17 natives.
+        assert snapshot.compatible_gates(0) == []
+
+
+class TestPlacementTracking:
+    def test_insert_swap_updates_current_not_initial(self, s17):
+        circuit = Circuit(2).cz(0, 1)
+        snapshot = ExecutionSnapshot.begin(circuit, s17)
+        snapshot.insert_swap(0, 3, 0)
+        assert snapshot.current_placement.phys(0) == 3
+        assert snapshot.initial_placement.phys(0) == 0
+
+    def test_insert_swap_requires_connection(self, s17):
+        snapshot = ExecutionSnapshot.begin(Circuit(2), s17)
+        with pytest.raises(ValueError):
+            snapshot.insert_swap(1, 7, 0)
+
+    def test_insert_swap_requires_free_qubits(self, s17):
+        circuit = Circuit(1).x(0)
+        snapshot = ExecutionSnapshot.begin(circuit, s17)
+        snapshot.schedule(0, 0)
+        with pytest.raises(ValueError):
+            snapshot.insert_swap(0, 3, 0)
+
+    def test_placement_array_has_free_marker(self, s17):
+        snapshot = ExecutionSnapshot.begin(Circuit(2), s17)
+        array = snapshot.placement_array()
+        assert array[0] == 0 and array[1] == 1
+        assert array[5] == FREE
+
+    def test_scheduled_gate_uses_current_placement(self, s17):
+        circuit = Circuit(1).x(0)
+        snapshot = ExecutionSnapshot.begin(circuit, s17)
+        snapshot.insert_swap(0, 3, 0)
+        item = snapshot.schedule(0, snapshot.device.duration("swap"))
+        assert item.gate.qubits == (3,)
+
+
+class TestScheduleTable:
+    def test_table_groups_by_cycle(self, s17):
+        circuit = Circuit(2).x(0).y(1)
+        snapshot = ExecutionSnapshot.begin(circuit, s17)
+        snapshot.schedule(0, 0)
+        snapshot.schedule(1, 0)
+        table = snapshot.schedule_table()
+        assert len(table[0]) == 2
+
+    def test_busy_until_respected(self, s17):
+        circuit = Circuit(1).x(0).y(0)
+        snapshot = ExecutionSnapshot.begin(circuit, s17)
+        snapshot.schedule(0, 0)
+        with pytest.raises(ValueError):
+            snapshot.schedule(1, 0)
+        snapshot.schedule(1, 1)
+        assert snapshot.finished()

@@ -1,0 +1,203 @@
+"""Tests for the CHP stabilizer-tableau simulator."""
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Circuit
+from repro.core.gates import Gate
+from repro.sim import StabilizerState, simulate
+
+
+def _z_expectation_sv(state: np.ndarray, qubits, n: int) -> float:
+    probs = np.abs(state) ** 2
+    expectation = 0.0
+    for index, p in enumerate(probs):
+        bits = format(index, f"0{n}b")
+        parity = sum(int(bits[q]) for q in qubits) % 2
+        expectation += p * (1 - 2 * parity)
+    return expectation
+
+
+def _random_clifford(n: int, gates: int, seed: int) -> Circuit:
+    rng = random.Random(seed)
+    circuit = Circuit(n)
+    for _ in range(gates):
+        kind = rng.choice(["h", "s", "sdg", "x", "y", "z", "cnot", "cz", "swap"])
+        if kind in ("cnot", "cz", "swap"):
+            a, b = rng.sample(range(n), 2)
+            getattr(circuit, kind)(a, b)
+        else:
+            getattr(circuit, kind)(rng.randrange(n))
+    return circuit
+
+
+class TestBasics:
+    def test_initial_state_is_all_zero(self):
+        state = StabilizerState(3)
+        for q in range(3):
+            assert state.z_expectation([q]) == 1
+            assert state.copy().measure(q) == 0
+
+    def test_x_flips(self):
+        state = StabilizerState(2)
+        state.apply(Gate("x", (0,)))
+        assert state.measure(0) == 1
+        assert state.measure(1) == 0
+
+    def test_h_gives_random_outcome(self):
+        state = StabilizerState(1, np.random.default_rng(0))
+        state.apply(Gate("h", (0,)))
+        assert state.z_expectation([0]) == 0
+        outcomes = {StabilizerState(1, np.random.default_rng(s)).apply(
+            Gate("h", (0,))).measure(0) for s in range(16)}
+        assert outcomes == {0, 1}
+
+    def test_measurement_repeats_after_collapse(self):
+        state = StabilizerState(1, np.random.default_rng(3))
+        state.apply(Gate("h", (0,)))
+        first = state.measure(0)
+        for _ in range(3):
+            assert state.measure(0) == first
+
+    def test_bell_correlations(self):
+        state = StabilizerState(2, np.random.default_rng(5))
+        state.run(Circuit(2).h(0).cnot(0, 1))
+        assert state.z_expectation([0, 1]) == 1
+        assert state.z_expectation([0]) == 0
+        a, b = state.measure(0), state.measure(1)
+        assert a == b
+
+    def test_ghz_counts(self):
+        state = StabilizerState(3, np.random.default_rng(6))
+        state.run(Circuit(3).h(0).cnot(0, 1).cnot(1, 2))
+        counts = state.sample_counts(40)
+        assert set(counts) <= {"000", "111"}
+
+    def test_prep_z_resets(self):
+        state = StabilizerState(1, np.random.default_rng(7))
+        state.apply(Gate("x", (0,)))
+        state.apply(Gate("prep_z", (0,)))
+        assert state.z_expectation([0]) == 1
+
+    def test_conditioned_gate(self):
+        state = StabilizerState(2, np.random.default_rng(8))
+        state.apply(Gate("x", (0,)))
+        state.apply(Gate("measure", (0,)))
+        state.apply(Gate("x", (1,), condition=(0, 1)))
+        assert state.measure(1) == 1
+
+    def test_condition_on_unmeasured_raises(self):
+        state = StabilizerState(1)
+        with pytest.raises(RuntimeError):
+            state.apply(Gate("x", (0,), condition=(0, 1)))
+
+    def test_non_clifford_rejected(self):
+        state = StabilizerState(1)
+        with pytest.raises(ValueError):
+            state.apply(Gate("t", (0,)))
+        with pytest.raises(ValueError):
+            state.apply(Gate("rx", (0,), (0.3,)))
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            StabilizerState(2).run(Circuit(3))
+
+
+class TestAgainstStatevector:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_z_string_expectations_agree(self, seed):
+        n = 4
+        circuit = _random_clifford(n, 18, seed)
+        sv = simulate(circuit)
+        tableau = StabilizerState(n, np.random.default_rng(seed))
+        tableau.run(circuit)
+        for size in (1, 2, 3):
+            for qubits in itertools.combinations(range(n), size):
+                expected = _z_expectation_sv(sv, qubits, n)
+                got = tableau.z_expectation(qubits)
+                assert abs(expected - got) < 1e-9, (seed, qubits)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_seeds(self, seed):
+        n = 3
+        circuit = _random_clifford(n, 12, seed)
+        sv = simulate(circuit)
+        tableau = StabilizerState(n, np.random.default_rng(seed))
+        tableau.run(circuit)
+        for q in range(n):
+            expected = _z_expectation_sv(sv, (q,), n)
+            assert abs(expected - tableau.z_expectation((q,))) < 1e-9
+
+    def test_deterministic_measurements_agree(self):
+        circuit = Circuit(3).h(0).cnot(0, 1).cnot(0, 2).cnot(0, 1).h(0)
+        # This circuit is |0> on qubit 0? run both and compare where
+        # the statevector says the marginal is deterministic.
+        sv = simulate(circuit)
+        tableau = StabilizerState(3, np.random.default_rng(1))
+        tableau.run(circuit)
+        for q in range(3):
+            marginal = _z_expectation_sv(sv, (q,), 3)
+            if abs(abs(marginal) - 1.0) < 1e-9:
+                expected = 0 if marginal > 0 else 1
+                assert tableau.copy().measure(q) == expected
+
+
+class TestScaling:
+    def test_fifty_qubits_run_fast(self):
+        n = 50
+        circuit = Circuit(n).h(0)
+        for q in range(n - 1):
+            circuit.cnot(q, q + 1)
+        state = StabilizerState(n, np.random.default_rng(2))
+        state.run(circuit)
+        assert state.z_expectation(list(range(n))) in (-1, 1)
+        assert state.z_expectation([0]) == 0
+
+    def test_d5_surface_code_cycle(self):
+        from repro.qec import RotatedSurfaceCode, SyndromeExtractor
+
+        code = RotatedSurfaceCode(5)
+        assert code.num_qubits == 49
+        extractor = SyndromeExtractor(code, seed=1, backend="stabilizer")
+        reference = extractor.establish_reference()
+        for stabilizer in code.z_stabilizers():
+            assert reference[stabilizer.ancilla] == 0
+        assert extractor.syndrome() == {"X": frozenset(), "Z": frozenset()}
+
+    def test_d5_error_correction(self):
+        from repro.qec import MatchingDecoder, RotatedSurfaceCode, SyndromeExtractor
+
+        code = RotatedSurfaceCode(5)
+        decoder = MatchingDecoder(code)
+        for victim in (0, 12, 24):
+            extractor = SyndromeExtractor(code, seed=victim, backend="stabilizer")
+            extractor.establish_reference()
+            extractor.inject("x", victim)
+            correction = decoder.decode(extractor.syndrome())
+            extractor.apply_correction("x", correction["X"])
+            extractor.syndrome()
+            assert extractor.syndrome() == {"X": frozenset(), "Z": frozenset()}
+            assert extractor.logical_z_expectation() == 1.0
+
+    def test_backends_agree_on_d3(self):
+        from repro.qec import RotatedSurfaceCode, SyndromeExtractor
+
+        code = RotatedSurfaceCode(3)
+        for backend in ("statevector", "stabilizer"):
+            extractor = SyndromeExtractor(code, seed=9, backend=backend)
+            extractor.establish_reference()
+            extractor.inject("x", 4)
+            syndrome = extractor.syndrome()
+            assert sorted(syndrome["Z"]) == [12, 13], backend
+
+    def test_unknown_backend(self):
+        from repro.qec import RotatedSurfaceCode, SyndromeExtractor
+
+        with pytest.raises(ValueError):
+            SyndromeExtractor(RotatedSurfaceCode(3), backend="quantum")

@@ -1,0 +1,162 @@
+"""Unit tests for repro.sim.statevector."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Circuit
+from repro.core import gates as G
+from repro.sim import StateVector, apply_gate, basis_state, simulate, zero_state
+
+_INV2 = 1 / math.sqrt(2)
+
+
+class TestStates:
+    def test_zero_state(self):
+        state = zero_state(3)
+        assert state[0] == 1 and np.count_nonzero(state) == 1
+
+    def test_basis_state_from_int(self):
+        state = basis_state(2, 3)
+        assert state[3] == 1
+
+    def test_basis_state_from_string_msb_first(self):
+        # "10" means qubit0 = 1, qubit1 = 0 -> index 2.
+        state = basis_state(2, "10")
+        assert state[2] == 1
+
+    def test_basis_state_out_of_range(self):
+        with pytest.raises(ValueError):
+            basis_state(2, 4)
+
+
+class TestGateApplication:
+    def test_h_creates_superposition(self):
+        state = apply_gate(zero_state(1), G.h(0), 1)
+        assert np.allclose(state, [_INV2, _INV2])
+
+    def test_x_flips(self):
+        state = apply_gate(zero_state(2), G.x(1), 2)
+        assert state[1] == 1  # qubit1 is the LSB
+
+    def test_x_on_msb(self):
+        state = apply_gate(zero_state(2), G.x(0), 2)
+        assert state[2] == 1
+
+    def test_cnot_entangles_bell(self):
+        circuit = Circuit(2).h(0).cnot(0, 1)
+        state = simulate(circuit)
+        assert np.allclose(state, [_INV2, 0, 0, _INV2])
+
+    def test_cnot_control_target_order(self):
+        # X on qubit1 then CNOT(1, 0): control=1 is set -> flips qubit0.
+        circuit = Circuit(2).x(1).cnot(1, 0)
+        state = simulate(circuit)
+        assert state[3] == 1
+
+    def test_swap_moves_amplitude(self):
+        circuit = Circuit(2).x(0).swap(0, 1)
+        state = simulate(circuit)
+        assert state[1] == 1
+
+    def test_toffoli_flips_only_when_both_controls_set(self):
+        fires = simulate(Circuit(3).x(0).x(1).toffoli(0, 1, 2))
+        assert fires[0b111] == 1
+        holds = simulate(Circuit(3).x(0).toffoli(0, 1, 2))
+        assert holds[0b100] == 1
+
+    def test_gate_application_matches_matrix_on_nonadjacent_qubits(self):
+        rng = np.random.default_rng(3)
+        psi = rng.normal(size=8) + 1j * rng.normal(size=8)
+        psi /= np.linalg.norm(psi)
+        from repro.sim.unitary import gate_unitary
+
+        gate = G.cnot(2, 0)
+        direct = apply_gate(psi, gate, 3)
+        via_matrix = gate_unitary(gate, 3) @ psi
+        assert np.allclose(direct, via_matrix)
+
+    def test_norm_preserved(self):
+        circuit = Circuit(3).h(0).cnot(0, 1).t(2).cz(1, 2)
+        state = simulate(circuit)
+        assert math.isclose(np.linalg.norm(state), 1.0, abs_tol=1e-12)
+
+    def test_apply_gate_rejects_nonunitary(self):
+        with pytest.raises(ValueError):
+            apply_gate(zero_state(1), G.measure(0), 1)
+
+
+class TestMeasurement:
+    def test_deterministic_outcome(self):
+        sv = StateVector(1)
+        sv.apply(G.x(0))
+        assert sv.measure(0) == 1
+        assert sv.results[0] == 1
+
+    def test_collapse(self):
+        sv = StateVector(2, rng=np.random.default_rng(0))
+        sv.run(Circuit(2).h(0).cnot(0, 1))
+        first = sv.measure(0)
+        second = sv.measure(1)
+        assert first == second  # Bell correlations
+
+    def test_measure_gate_via_run(self):
+        sv = StateVector(1)
+        sv.run(Circuit(1).x(0).measure(0))
+        assert sv.results[0] == 1
+
+    def test_probability_of(self):
+        sv = StateVector(2)
+        sv.apply(G.h(0))
+        assert math.isclose(sv.probability_of(0, 1), 0.5, abs_tol=1e-12)
+        assert math.isclose(sv.probability_of(1, 1), 0.0, abs_tol=1e-12)
+
+    def test_sample_counts_distribution(self):
+        sv = StateVector(1, rng=np.random.default_rng(42))
+        sv.apply(G.h(0))
+        counts = sv.sample_counts(2000)
+        assert set(counts) == {"0", "1"}
+        assert abs(counts["0"] - 1000) < 150
+
+    def test_sample_counts_selected_qubits(self):
+        sv = StateVector(2)
+        sv.apply(G.x(1))
+        counts = sv.sample_counts(10, qubits=[1])
+        assert counts == {"1": 10}
+
+    def test_prep_z_resets(self):
+        sv = StateVector(1)
+        sv.apply(G.x(0))
+        sv.apply(G.prep_z(0))
+        assert np.allclose(sv.state, [1, 0])
+
+    def test_measurement_outcomes_are_seeded(self):
+        def outcome(seed):
+            sv = StateVector(1, rng=np.random.default_rng(seed))
+            sv.apply(G.h(0))
+            return sv.measure(0)
+
+        assert outcome(7) == outcome(7)
+
+    def test_fidelity(self):
+        a = StateVector(1)
+        b = StateVector(1)
+        assert math.isclose(a.fidelity(b), 1.0)
+        b.apply(G.x(0))
+        assert math.isclose(a.fidelity(b), 0.0, abs_tol=1e-12)
+
+
+class TestRunValidation:
+    def test_mismatched_widths_raise(self):
+        with pytest.raises(ValueError):
+            StateVector(2).run(Circuit(3))
+
+    def test_bad_initial_state_shape(self):
+        with pytest.raises(ValueError):
+            StateVector(2, state=np.ones(3))
+
+    def test_barrier_is_noop(self):
+        sv = StateVector(2)
+        sv.run(Circuit(2).barrier())
+        assert np.allclose(sv.state, zero_state(2))

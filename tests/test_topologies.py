@@ -1,0 +1,131 @@
+"""Tests for the concrete topologies, pinned to the paper's statements."""
+
+import networkx as nx
+import pytest
+
+from repro.devices import get_device, ibm_qx4, ibm_qx5, surface7, surface17
+from repro.devices.topologies import (
+    SURFACE7_ROWS,
+    SURFACE17_ROWS,
+    grid_edges,
+    linear_edges,
+    surface_edges,
+)
+
+
+class TestIBMQX4:
+    def test_five_qubits_six_connections(self, qx4):
+        assert qx4.num_qubits == 5
+        assert len(qx4.undirected_edges()) == 6
+
+    def test_directed(self, qx4):
+        assert not qx4.symmetric
+        # Section IV: CNOT control Q3 target Q4 is NOT allowed...
+        assert not qx4.has_edge(3, 4)
+        # ...but the connection exists with Q4 as control.
+        assert qx4.has_edge(4, 3)
+
+    def test_every_qubit_reachable(self, qx4):
+        assert nx.is_connected(qx4.undirected)
+
+    def test_native_set_is_u_plus_cnot(self, qx4):
+        assert "u" in qx4.native_gates and "cnot" in qx4.native_gates
+
+
+class TestIBMQX5:
+    def test_sixteen_qubits(self, qx5):
+        assert qx5.num_qubits == 16
+        assert len(qx5.undirected_edges()) == 22
+
+    def test_connected(self, qx5):
+        assert nx.is_connected(qx5.undirected)
+
+    def test_directed(self, qx5):
+        assert not qx5.symmetric
+
+
+class TestSurface17:
+    def test_seventeen_qubits(self, s17):
+        assert s17.num_qubits == 17
+
+    def test_paper_interaction_facts(self, s17):
+        # Section V: "qubits 1 and 5 can interact ... realising a
+        # two-qubit gate between qubits 1 and 7 is not possible".
+        assert s17.connected(1, 5)
+        assert not s17.connected(1, 7)
+
+    def test_symmetric_cz_device(self, s17):
+        assert s17.symmetric
+        assert s17.two_qubit_gate == "cz"
+
+    def test_lattice_is_bipartite(self, s17):
+        """No triangles: every edge joins a short row to a long row."""
+        assert nx.is_bipartite(s17.undirected)
+
+    def test_connected(self, s17):
+        assert nx.is_connected(s17.undirected)
+
+    def test_three_frequency_groups_cover_all_qubits(self, s17):
+        groups = s17.constraints.frequency_group
+        assert set(groups) == set(range(17))
+        assert set(groups.values()) == {0, 1, 2}
+
+    def test_coupled_qubits_have_different_frequencies(self, s17):
+        """Required by the CZ mechanism of Section V."""
+        groups = s17.constraints.frequency_group
+        for a, b in s17.undirected_edges():
+            assert groups[a] != groups[b], (a, b)
+
+    def test_paper_feedline_group(self, s17):
+        """Section V names the feedline {0, 2, 3, 6, 9, 12} explicitly."""
+        feedline = s17.constraints.feedline
+        group0 = {q for q, f in feedline.items() if f == feedline[0]}
+        assert group0 == {0, 2, 3, 6, 9, 12}
+
+    def test_feedlines_cover_all_qubits(self, s17):
+        assert set(s17.constraints.feedline) == set(range(17))
+
+    def test_durations_match_qmap_paper(self, s17):
+        assert s17.cycle_time_ns == 20.0
+        assert s17.duration("y90") == 1
+        assert s17.duration("cz") == 2
+        assert s17.duration("measure") == 30
+
+
+class TestSurface7:
+    def test_seven_qubits_eight_connections(self, s7):
+        assert s7.num_qubits == 7
+        assert len(s7.undirected_edges()) == 8
+
+    def test_bipartite_and_connected(self, s7):
+        assert nx.is_bipartite(s7.undirected)
+        assert nx.is_connected(s7.undirected)
+
+    def test_has_constraints(self, s7):
+        assert s7.constraints is not None
+        assert set(s7.constraints.feedline) == set(range(7))
+
+
+class TestGenericBuilders:
+    def test_linear(self):
+        edges, positions = linear_edges(4)
+        assert edges == [(0, 1), (1, 2), (2, 3)]
+        assert len(positions) == 4
+
+    def test_grid_edge_count(self):
+        edges, _ = grid_edges(3, 4)
+        assert len(edges) == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_structure(self):
+        device = get_device("grid", rows=2, cols=2)
+        assert device.connected(0, 1) and device.connected(0, 2)
+        assert not device.connected(0, 3)
+
+    def test_surface_rows_sum(self):
+        assert sum(SURFACE17_ROWS) == 17
+        assert sum(SURFACE7_ROWS) == 7
+
+    def test_surface_edges_degree_bound(self):
+        edges, _ = surface_edges(SURFACE17_ROWS)
+        g = nx.Graph(edges)
+        assert max(dict(g.degree).values()) <= 4

@@ -1,0 +1,156 @@
+"""Tests for the Section VI-C unique hardware features:
+
+trapped ions (all-to-all rxx with serialized two-qubit gates) and
+photonics (demolition measurement with photon re-initialisation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Circuit
+from repro.core.gates import Gate, gate_matrix
+from repro.decompose import decompose_circuit
+from repro.devices import get_device, ion_trap_device, photonic_device
+from repro.mapping import insert_photon_reinit
+from repro.mapping.control import schedule_with_constraints
+from repro.mapping.routing import route
+from repro.verify import equivalent_circuits, equivalent_mapped
+from repro.workloads import ghz, qft, random_circuit
+
+
+class TestRxxGate:
+    def test_matrix_is_ms_interaction(self):
+        import math
+
+        theta = 0.7
+        got = gate_matrix("rxx", [theta])
+        xx = np.kron(gate_matrix("x"), gate_matrix("x"))
+        expected = (
+            math.cos(theta / 2) * np.eye(4) - 1j * math.sin(theta / 2) * xx
+        )
+        assert np.allclose(got, expected)
+
+    def test_symmetric(self):
+        assert Gate("rxx", (0, 1), (0.3,)).is_symmetric
+
+    def test_inverse_negates_angle(self):
+        gate = Gate("rxx", (0, 1), (0.3,))
+        assert gate.inverse().params == (-0.3,)
+
+    def test_cnot_from_rxx(self):
+        from repro.decompose.rules import expand_cnot_to_rxx
+
+        expansion = Circuit(2, expand_cnot_to_rxx(0, 1))
+        assert equivalent_circuits(Circuit(2).cnot(0, 1), expansion)
+
+    @pytest.mark.parametrize("theta", [0.3, -1.2, np.pi / 2])
+    def test_rxx_from_cnot(self, theta):
+        from repro.decompose.rules import expand_rxx_to_cnot
+
+        original = Circuit(2, [Gate("rxx", (0, 1), (theta,))])
+        expansion = Circuit(2, expand_rxx_to_cnot(theta, 0, 1))
+        assert equivalent_circuits(original, expansion)
+
+
+class TestIonTrap:
+    def test_all_to_all(self):
+        device = ion_trap_device(5)
+        for a in range(5):
+            for b in range(a + 1, 5):
+                assert device.connected(a, b)
+
+    def test_registry(self):
+        assert get_device("iontrap", num_qubits=4).num_qubits == 4
+
+    def test_full_lowering_to_rxx_basis(self):
+        device = ion_trap_device(4)
+        circuit = qft(4)
+        lowered = decompose_circuit(circuit, device)
+        assert device.conforms(lowered)
+        twoq = {g.name for g in lowered if len(g.qubits) == 2}
+        assert twoq == {"rxx"}
+        assert equivalent_circuits(circuit, lowered)
+
+    def test_no_routing_needed(self):
+        device = ion_trap_device(5)
+        circuit = random_circuit(5, 20, seed=1, two_qubit_fraction=0.7)
+        result = route(circuit, device, "sabre")
+        assert result.added_swaps == 0
+
+    def test_serial_two_qubit_gates(self):
+        device = ion_trap_device(4)
+        circuit = Circuit(4)
+        circuit.append(Gate("rxx", (0, 1), (1.0,)))
+        circuit.append(Gate("rxx", (2, 3), (1.0,)))
+        serial = schedule_with_constraints(circuit, device)
+        parallel = schedule_with_constraints(
+            circuit, device, serial_two_qubit=False
+        )
+        assert serial.latency == 2 * device.duration("rxx")
+        assert parallel.latency == device.duration("rxx")
+
+    def test_single_qubit_gates_still_parallel(self):
+        device = ion_trap_device(3)
+        circuit = Circuit(3).rx(0.5, 0).rx(0.5, 1).rx(0.5, 2)
+        schedule = schedule_with_constraints(circuit, device)
+        assert schedule.latency == 1
+
+    def test_pipeline_end_to_end(self):
+        from repro.core.pipeline import compile_circuit
+
+        device = ion_trap_device(5)
+        circuit = ghz(5)
+        result = compile_circuit(circuit, device, schedule="constraints")
+        assert device.conforms(result.native)
+        assert equivalent_mapped(
+            circuit, result.native, result.routed.initial, result.routed.final
+        )
+
+
+class TestPhotonics:
+    def test_demolition_violation_detected(self):
+        device = photonic_device(2)
+        bad = Circuit(2).h(0).measure(0).x(0)
+        problems = device.validate_circuit(bad)
+        assert any("destroyed" in p.reason for p in problems)
+
+    def test_terminal_measurements_are_fine(self):
+        device = photonic_device(2)
+        circuit = Circuit(2).h(0).cnot(0, 1).measure_all()
+        assert device.conforms(circuit)
+
+    def test_explicit_prep_accepted(self):
+        device = photonic_device(1)
+        circuit = Circuit(1).measure(0).prep_z(0).x(0)
+        assert device.conforms(circuit)
+
+    def test_reinit_pass_repairs(self):
+        device = photonic_device(2)
+        bad = Circuit(2).h(0).measure(0).x(0).measure(0)
+        fixed = insert_photon_reinit(bad, device)
+        assert device.conforms(fixed)
+        assert fixed.count("prep_z") == 1  # only the reused measurement
+
+    def test_reinit_pass_noop_without_feature(self, qx4):
+        circuit = Circuit(2).measure(0).x(0)
+        assert insert_photon_reinit(circuit, qx4) == circuit
+
+    def test_reinit_skips_already_prepped(self):
+        device = photonic_device(1)
+        circuit = Circuit(1).measure(0).prep_z(0).x(0)
+        fixed = insert_photon_reinit(circuit, device)
+        assert fixed.count("prep_z") == 1
+
+    def test_reinit_semantics_measure_then_reuse(self):
+        """measure + new photon leaves |0> on the line."""
+        from repro.sim import StateVector
+
+        device = photonic_device(1)
+        circuit = insert_photon_reinit(Circuit(1).x(0).measure(0).h(0), device)
+        sv = StateVector(1, rng=np.random.default_rng(0))
+        sv.run(circuit)
+        # After prep_z the H acts on |0>: |+> regardless of the outcome.
+        assert abs(abs(sv.state[0]) - 1 / np.sqrt(2)) < 1e-9
+
+    def test_registry(self):
+        assert get_device("photonic", num_qubits=3).num_qubits == 3

@@ -1,0 +1,104 @@
+"""Unit tests for repro.sim.unitary."""
+
+import numpy as np
+import pytest
+
+from repro.core import Circuit
+from repro.core import gates as G
+from repro.sim import (
+    allclose_up_to_global_phase,
+    circuit_unitary,
+    gate_unitary,
+    permutation_unitary,
+    simulate,
+    zero_state,
+)
+
+
+class TestCircuitUnitary:
+    def test_identity_for_empty_circuit(self):
+        assert np.allclose(circuit_unitary(Circuit(2)), np.eye(4))
+
+    def test_matches_statevector_simulation(self):
+        circuit = Circuit(3).h(0).cnot(0, 1).t(2).cz(1, 2).swap(0, 2)
+        unitary = circuit_unitary(circuit)
+        assert np.allclose(unitary @ zero_state(3), simulate(circuit))
+
+    def test_is_unitary(self):
+        circuit = Circuit(2).h(0).cnot(0, 1).rz(0.3, 1)
+        u = circuit_unitary(circuit)
+        assert np.allclose(u @ u.conj().T, np.eye(4), atol=1e-10)
+
+    def test_barriers_ignored(self):
+        a = Circuit(2).h(0).barrier().cnot(0, 1)
+        b = Circuit(2).h(0).cnot(0, 1)
+        assert np.allclose(circuit_unitary(a), circuit_unitary(b))
+
+    def test_measurement_rejected(self):
+        with pytest.raises(ValueError):
+            circuit_unitary(Circuit(1).measure(0))
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            circuit_unitary(Circuit(13))
+
+    def test_gate_unitary_embedding(self):
+        # CNOT(0, 2) on three qubits: |100> -> |101>.
+        u = gate_unitary(G.cnot(0, 2), 3)
+        state = u @ (np.eye(8)[:, 0b100])
+        assert state[0b101] == 1
+
+    def test_gate_unitary_rejects_nonunitary(self):
+        with pytest.raises(ValueError):
+            gate_unitary(G.measure(0), 2)
+
+
+class TestPermutationUnitary:
+    def test_identity(self):
+        assert np.allclose(permutation_unitary([0, 1, 2], 3), np.eye(8))
+
+    def test_swap_matches_swap_gate(self):
+        perm = permutation_unitary([1, 0], 2)
+        assert np.allclose(perm, G.swap(0, 1).matrix())
+
+    def test_three_cycle(self):
+        # qubit0 -> line1, qubit1 -> line2, qubit2 -> line0.
+        perm = permutation_unitary([1, 2, 0], 3)
+        state = perm @ (np.eye(8)[:, 0b100])  # qubit0 was 1
+        assert state[0b010] == 1  # now on line 1
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            permutation_unitary([0, 0], 2)
+
+
+class TestGlobalPhase:
+    def test_equal_matrices(self):
+        m = circuit_unitary(Circuit(1).h(0))
+        assert allclose_up_to_global_phase(m, m)
+
+    def test_phase_factor_accepted(self):
+        m = circuit_unitary(Circuit(1).t(0))
+        assert allclose_up_to_global_phase(m, np.exp(1j * 0.7) * m)
+
+    def test_different_matrices_rejected(self):
+        a = circuit_unitary(Circuit(1).h(0))
+        b = circuit_unitary(Circuit(1).t(0))
+        assert not allclose_up_to_global_phase(a, b)
+
+    def test_scaling_rejected(self):
+        m = np.eye(2)
+        assert not allclose_up_to_global_phase(m, 2 * m)
+
+    def test_shape_mismatch_rejected(self):
+        assert not allclose_up_to_global_phase(np.eye(2), np.eye(4))
+
+    def test_known_identity_z_equals_hxh(self):
+        z = circuit_unitary(Circuit(1).z(0))
+        hxh = circuit_unitary(Circuit(1).h(0).x(0).h(0))
+        assert allclose_up_to_global_phase(z, hxh)
+
+    def test_known_identity_swap_equals_three_cnots(self):
+        swap = circuit_unitary(Circuit(2).swap(0, 1))
+        cnots = circuit_unitary(Circuit(2).cnot(0, 1).cnot(1, 0).cnot(0, 1))
+        assert allclose_up_to_global_phase(swap, cnots)

@@ -1,0 +1,103 @@
+"""Tests for the equivalence checker itself — it must catch bad mappings."""
+
+import numpy as np
+import pytest
+
+from repro.core import Circuit
+from repro.mapping.placement import Placement
+from repro.sim import simulate
+from repro.verify import apply_permutation, equivalent_circuits, equivalent_mapped
+
+
+class TestEquivalentCircuits:
+    def test_identical(self, bell):
+        assert equivalent_circuits(bell, bell)
+
+    def test_global_phase_tolerated(self):
+        a = Circuit(1).z(0)
+        b = Circuit(1).x(0).y(0)  # = -iZ... actually Y X = i Z; either way
+        assert equivalent_circuits(a, Circuit(1).y(0).x(0)) or equivalent_circuits(
+            a, b
+        )
+
+    def test_detects_difference(self):
+        assert not equivalent_circuits(Circuit(1).x(0), Circuit(1).y(0))
+
+    def test_width_mismatch(self):
+        assert not equivalent_circuits(Circuit(1), Circuit(2))
+
+
+class TestApplyPermutation:
+    def test_identity(self):
+        state = simulate(Circuit(2).x(0))
+        assert np.allclose(apply_permutation(state, [0, 1]), state)
+
+    def test_swap_matches_swap_gate(self):
+        state = simulate(Circuit(2).x(0).rz(0.3, 0))
+        swapped = apply_permutation(state, [1, 0])
+        direct = simulate(Circuit(2).x(0).rz(0.3, 0).swap(0, 1))
+        assert np.allclose(swapped, direct)
+
+    def test_cycle(self):
+        state = simulate(Circuit(3).x(0))
+        moved = apply_permutation(state, [1, 2, 0])
+        assert abs(moved[0b010]) == pytest.approx(1.0)
+
+
+class TestEquivalentMapped:
+    def test_trivial_mapping(self, bell):
+        initial = Placement.trivial(2)
+        assert equivalent_mapped(bell, bell, initial, initial)
+
+    def test_accepts_correct_swap_tracking(self):
+        original = Circuit(2).x(0)
+        mapped = Circuit(2).x(0).swap(0, 1)
+        initial = Placement.trivial(2)
+        final = initial.copy()
+        final.apply_swap(0, 1)
+        assert equivalent_mapped(original, mapped, initial, final)
+
+    def test_rejects_untracked_swap(self):
+        original = Circuit(2).x(0)
+        mapped = Circuit(2).x(0).swap(0, 1)
+        initial = Placement.trivial(2)
+        assert not equivalent_mapped(original, mapped, initial, initial)
+
+    def test_rejects_wrong_gate(self):
+        original = Circuit(2).x(0)
+        mapped = Circuit(2).y(0)
+        initial = Placement.trivial(2)
+        assert not equivalent_mapped(original, mapped, initial, initial)
+
+    def test_rejects_dropped_gate(self, ghz3):
+        mapped = Circuit(3).h(0).cnot(0, 1)  # missing last CNOT
+        initial = Placement.trivial(3)
+        assert not equivalent_mapped(ghz3, mapped, initial, initial)
+
+    def test_nontrivial_initial_placement(self):
+        original = Circuit(2).cnot(0, 1)
+        initial = Placement([1, 0])
+        mapped = Circuit(2).cnot(1, 0)  # program 0 lives on physical 1
+        assert equivalent_mapped(original, mapped, initial, initial)
+
+    def test_padding_to_device_size(self, ghz3):
+        initial = Placement.trivial(5, 3)
+        mapped = Circuit(5).h(0).cnot(0, 1).cnot(1, 2)
+        assert equivalent_mapped(ghz3, mapped, initial, initial)
+
+    def test_size_mismatch_raises(self, bell):
+        with pytest.raises(ValueError):
+            equivalent_mapped(bell, bell, Placement.trivial(3), Placement.trivial(3))
+
+    def test_large_circuit_uses_random_states(self):
+        """Above the dense-unitary limit the sampling path must still
+        accept correct mappings and reject wrong ones."""
+        n = 10
+        original = Circuit(n)
+        for q in range(n - 1):
+            original.cnot(q, q + 1)
+        initial = Placement.trivial(n)
+        assert equivalent_mapped(original, original.copy(), initial, initial)
+        broken = original.copy()
+        broken.x(0)
+        assert not equivalent_mapped(original, broken, initial, initial)

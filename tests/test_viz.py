@@ -1,0 +1,66 @@
+"""Smoke tests for the ASCII renderers."""
+
+from repro.core import Circuit
+from repro.mapping.scheduler import asap_schedule
+from repro.viz import draw_circuit, draw_device, draw_schedule
+
+
+class TestDrawCircuit:
+    def test_rows_per_qubit(self, ghz3):
+        text = draw_circuit(ghz3)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("q0:")
+
+    def test_cnot_symbols(self, bell):
+        text = draw_circuit(bell)
+        assert "*" in text and "+" in text
+
+    def test_vertical_connector_spans_gap(self):
+        text = draw_circuit(Circuit(3).cnot(0, 2))
+        assert "|" in text.splitlines()[1]
+
+    def test_swap_symbol(self):
+        assert "x" in draw_circuit(Circuit(2).swap(0, 1))
+
+    def test_parameterised_label(self):
+        assert "RX(0.50)" in draw_circuit(Circuit(1).rx(0.5, 0))
+
+    def test_measure_label(self):
+        assert "M" in draw_circuit(Circuit(1).measure(0))
+
+    def test_toffoli(self):
+        text = draw_circuit(Circuit(3).toffoli(0, 1, 2))
+        assert text.count("*") == 2 and "+" in text
+
+    def test_custom_prefix(self, bell):
+        assert "Q0:" in draw_circuit(bell, qubit_prefix="Q")
+
+
+class TestDrawSchedule:
+    def test_columns_are_cycles(self, s17):
+        schedule = asap_schedule(Circuit(2).x(0).y(0), s17)
+        text = draw_schedule(schedule)
+        assert text.splitlines()[0].startswith("cyc")
+        assert "X" in text and "Y" in text
+
+    def test_parallel_gates_same_column(self, s17):
+        schedule = asap_schedule(Circuit(2).x(0).x(1), s17)
+        lines = draw_schedule(schedule).splitlines()
+        assert "X" in lines[1] and "X" in lines[2]
+
+
+class TestDrawDevice:
+    def test_qx4_shows_directions(self, qx4):
+        text = draw_device(qx4)
+        assert "control->target" in text
+        assert "4->3" in text
+
+    def test_surface17_shows_constraints(self, s17):
+        text = draw_device(s17)
+        assert "frequency f1" in text
+        assert "feedline 0" in text
+        assert "(16)" in text
+
+    def test_symmetric_edges(self, line5):
+        assert "symmetric" in draw_device(line5)

@@ -1,0 +1,67 @@
+"""Extra rendering coverage: device families, feedforward, schedules."""
+
+from repro.core import Circuit
+from repro.core.gates import Gate
+from repro.devices import get_device
+from repro.mapping.scheduler import asap_schedule
+from repro.viz import draw_circuit, draw_device, draw_schedule
+
+
+class TestDeviceDrawings:
+    def test_iontrap_shows_all_to_all_edges(self):
+        device = get_device("iontrap", num_qubits=4)
+        text = draw_device(device)
+        assert "iontrap4" in text
+        assert "0-1" in text and "2-3" in text
+
+    def test_dots_render(self):
+        text = draw_device(get_device("dots", rows=2, cols=2))
+        assert "dots2x2" in text
+
+    def test_photonic_render(self):
+        text = draw_device(get_device("photonic", num_qubits=3))
+        assert "photonic3" in text
+
+    def test_rotated_surface_device_render(self):
+        from repro.qec import RotatedSurfaceCode
+
+        text = draw_device(RotatedSurfaceCode(3).device())
+        assert "frequency f1" in text and "feedline 2" in text
+
+
+class TestFeedforwardRendering:
+    def test_conditioned_gate_label(self):
+        circuit = Circuit(2)
+        circuit.measure(0)
+        circuit.append(Gate("x", (1,), condition=(0, 1)))
+        text = draw_circuit(circuit)
+        assert "X?c0" in text
+
+    def test_pulse_timeline_marks_feedforward(self):
+        from repro.devices import linear_device
+        from repro.pulse import lower_to_pulses
+
+        device = linear_device(2)
+        circuit = Circuit(2)
+        circuit.measure(0)
+        circuit.append(Gate("x", (1,), condition=(0, 1)))
+        program = lower_to_pulses(asap_schedule(circuit, device), device)
+        assert "~" in program.timeline()
+
+
+class TestScheduleRendering:
+    def test_multi_cycle_gate_marked_at_start(self, s17):
+        schedule = asap_schedule(Circuit(4).cz(0, 3).x(0), s17)
+        text = draw_schedule(schedule)
+        assert "*" in text  # the CZ endpoints
+        assert "X" in text
+
+    def test_shuttle_symbols(self):
+        from repro.devices import quantum_dot_device
+
+        device = quantum_dot_device(1, 2)
+        circuit = Circuit(2, [Gate("shuttle", (0, 1))])
+        text = draw_circuit(circuit)
+        assert text.count("#") == 0  # shuttle uses its own cells
+        schedule = asap_schedule(circuit, device)
+        assert draw_schedule(schedule)

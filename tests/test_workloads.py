@@ -1,0 +1,184 @@
+"""Semantic tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import Circuit
+from repro.sim import StateVector, simulate
+from repro.workloads import (
+    WORKLOADS,
+    bernstein_vazirani,
+    cuccaro_adder,
+    get_workload,
+    ghz,
+    grover,
+    qft,
+    quantum_volume_layers,
+    random_circuit,
+    random_cnot_circuit,
+    random_clifford_t,
+)
+
+
+class TestGHZ:
+    def test_state_is_ghz(self):
+        state = simulate(ghz(3))
+        assert abs(state[0]) ** 2 == pytest.approx(0.5)
+        assert abs(state[7]) ** 2 == pytest.approx(0.5)
+
+    def test_single_qubit(self):
+        state = simulate(ghz(1))
+        assert abs(state[0]) ** 2 == pytest.approx(0.5)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ghz(0)
+
+
+class TestQFT:
+    def test_qft_of_zero_is_uniform(self):
+        state = simulate(qft(3))
+        assert np.allclose(np.abs(state), 1 / np.sqrt(8))
+
+    def test_qft_matches_dft_matrix(self):
+        from repro.sim import circuit_unitary
+
+        n = 3
+        dim = 2**n
+        got = circuit_unitary(qft(n))
+        omega = np.exp(2j * np.pi / dim)
+        dft = np.array(
+            [[omega ** (r * c) for c in range(dim)] for r in range(dim)]
+        ) / np.sqrt(dim)
+        assert np.allclose(got, dft, atol=1e-8)
+
+    def test_without_final_swaps(self):
+        assert qft(4, include_swaps=False).count("swap") == 0
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", ["0", "1", "101", "1111", "0010"])
+    def test_recovers_secret(self, secret):
+        sv = StateVector(len(secret) + 1, rng=np.random.default_rng(1))
+        sv.run(bernstein_vazirani(secret))
+        measured = "".join(str(sv.results[q]) for q in range(len(secret)))
+        assert measured == secret
+
+    def test_single_query(self):
+        assert bernstein_vazirani("110").count("cnot") == 2
+
+    def test_invalid_secret(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani("")
+        with pytest.raises(ValueError):
+            bernstein_vazirani("102")
+
+
+class TestGrover:
+    @pytest.mark.parametrize("num_qubits,marked", [(2, 0), (2, 3), (3, 5)])
+    def test_amplifies_marked_state(self, num_qubits, marked):
+        state = simulate(grover(num_qubits, marked))
+        assert abs(state[marked]) ** 2 > 0.75
+
+    def test_two_qubit_single_iteration_is_exact(self):
+        state = simulate(grover(2, 1))
+        assert abs(state[1]) ** 2 == pytest.approx(1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            grover(4, 0)
+        with pytest.raises(ValueError):
+            grover(2, 7)
+
+
+class TestAdder:
+    @pytest.mark.parametrize("a,b", [(0, 0), (1, 0), (1, 1), (2, 3), (3, 3)])
+    def test_two_bit_addition(self, a, b):
+        bits = 2
+        n = 2 * bits + 2
+        prep = Circuit(n)
+        for i in range(bits):
+            if (a >> i) & 1:
+                prep.x(1 + 2 * i)
+            if (b >> i) & 1:
+                prep.x(2 + 2 * i)
+        state = simulate(prep.compose(cuccaro_adder(bits)))
+        index = int(np.argmax(np.abs(state)))
+        assert abs(state[index]) ** 2 == pytest.approx(1.0)
+        bitstring = format(index, f"0{n}b")  # qubit 0 first
+        total = b + a
+        got_b = sum(int(bitstring[2 + 2 * i]) << i for i in range(bits))
+        got_carry = int(bitstring[n - 1])
+        assert got_b + (got_carry << bits) == total
+        got_a = sum(int(bitstring[1 + 2 * i]) << i for i in range(bits))
+        assert got_a == a  # a register preserved
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            cuccaro_adder(0)
+
+
+class TestHardwareEfficientAnsatz:
+    def test_structure(self):
+        from repro.workloads import hardware_efficient_ansatz
+
+        circuit = hardware_efficient_ansatz(4, 3, seed=1)
+        assert circuit.num_two_qubit_gates() == 12  # ring of 4 per layer
+        assert circuit.count("ry") == 12 and circuit.count("rz") == 12
+        pairs = set(circuit.interaction_pairs())
+        assert pairs == {(0, 1), (1, 2), (2, 3), (0, 3)}  # the cycle
+
+    def test_seeded(self):
+        from repro.workloads import hardware_efficient_ansatz
+
+        assert hardware_efficient_ansatz(4, 2, seed=7) == (
+            hardware_efficient_ansatz(4, 2, seed=7)
+        )
+
+    def test_invalid_width(self):
+        from repro.workloads import hardware_efficient_ansatz
+
+        with pytest.raises(ValueError):
+            hardware_efficient_ansatz(1, 2)
+
+
+class TestRandomGenerators:
+    def test_random_circuit_reproducible(self):
+        assert random_circuit(4, 20, seed=5) == random_circuit(4, 20, seed=5)
+        assert random_circuit(4, 20, seed=5) != random_circuit(4, 20, seed=6)
+
+    def test_two_qubit_fraction_extremes(self):
+        only_2q = random_circuit(4, 30, two_qubit_fraction=1.0, seed=1)
+        assert only_2q.num_two_qubit_gates() == 30
+        only_1q = random_circuit(4, 30, two_qubit_fraction=0.0, seed=1)
+        assert only_1q.num_two_qubit_gates() == 0
+
+    def test_random_circuit_guards_width(self):
+        with pytest.raises(ValueError):
+            random_circuit(1, 5)
+
+    def test_random_cnot_circuit(self):
+        circuit = random_cnot_circuit(5, 12, seed=2)
+        assert circuit.size() == 12
+        assert all(g.name == "cnot" for g in circuit)
+
+    def test_random_clifford_t_gate_set(self):
+        circuit = random_clifford_t(4, 40, seed=3)
+        assert {g.name for g in circuit} <= {"h", "s", "t", "cnot"}
+
+    def test_quantum_volume_layers(self):
+        circuit = quantum_volume_layers(6, 4, seed=7)
+        # 3 pairs per layer, 4 layers.
+        assert circuit.num_two_qubit_gates() == 12
+
+
+class TestRegistry:
+    def test_all_entries_build(self):
+        for name in WORKLOADS:
+            circuit = get_workload(name)
+            assert isinstance(circuit, Circuit)
+            assert circuit.size() > 0
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("factoring")
