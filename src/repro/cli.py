@@ -104,6 +104,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--error-2q", type=float, default=0.01,
         help="two-qubit error rate for --noise (default 0.01)",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the routers on the fixed-seed corpus and check "
+        "byte-identical equivalence with the seed implementations",
+    )
+    bench.add_argument(
+        "--json", metavar="FILE", dest="json_path",
+        help="write the full report as JSON (e.g. BENCH_routers.json)",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=1,
+        help="timing repeats per case, best-of-N (default 1)",
+    )
     return parser
 
 
@@ -257,6 +271,43 @@ def _cmd_simulate(args, out) -> int:
     return 0
 
 
+def _cmd_bench(args, out) -> int:
+    import json
+
+    from .perf import run_bench
+
+    report = run_bench(repeats=args.repeats)
+    print(f"{'case':<42} {'seconds':>9} {'seed_s':>9} {'swaps':>6} match",
+          file=out)
+    for case in report["cases"]:
+        seed_sec = case["seed_seconds"]
+        seed_txt = f"{seed_sec:>9.4f}" if seed_sec else f"{'-':>9}"
+        print(
+            f"{case['case']:<42} {case['seconds']:>9.4f} {seed_txt} "
+            f"{case['swaps']:>6} {'ok' if case['matches_seed'] else 'DIFF'}",
+            file=out,
+        )
+    summary = report["summary"]
+    print(
+        f"\ntotal {summary['total_seconds']}s "
+        f"(seed {summary['seed_total_seconds']}s), "
+        f"all_match_seed={summary['all_match_seed']}",
+        file=out,
+    )
+    if "hot_case_speedup" in summary:
+        print(
+            f"hot case {summary['hot_case']}: "
+            f"{summary['hot_case_speedup']}x vs seed",
+            file=out,
+        )
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_path}", file=out)
+    return 0 if summary["all_match_seed"] else 3
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
@@ -269,6 +320,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_map(args, out)
     if args.command == "simulate":
         return _cmd_simulate(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

@@ -15,13 +15,19 @@ provides the traversals routers and schedulers need:
 Dependencies are the usual qubit-line ones: two gates are ordered when
 they share a qubit.  Barriers depend on (and are depended on by) every
 gate on the qubits they span.
+
+Adjacency is stored as flat tuples built once at construction — routers
+call :meth:`predecessors`/:meth:`successors` inside their hottest loops,
+so those must be array lookups, not graph-library traversals.  The
+:attr:`graph` networkx view is materialised lazily for callers that want
+graph algorithms (transitive closure, drawing, ...).
 """
 
 from __future__ import annotations
 
+import heapq
+from functools import cached_property
 from typing import Iterator
-
-import networkx as nx
 
 from .circuit import Circuit
 from .gates import Gate
@@ -49,42 +55,61 @@ class DependencyGraph:
         """
         self.circuit = circuit
         self.commutation = commutation
-        self.graph = nx.DiGraph()
-        self.graph.add_nodes_from(range(len(circuit.gates)))
+        n = len(circuit.gates)
         if commutation:
             from .commutation import relaxed_dependencies
 
-            self.graph.add_edges_from(relaxed_dependencies(circuit))
-            return
-        last_on_qubit: dict[int, int] = {}
-        for index, gate in enumerate(circuit.gates):
-            qubits = gate.qubits or tuple(range(circuit.num_qubits))
-            # A classical condition reads the measurement result of its
-            # bit's qubit line: the gate must wait for it (and later
-            # operations on that line must wait for the read — we model
-            # the read conservatively as a full touch).
-            if gate.condition is not None:
-                qubits = tuple(dict.fromkeys(qubits + (gate.condition[0],)))
-            preds = {last_on_qubit[q] for q in qubits if q in last_on_qubit}
-            for p in preds:
-                self.graph.add_edge(p, index)
-            for q in qubits:
-                last_on_qubit[q] = index
+            edges = list(relaxed_dependencies(circuit))
+        else:
+            edges = []
+            last_on_qubit: dict[int, int] = {}
+            for index, gate in enumerate(circuit.gates):
+                qubits = gate.qubits or tuple(range(circuit.num_qubits))
+                # A classical condition reads the measurement result of its
+                # bit's qubit line: the gate must wait for it (and later
+                # operations on that line must wait for the read — we model
+                # the read conservatively as a full touch).
+                if gate.condition is not None:
+                    qubits = tuple(dict.fromkeys(qubits + (gate.condition[0],)))
+                preds = {last_on_qubit[q] for q in qubits if q in last_on_qubit}
+                for p in preds:
+                    edges.append((p, index))
+                for q in qubits:
+                    last_on_qubit[q] = index
+        pred_sets: list[set[int]] = [set() for _ in range(n)]
+        succ_sets: list[set[int]] = [set() for _ in range(n)]
+        for u, v in edges:
+            pred_sets[v].add(u)
+            succ_sets[u].add(v)
+        self._preds: tuple[list[int], ...] = tuple(sorted(s) for s in pred_sets)
+        self._succs: tuple[list[int], ...] = tuple(sorted(s) for s in succ_sets)
+
+    @cached_property
+    def graph(self):
+        """Networkx view of the DAG (built on first use only)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(len(self._preds)))
+        for v, preds in enumerate(self._preds):
+            for u in preds:
+                g.add_edge(u, v)
+        return g
 
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return self.graph.number_of_nodes()
+        return len(self._preds)
 
     def gate(self, index: int) -> Gate:
         """The gate at node ``index``."""
         return self.circuit.gates[index]
 
     def predecessors(self, index: int) -> list[int]:
-        return sorted(self.graph.predecessors(index))
+        return self._preds[index]
 
     def successors(self, index: int) -> list[int]:
-        return sorted(self.graph.successors(index))
+        return self._succs[index]
 
     def front_layer(self, done: set[int] | None = None) -> list[int]:
         """Indices of gates whose predecessors are all in ``done``.
@@ -93,23 +118,33 @@ class DependencyGraph:
         Gates already in ``done`` are never returned.
         """
         done = done or set()
-        front = []
-        for node in self.graph.nodes:
-            if node in done:
-                continue
-            if all(p in done for p in self.graph.predecessors(node)):
-                front.append(node)
-        return sorted(front)
+        preds = self._preds
+        return [
+            node
+            for node in range(len(preds))
+            if node not in done and all(p in done for p in preds[node])
+        ]
 
     def topological(self) -> Iterator[int]:
         """Topological order consistent with original gate order."""
-        return iter(nx.lexicographical_topological_sort(self.graph))
+        pending = [len(p) for p in self._preds]
+        ready = [node for node, count in enumerate(pending) if count == 0]
+        heapq.heapify(ready)
+        succs = self._succs
+        while ready:
+            node = heapq.heappop(ready)
+            yield node
+            for succ in succs[node]:
+                pending[succ] -= 1
+                if pending[succ] == 0:
+                    heapq.heappush(ready, succ)
 
     def asap_levels(self) -> list[int]:
         """Dependency depth of each gate (level 0 = no predecessors)."""
+        # Dependency edges in either construction always point forward
+        # (u < v), so a left-to-right sweep is a valid topological order.
         levels = [0] * len(self)
-        for node in nx.topological_sort(self.graph):
-            preds = list(self.graph.predecessors(node))
+        for node, preds in enumerate(self._preds):
             levels[node] = 1 + max((levels[p] for p in preds), default=-1)
         return levels
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from functools import cached_property
+from functools import cached_property, lru_cache
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
@@ -224,6 +224,16 @@ class Device:
                 dist[src][dst] = d
         return dist
 
+    @cached_property
+    def distance_flat(self) -> list[int]:
+        """Row-major flattening of :attr:`distance_matrix`.
+
+        ``distance_flat[a * num_qubits + b]`` equals
+        ``distance_matrix[a][b]``; search kernels use it to turn the
+        double indirection of nested lists into one multiply-add lookup.
+        """
+        return [d for row in self.distance_matrix for d in row]
+
     def distance(self, a: int, b: int) -> int:
         """Hops between physical qubits ``a`` and ``b``."""
         return self.distance_matrix[a][b]
@@ -236,13 +246,39 @@ class Device:
         """True when the orientation ``control -> target`` is allowed."""
         return (control, target) in self.edges
 
+    @cached_property
+    def undirected_edge_list(self) -> tuple[tuple[int, int], ...]:
+        """Each physical connection once, as a sorted pair (cached)."""
+        return tuple(sorted({(min(a, b), max(a, b)) for a, b in self.edges}))
+
+    @cached_property
+    def incident_edges(self) -> tuple[tuple[tuple[int, int], ...], ...]:
+        """Per-qubit tuple of the undirected edges touching that qubit.
+
+        Routers use this to enumerate candidate SWAPs around the active
+        qubits without scanning the whole edge list.
+        """
+        incident: list[list[tuple[int, int]]] = [[] for _ in range(self.num_qubits)]
+        for a, b in self.undirected_edge_list:
+            incident[a].append((a, b))
+            incident[b].append((a, b))
+        return tuple(tuple(edges) for edges in incident)
+
     def undirected_edges(self) -> list[tuple[int, int]]:
         """Each physical connection once, as a sorted pair."""
-        return sorted({(min(a, b), max(a, b)) for a, b in self.edges})
+        return list(self.undirected_edge_list)
+
+    @cached_property
+    def _shortest_path_cache(self):
+        @lru_cache(maxsize=None)
+        def _path(a: int, b: int) -> tuple[int, ...]:
+            return tuple(nx.shortest_path(self.undirected, a, b))
+
+        return _path
 
     def shortest_path(self, a: int, b: int) -> list[int]:
         """A shortest undirected path from ``a`` to ``b`` (inclusive)."""
-        return nx.shortest_path(self.undirected, a, b)
+        return list(self._shortest_path_cache(a, b))
 
     # ------------------------------------------------------------------
     # Gate admissibility

@@ -1,0 +1,379 @@
+/* Native A* layer-search kernel.
+ *
+ * Mirror of the pure-Python kernel in `_astar_impl.py`, compiled on
+ * demand by `_astar_native.py` (plain `cc -O2 -shared`; no build system,
+ * no third-party dependency).  The two implementations must stay
+ * semantically identical: same packed-integer state keys, same candidate
+ * edge enumeration order (ascending edge id over the sorted undirected
+ * edge list), same `(priority, counter)` tie-breaking, and the same IEEE
+ * double arithmetic — every float expression here matches the Python
+ * expression operation for operation, so priorities are bit-identical
+ * and the search pops nodes in exactly the same order.  The Python side
+ * verifies availability and falls back transparently, so this file is an
+ * accelerator, never a behaviour change.
+ *
+ * Returns (see solve_layer): >= 0 swap-sequence length, -1 search
+ * exhausted, -2 expansion budget exceeded, -3 capacity/allocation
+ * failure (caller falls back to the Python kernel).
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef struct {
+    double priority;
+    uint64_t counter;
+    uint64_t key;
+    int32_t g;
+    int32_t pending;
+    double lookahead;
+} Entry;
+
+typedef struct {
+    uint64_t key;
+    int32_t g;
+    int32_t parent; /* node index of the parent record, -1 for root */
+    int8_t swap_pa;
+    int8_t swap_pb;
+} Node;
+
+/* ---- binary min-heap on (priority, counter) ---- */
+
+static int entry_lt(const Entry *a, const Entry *b) {
+    if (a->priority != b->priority)
+        return a->priority < b->priority;
+    return a->counter < b->counter;
+}
+
+typedef struct {
+    Entry *data;
+    int64_t size;
+    int64_t cap;
+} Heap;
+
+static int heap_push(Heap *h, Entry e) {
+    if (h->size == h->cap) {
+        int64_t ncap = h->cap * 2;
+        Entry *nd = (Entry *)realloc(h->data, (size_t)ncap * sizeof(Entry));
+        if (!nd)
+            return 0;
+        h->data = nd;
+        h->cap = ncap;
+    }
+    int64_t i = h->size++;
+    h->data[i] = e;
+    while (i > 0) {
+        int64_t p = (i - 1) / 2;
+        if (!entry_lt(&h->data[i], &h->data[p]))
+            break;
+        Entry tmp = h->data[i];
+        h->data[i] = h->data[p];
+        h->data[p] = tmp;
+        i = p;
+    }
+    return 1;
+}
+
+static Entry heap_pop(Heap *h) {
+    Entry top = h->data[0];
+    h->data[0] = h->data[--h->size];
+    int64_t i = 0;
+    for (;;) {
+        int64_t l = 2 * i + 1, r = l + 1, best = i;
+        if (l < h->size && entry_lt(&h->data[l], &h->data[best]))
+            best = l;
+        if (r < h->size && entry_lt(&h->data[r], &h->data[best]))
+            best = r;
+        if (best == i)
+            break;
+        Entry tmp = h->data[i];
+        h->data[i] = h->data[best];
+        h->data[best] = tmp;
+        i = best;
+    }
+    return top;
+}
+
+/* ---- open-addressing hash map: key -> node index ---- */
+
+typedef struct {
+    Node *nodes;
+    int32_t n_nodes;
+    int32_t cap_nodes;
+    int32_t *table; /* power-of-two sized, -1 = empty */
+    uint64_t table_mask;
+    int64_t table_cap;
+} Map;
+
+static uint64_t mix64(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+static int map_grow_table(Map *m) {
+    int64_t ncap = m->table_cap * 2;
+    int32_t *nt = (int32_t *)malloc((size_t)ncap * sizeof(int32_t));
+    if (!nt)
+        return 0;
+    memset(nt, 0xFF, (size_t)ncap * sizeof(int32_t));
+    uint64_t nmask = (uint64_t)ncap - 1;
+    for (int32_t i = 0; i < m->n_nodes; i++) {
+        uint64_t j = mix64(m->nodes[i].key) & nmask;
+        while (nt[j] >= 0)
+            j = (j + 1) & nmask;
+        nt[j] = i;
+    }
+    free(m->table);
+    m->table = nt;
+    m->table_cap = ncap;
+    m->table_mask = nmask;
+    return 1;
+}
+
+/* Find the node for `key`, or create a fresh record (g = INT32_MAX).
+ * Returns the node index, or -1 on allocation failure. */
+static int32_t map_find_or_add(Map *m, uint64_t key) {
+    uint64_t j = mix64(key) & m->table_mask;
+    while (m->table[j] >= 0) {
+        int32_t idx = m->table[j];
+        if (m->nodes[idx].key == key)
+            return idx;
+        j = (j + 1) & m->table_mask;
+    }
+    if ((int64_t)m->n_nodes * 10 >= m->table_cap * 7) {
+        if (!map_grow_table(m))
+            return -1;
+        j = mix64(key) & m->table_mask;
+        while (m->table[j] >= 0)
+            j = (j + 1) & m->table_mask;
+    }
+    if (m->n_nodes == m->cap_nodes) {
+        int32_t ncap = m->cap_nodes * 2;
+        Node *nn = (Node *)realloc(m->nodes, (size_t)ncap * sizeof(Node));
+        if (!nn)
+            return -1;
+        m->nodes = nn;
+        m->cap_nodes = ncap;
+    }
+    int32_t idx = m->n_nodes++;
+    m->nodes[idx].key = key;
+    m->nodes[idx].g = INT32_MAX;
+    m->nodes[idx].parent = -1;
+    m->nodes[idx].swap_pa = -1;
+    m->nodes[idx].swap_pb = -1;
+    m->table[j] = idx;
+    return idx;
+}
+
+int64_t solve_layer(
+    int32_t n, int32_t nbits, int32_t m,
+    const int32_t *edge_pa, const int32_t *edge_pb, int32_t n_edges,
+    const int32_t *dflat,
+    const int32_t *pair_sa, const int32_t *pair_sb, int32_t n_pairs,
+    const int32_t *fut_sa, const int32_t *fut_sb, int32_t n_future,
+    const double *fut_w,
+    const uint8_t *future_active,
+    const int32_t *tf_idx, const int32_t *tf_start, /* tf_start: m+1 ints */
+    uint64_t key0,
+    int64_t max_expansions,
+    int32_t *out_pa, int32_t *out_pb, int32_t max_out)
+{
+    if (n > 64 || n_edges > 64 || (int64_t)m * nbits > 64)
+        return -3;
+
+    uint64_t mask = ((uint64_t)1 << nbits) - 1;
+    int32_t shift_a[64], shift_b[64], fshift_a[64], fshift_b[64];
+    if (n_pairs > 64 || n_future > 64)
+        return -3;
+    for (int32_t i = 0; i < n_pairs; i++) {
+        shift_a[i] = pair_sa[i] * nbits;
+        shift_b[i] = pair_sb[i] * nbits;
+    }
+    for (int32_t i = 0; i < n_future; i++) {
+        fshift_a[i] = fut_sa[i] * nbits;
+        fshift_b[i] = fut_sb[i] * nbits;
+    }
+    uint64_t qmask[64];
+    memset(qmask, 0, sizeof(qmask));
+    for (int32_t e = 0; e < n_edges; e++) {
+        qmask[edge_pa[e]] |= (uint64_t)1 << e;
+        qmask[edge_pb[e]] |= (uint64_t)1 << e;
+    }
+
+    /* Root heuristic terms (mirrors pending_of / lookahead_of). */
+    int32_t pending0 = 0;
+    for (int32_t i = 0; i < n_pairs; i++)
+        pending0 += dflat[((key0 >> shift_a[i]) & mask) * n
+                          + ((key0 >> shift_b[i]) & mask)] - 1;
+    if (pending0 == 0)
+        return 0;
+    double lookahead0 = 0.0;
+    for (int32_t i = 0; i < n_future; i++)
+        lookahead0 += fut_w[i] * (double)(dflat[((key0 >> fshift_a[i]) & mask) * n
+                                               + ((key0 >> fshift_b[i]) & mask)] - 1);
+
+    Heap heap;
+    heap.cap = 1 << 14;
+    heap.size = 0;
+    heap.data = (Entry *)malloc((size_t)heap.cap * sizeof(Entry));
+    Map map;
+    map.cap_nodes = 1 << 14;
+    map.n_nodes = 0;
+    map.nodes = (Node *)malloc((size_t)map.cap_nodes * sizeof(Node));
+    map.table_cap = 1 << 15;
+    map.table_mask = (uint64_t)map.table_cap - 1;
+    map.table = (int32_t *)malloc((size_t)map.table_cap * sizeof(int32_t));
+    if (!heap.data || !map.nodes || !map.table) {
+        free(heap.data);
+        free(map.nodes);
+        free(map.table);
+        return -3;
+    }
+    memset(map.table, 0xFF, (size_t)map.table_cap * sizeof(int32_t));
+
+    int64_t rc = -1; /* default: search exhausted */
+    uint64_t counter = 0;
+
+    int32_t root = map_find_or_add(&map, key0);
+    map.nodes[root].g = 0;
+    Entry e0;
+    e0.priority = (double)pending0 / 2.0 + lookahead0;
+    e0.counter = counter++;
+    e0.key = key0;
+    e0.g = 0;
+    e0.pending = pending0;
+    e0.lookahead = lookahead0;
+    if (!heap_push(&heap, e0)) {
+        rc = -3;
+        goto done;
+    }
+
+    int64_t expansions = 0;
+    int8_t occ[64];
+
+    while (heap.size > 0) {
+        Entry e = heap_pop(&heap);
+        int32_t ni = map_find_or_add(&map, e.key);
+        if (ni < 0) {
+            rc = -3;
+            goto done;
+        }
+        if (e.g > map.nodes[ni].g)
+            continue;
+        if (e.pending == 0) {
+            /* Reconstruct root->goal; sequence length equals g. */
+            if (e.g > max_out) {
+                rc = -3;
+                goto done;
+            }
+            int32_t idx = ni;
+            for (int32_t i = e.g - 1; i >= 0; i--) {
+                out_pa[i] = map.nodes[idx].swap_pa;
+                out_pb[i] = map.nodes[idx].swap_pb;
+                idx = map.nodes[idx].parent;
+            }
+            rc = e.g;
+            goto done;
+        }
+        if (++expansions > max_expansions) {
+            rc = -2;
+            goto done;
+        }
+        uint64_t key = e.key;
+        memset(occ, 0xFF, (size_t)n);
+        for (int32_t i = 0; i < m; i++)
+            occ[(key >> (i * nbits)) & mask] = (int8_t)i;
+        /* Candidate edges: operands of unsatisfied pairs, plus operands
+         * of satisfied pairs whose program qubit has look-ahead work. */
+        uint64_t emask = 0;
+        for (int32_t i = 0; i < n_pairs; i++) {
+            uint64_t oa = (key >> shift_a[i]) & mask;
+            uint64_t ob = (key >> shift_b[i]) & mask;
+            if (dflat[oa * n + ob] > 1) {
+                emask |= qmask[oa] | qmask[ob];
+            } else {
+                if (future_active[pair_sa[i]])
+                    emask |= qmask[oa];
+                if (future_active[pair_sb[i]])
+                    emask |= qmask[ob];
+            }
+        }
+        int32_t ng = e.g + 1;
+        while (emask) {
+            int32_t eid = __builtin_ctzll(emask);
+            emask &= emask - 1;
+            int32_t pa = edge_pa[eid];
+            int32_t pb = edge_pb[eid];
+            int32_t x = occ[pa];
+            int32_t y = occ[pb];
+            uint64_t exor = (uint64_t)(pa ^ pb);
+            uint64_t nkey = key;
+            if (x >= 0)
+                nkey ^= exor << (x * nbits);
+            if (y >= 0)
+                nkey ^= exor << (y * nbits);
+            int32_t si = map_find_or_add(&map, nkey);
+            if (si < 0) {
+                rc = -3;
+                goto done;
+            }
+            if (ng < map.nodes[si].g) {
+                map.nodes[si].g = ng;
+                map.nodes[si].parent = ni;
+                map.nodes[si].swap_pa = (int8_t)pa;
+                map.nodes[si].swap_pb = (int8_t)pb;
+                int32_t nsum = 0;
+                for (int32_t i = 0; i < n_pairs; i++)
+                    nsum += dflat[((nkey >> shift_a[i]) & mask) * n
+                                  + ((nkey >> shift_b[i]) & mask)];
+                int32_t npending = nsum - n_pairs;
+                double d_look = 0.0;
+                if (x >= 0) {
+                    for (int32_t t = tf_start[x]; t < tf_start[x + 1]; t++) {
+                        int32_t i = tf_idx[t];
+                        d_look += fut_w[i] * (double)(
+                            dflat[((nkey >> fshift_a[i]) & mask) * n
+                                  + ((nkey >> fshift_b[i]) & mask)]
+                            - dflat[((key >> fshift_a[i]) & mask) * n
+                                    + ((key >> fshift_b[i]) & mask)]);
+                    }
+                }
+                if (y >= 0) {
+                    for (int32_t t = tf_start[y]; t < tf_start[y + 1]; t++) {
+                        int32_t i = tf_idx[t];
+                        if (fut_sa[i] == x || fut_sb[i] == x)
+                            continue; /* already counted via x */
+                        d_look += fut_w[i] * (double)(
+                            dflat[((nkey >> fshift_a[i]) & mask) * n
+                                  + ((nkey >> fshift_b[i]) & mask)]
+                            - dflat[((key >> fshift_a[i]) & mask) * n
+                                    + ((key >> fshift_b[i]) & mask)]);
+                    }
+                }
+                double nlookahead = e.lookahead + d_look;
+                Entry ne;
+                ne.priority = (double)ng + (double)npending / 2.0 + nlookahead;
+                ne.counter = counter++;
+                ne.key = nkey;
+                ne.g = ng;
+                ne.pending = npending;
+                ne.lookahead = nlookahead;
+                if (!heap_push(&heap, ne)) {
+                    rc = -3;
+                    goto done;
+                }
+            }
+        }
+    }
+
+done:
+    free(heap.data);
+    free(map.nodes);
+    free(map.table);
+    return rc;
+}

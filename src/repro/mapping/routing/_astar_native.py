@@ -1,0 +1,182 @@
+"""On-demand compilation and invocation of the native A* kernel.
+
+Compiles ``_astar_kernel.c`` with the system C compiler the first time
+the A* router runs, caching the shared object under the user's temp
+directory keyed by a hash of the source.  Everything is best-effort: no
+compiler, a failed build, an oversized instance (packed key beyond 64
+bits) or any marshalling surprise simply returns ``None`` and the caller
+falls back to the pure-Python kernel in :mod:`._astar_impl`, which is
+the reference implementation.  The native kernel replicates the Python
+search operation for operation (see the header comment of the C file),
+so the two produce identical SWAP sequences.
+
+Set the environment variable ``REPRO_NO_NATIVE=1`` to disable the
+native path (useful to benchmark or debug the Python kernel).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+from .base import RoutingError
+
+__all__ = ["solve_layer_native"]
+
+_SOURCE = os.path.join(os.path.dirname(__file__), "_astar_kernel.c")
+
+#: Tri-state: unset (None), unavailable (False), or the loaded library.
+_lib = None
+_lib_resolved = False
+
+
+def _build_library():
+    """Compile and load the kernel; return a CDLL or None."""
+    if os.environ.get("REPRO_NO_NATIVE"):
+        return None
+    compiler = (
+        os.environ.get("CC")
+        or shutil.which("cc")
+        or shutil.which("gcc")
+        or shutil.which("clang")
+    )
+    if compiler is None or not os.path.exists(_SOURCE):
+        return None
+    with open(_SOURCE, "rb") as fh:
+        tag = hashlib.sha256(fh.read()).hexdigest()[:16]
+    cache_dir = os.path.join(
+        tempfile.gettempdir(), f"repro-native-{os.getuid()}"
+    )
+    so_path = os.path.join(cache_dir, f"astar_{tag}.so")
+    if not os.path.exists(so_path):
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+            tmp_path = f"{so_path}.{os.getpid()}.tmp"
+            subprocess.run(
+                [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_path, _SOURCE],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp_path, so_path)
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError:
+        return None
+    i32 = ctypes.c_int32
+    lib.solve_layer.restype = ctypes.c_int64
+    lib.solve_layer.argtypes = [
+        i32, i32, i32,                                    # n, nbits, m
+        ctypes.POINTER(i32), ctypes.POINTER(i32), i32,    # edges
+        ctypes.POINTER(i32),                              # dflat
+        ctypes.POINTER(i32), ctypes.POINTER(i32), i32,    # pair slots
+        ctypes.POINTER(i32), ctypes.POINTER(i32), i32,    # future slots
+        ctypes.POINTER(ctypes.c_double),                  # future weights
+        ctypes.POINTER(ctypes.c_uint8),                   # future_active
+        ctypes.POINTER(i32), ctypes.POINTER(i32),         # tf_idx, tf_start
+        ctypes.c_uint64,                                  # key0
+        ctypes.c_int64,                                   # max_expansions
+        ctypes.POINTER(i32), ctypes.POINTER(i32), i32,    # out buffers
+    ]
+    return lib
+
+
+def _get_lib():
+    global _lib, _lib_resolved
+    if not _lib_resolved:
+        _lib = _build_library()
+        _lib_resolved = True
+    return _lib
+
+
+_MAX_SEQUENCE = 4096
+
+
+def solve_layer_native(
+    n: int,
+    nbits: int,
+    active: list[int],
+    pair_slots,
+    future_slots,
+    future_weights,
+    future_active,
+    edges,
+    dflat,
+    key0: int,
+    max_expansions: int,
+):
+    """Run the compiled kernel; ``None`` means "use the Python path".
+
+    Arguments mirror the preprocessed state of
+    :func:`._astar_impl.solve_layer_packed` (slots index the ``active``
+    list).  Raises :class:`RoutingError` for genuine search failures so
+    behaviour matches the Python kernel exactly.
+    """
+    m = len(active)
+    if n > 64 or len(edges) > 64 or m * nbits > 64 or m == 0:
+        return None
+    lib = _get_lib()
+    if lib is None:
+        return None
+    if not all(type(d) is int for d in dflat):
+        return None
+
+    i32 = ctypes.c_int32
+    n_pairs = len(pair_slots)
+    n_future = len(future_slots)
+    edge_pa = (i32 * len(edges))(*[e[0] for e in edges])
+    edge_pb = (i32 * len(edges))(*[e[1] for e in edges])
+    c_dflat = (i32 * len(dflat))(*dflat)
+    pair_sa = (i32 * max(n_pairs, 1))(*[p[0] for p in pair_slots])
+    pair_sb = (i32 * max(n_pairs, 1))(*[p[1] for p in pair_slots])
+    fut_sa = (i32 * max(n_future, 1))(*[p[0] for p in future_slots])
+    fut_sb = (i32 * max(n_future, 1))(*[p[1] for p in future_slots])
+    fut_w = (ctypes.c_double * max(n_future, 1))(*future_weights)
+    c_active = (ctypes.c_uint8 * m)(
+        *[1 if s in future_active else 0 for s in range(m)]
+    )
+    # Per-slot future-gate touch lists, flattened (CSR layout).
+    touch: list[list[int]] = [[] for _ in range(m)]
+    for i, (sa, sb) in enumerate(future_slots):
+        touch[sa].append(i)
+        if sb != sa:
+            touch[sb].append(i)
+    tf_start_list = [0]
+    tf_idx_list: list[int] = []
+    for slot_touch in touch:
+        tf_idx_list.extend(slot_touch)
+        tf_start_list.append(len(tf_idx_list))
+    tf_idx = (i32 * max(len(tf_idx_list), 1))(*tf_idx_list)
+    tf_start = (i32 * (m + 1))(*tf_start_list)
+    out_pa = (i32 * _MAX_SEQUENCE)()
+    out_pb = (i32 * _MAX_SEQUENCE)()
+
+    rc = lib.solve_layer(
+        n, nbits, m,
+        edge_pa, edge_pb, len(edges),
+        c_dflat,
+        pair_sa, pair_sb, n_pairs,
+        fut_sa, fut_sb, n_future,
+        fut_w,
+        c_active,
+        tf_idx, tf_start,
+        key0,
+        max_expansions,
+        out_pa, out_pb, _MAX_SEQUENCE,
+    )
+    if rc == -3:
+        return None  # capacity issue: fall back to the Python kernel
+    if rc == -2:
+        raise RoutingError(
+            f"A* expanded more than {max_expansions} placements on one "
+            "layer; instance too large for layer-exact search"
+        )
+    if rc == -1:
+        raise RoutingError("A* search exhausted without satisfying the layer")
+    return [(out_pa[i], out_pb[i]) for i in range(rc)]

@@ -17,15 +17,13 @@ each), which keeps the search optimal per layer while pruning strongly.
 
 from __future__ import annotations
 
-import heapq
-import itertools
-
 from ...core.circuit import Circuit
 from ...core.dag import DependencyGraph
 from ...core import gates as G
 from ...devices.device import Device
 from ..placement import Placement
 from .base import RoutingError, RoutingResult
+from ._astar_impl import solve_layer_packed
 
 __all__ = ["route_astar"]
 
@@ -159,81 +157,17 @@ def _solve_layer(
     device: Device,
     dist,
 ) -> list[tuple[int, int]]:
-    """A* search for a SWAP sequence making all ``pairs`` adjacent."""
+    """A* search for a SWAP sequence making all ``pairs`` adjacent.
 
-    def satisfied(placement: Placement) -> bool:
-        return all(
-            dist[placement.phys(a)][placement.phys(b)] == 1 for a, b in pairs
-        )
-
-    def h(placement: Placement) -> float:
-        # Admissible: one SWAP can lower the distance of at most two
-        # layer gates by one each.
-        pending = sum(
-            dist[placement.phys(a)][placement.phys(b)] - 1 for a, b in pairs
-        )
-        return pending / 2.0
-
-    def lookahead_cost(placement: Placement) -> float:
-        return sum(
-            w * (dist[placement.phys(a)][placement.phys(b)] - 1)
-            for (a, b), w in future
-        )
-
-    edges = device.undirected_edges()
-    start_copy = start.copy()
-    if satisfied(start_copy):
-        return []
-
-    counter = itertools.count()
-    open_heap: list = []
-    g_best: dict[tuple[int, ...], int] = {start_copy.key(): 0}
-    parents: dict[tuple[int, ...], tuple[tuple[int, ...], tuple[int, int]] | None] = {
-        start_copy.key(): None
-    }
-    heapq.heappush(
-        open_heap,
-        (h(start_copy) + lookahead_cost(start_copy), next(counter), start_copy.key(), 0),
+    Delegates to the packed-integer kernel of
+    :mod:`repro.mapping.routing._astar_impl`: placements are single
+    integers (one bit-field slot per program qubit), SWAPs are two XORs,
+    and heap entries carry their heuristic terms so nothing is rescored
+    at pop time.  With hop-count distances and the dyadic default
+    look-ahead weights the kernel is bit-identical to the seed's full
+    per-node rescore — same expansions, same tie-breaks, same SWAP
+    sequence — at a fraction of the per-node cost.
+    """
+    return solve_layer_packed(
+        list(pairs), list(future), start.key(), device, dist, _MAX_EXPANSIONS
     )
-    expansions = 0
-
-    while open_heap:
-        _, __, key, g = heapq.heappop(open_heap)
-        if g > g_best.get(key, float("inf")):
-            continue
-        placement = Placement(list(key), start.num_program)
-        if satisfied(placement):
-            return _reconstruct(parents, key)
-        expansions += 1
-        if expansions > _MAX_EXPANSIONS:
-            raise RoutingError(
-                f"A* expanded more than {_MAX_EXPANSIONS} placements on one "
-                "layer; instance too large for layer-exact search"
-            )
-        # Only swaps touching an operand of a pending layer gate can
-        # reduce the heuristic; restricting to them keeps the search
-        # complete (active qubits can always walk toward each other).
-        relevant = {placement.phys(q) for a, b in pairs for q in (a, b)}
-        for pa, pb in edges:
-            if pa not in relevant and pb not in relevant:
-                continue
-            placement.apply_swap(pa, pb)
-            nkey = placement.key()
-            ng = g + 1
-            if ng < g_best.get(nkey, float("inf")):
-                g_best[nkey] = ng
-                parents[nkey] = (key, (pa, pb))
-                priority = ng + h(placement) + lookahead_cost(placement)
-                heapq.heappush(open_heap, (priority, next(counter), nkey, ng))
-            placement.apply_swap(pa, pb)  # revert
-
-    raise RoutingError("A* search exhausted without satisfying the layer")
-
-
-def _reconstruct(parents, key) -> list[tuple[int, int]]:
-    sequence: list[tuple[int, int]] = []
-    while parents[key] is not None:
-        key, swap = parents[key]
-        sequence.append(swap)
-    sequence.reverse()
-    return sequence

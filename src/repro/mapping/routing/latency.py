@@ -27,7 +27,7 @@ from ...core import gates as G
 from ...devices.device import Device
 from ..placement import Placement
 from .base import RoutingError, RoutingResult
-from .sabre import _candidate_swaps, _extended_set, _score
+from .sabre import _SwapScorer, _candidate_swaps, _extended_set
 
 __all__ = ["route_latency"]
 
@@ -119,11 +119,10 @@ def route_latency(
         if not candidates:
             raise RoutingError("no candidate swaps; is the device connected?")
 
+        scorer = _SwapScorer(blocked, extended, dag, current, dist, extended_weight)
         best_swap, best_key = None, None
         for pa, pb in candidates:
-            current.apply_swap(pa, pb)
-            dist_score = _score(blocked, extended, dag, current, dist, extended_weight)
-            current.apply_swap(pa, pb)
+            dist_score = scorer.score(pa, pb)
             # Looking-back: when could this SWAP start, given the gates
             # already scheduled on its qubits?
             start_delay = max(avail[pa], avail[pb])

@@ -34,7 +34,7 @@ from ...devices.device import Device
 from ...sim.noise import NoiseModel
 from ..placement import Placement
 from .base import RoutingError, RoutingResult
-from .sabre import _candidate_swaps, _extended_set, _score
+from .sabre import _SwapScorer, _candidate_swaps, _extended_set, _score
 
 __all__ = ["route_reliability"]
 
@@ -104,15 +104,6 @@ def route_reliability(
             if all(p in done for p in dag.predecessors(succ)):
                 front.add(succ)
 
-    def front_distance() -> float:
-        total = 0.0
-        for index in front:
-            gate = dag.gate(index)
-            if len(gate.qubits) == 2:
-                a, b = gate.qubits
-                total += dist[current.phys(a)][current.phys(b)]
-        return total
-
     while front:
         progressed = True
         while progressed:
@@ -131,18 +122,20 @@ def route_reliability(
         if not candidates:
             raise RoutingError("no candidate swaps; is the device connected?")
 
-        base_front = front_distance()
+        # The scorer supplies the strict-progress bit via an incremental
+        # front-distance delta; the score itself is still a full rescore
+        # because its error-weighted float sums drive exact tie-breaks.
+        scorer = _SwapScorer(blocked, extended, dag, current, dist, extended_weight)
         scored = []
         for pa, pb in candidates:
+            d_front, _ = scorer.deltas(pa, pb)
             current.apply_swap(pa, pb)
-            front_after = front_distance()
             full_score = _score(
                 blocked, extended, dag, current, dist, extended_weight
             )
             current.apply_swap(pa, pb)
             scored.append(
-                (front_after < base_front - 1e-12,
-                 full_score + swap_error(pa, pb), pa, pb)
+                (d_front < -1e-12, full_score + swap_error(pa, pb), pa, pb)
             )
         progressing = [entry for entry in scored if entry[0]]
         pool = progressing or scored

@@ -20,6 +20,9 @@ reduces a weighted distance score:
 
 from __future__ import annotations
 
+from collections import deque
+from itertools import chain
+
 from ...core.circuit import Circuit
 from ...core.dag import DependencyGraph
 from ...core import gates as G
@@ -121,11 +124,10 @@ def route_sabre(
         if not candidates:
             raise RoutingError("no candidate swaps; is the device connected?")
 
+        scorer = _SwapScorer(blocked, extended, dag, current, dist, extended_weight)
         best_swap, best_score = None, None
         for pa, pb in candidates:
-            current.apply_swap(pa, pb)
-            score = _score(blocked, extended, dag, current, dist, extended_weight)
-            current.apply_swap(pa, pb)  # revert
+            score = scorer.score(pa, pb)
             if swap_penalty is not None:
                 score += swap_penalty(pa, pb)
             if use_decay:
@@ -174,15 +176,12 @@ def _candidate_swaps(
     blocked, placement: Placement, device: Device
 ) -> list[tuple[int, int]]:
     """Undirected coupling edges touching a qubit of a blocked gate."""
-    active: set[int] = set()
+    incident = device.incident_edges
+    swaps: set[tuple[int, int]] = set()
     for gate in blocked:
         if len(gate.qubits) == 2:
-            active.add(placement.phys(gate.qubits[0]))
-            active.add(placement.phys(gate.qubits[1]))
-    swaps = set()
-    for phys in active:
-        for neighbour in device.neighbours[phys]:
-            swaps.add((min(phys, neighbour), max(phys, neighbour)))
+            swaps.update(incident[placement.phys(gate.qubits[0])])
+            swaps.update(incident[placement.phys(gate.qubits[1])])
     return sorted(swaps)
 
 
@@ -194,9 +193,9 @@ def _extended_set(
         return []
     extended: list[int] = []
     seen = set(front)
-    queue = sorted(front)
+    queue = deque(sorted(front))
     while queue and len(extended) < limit:
-        node = queue.pop(0)
+        node = queue.popleft()
         for succ in dag.successors(node):
             if succ in seen or succ in done:
                 continue
@@ -207,6 +206,93 @@ def _extended_set(
                 if len(extended) >= limit:
                     break
     return extended
+
+
+class _SwapScorer:
+    """Incremental evaluation of :func:`_score` under one candidate SWAP.
+
+    Built once per routing decision from the *current* placement, then
+    queried once per candidate edge.  A SWAP of physical qubits
+    ``(pa, pb)`` only changes the distance of gates with an operand on
+    ``pa`` or ``pb``, so the scorer caches the base distance sums and
+    re-evaluates just the affected gates — the full front + extended
+    rescore of the seed implementation is gone from the candidate loop.
+
+    With the default hop-count matrices every term is a small integer, so
+    the delta update is bit-identical to a full rescore.
+    """
+
+    __slots__ = ("_entries", "_by_phys", "_front_base", "_front_n", "_ext_base",
+                 "_ext_n", "_weight", "_dist")
+
+    def __init__(
+        self,
+        blocked,
+        extended: list[int],
+        dag: DependencyGraph,
+        placement: Placement,
+        dist,
+        extended_weight: float,
+    ) -> None:
+        entries: list[tuple[int, int, bool]] = []
+        for gate in blocked:
+            if len(gate.qubits) == 2:
+                a, b = gate.qubits
+                entries.append((placement.phys(a), placement.phys(b), True))
+        front_n = len(entries)
+        for index in extended:
+            a, b = dag.gate(index).qubits
+            entries.append((placement.phys(a), placement.phys(b), False))
+        front_base = 0
+        ext_base = 0
+        by_phys: dict[int, list[int]] = {}
+        for i, (qa, qb, is_front) in enumerate(entries):
+            d = dist[qa][qb]
+            if is_front:
+                front_base += d
+            else:
+                ext_base += d
+            by_phys.setdefault(qa, []).append(i)
+            if qb != qa:
+                by_phys.setdefault(qb, []).append(i)
+        self._entries = entries
+        self._by_phys = by_phys
+        self._front_base = front_base
+        self._front_n = max(front_n, 1)
+        self._ext_base = ext_base
+        self._ext_n = len(extended)
+        self._weight = extended_weight
+        self._dist = dist
+
+    def deltas(self, pa: int, pb: int):
+        """Change of the (front, extended) distance sums under the SWAP."""
+        dist = self._dist
+        entries = self._entries
+        by_phys = self._by_phys
+        d_front = 0
+        d_ext = 0
+        seen: set[int] = set()
+        for i in chain(by_phys.get(pa, ()), by_phys.get(pb, ())):
+            if i in seen:
+                continue
+            seen.add(i)
+            qa, qb, is_front = entries[i]
+            na = pb if qa == pa else (pa if qa == pb else qa)
+            nb = pb if qb == pa else (pa if qb == pb else qb)
+            delta = dist[na][nb] - dist[qa][qb]
+            if is_front:
+                d_front += delta
+            else:
+                d_ext += delta
+        return d_front, d_ext
+
+    def score(self, pa: int, pb: int) -> float:
+        """The :func:`_score` value after swapping ``pa`` and ``pb``."""
+        d_front, d_ext = self.deltas(pa, pb)
+        score = (self._front_base + d_front) / self._front_n
+        if self._ext_n:
+            score += self._weight * (self._ext_base + d_ext) / self._ext_n
+        return score
 
 
 def _score(

@@ -1,0 +1,33 @@
+"""Performance harness for the mapping stack.
+
+The paper's practical claim (and ROADMAP's north star) is that mapping
+must run "as fast as the hardware allows": a mapper is judged on quality
+*per compile-second*, not on quality alone.  This package tracks the
+second axis:
+
+* :mod:`repro.perf.timing` — small wall-clock measurement helpers;
+* :mod:`repro.perf.baseline` — frozen outputs (swap counts + circuit
+  fingerprints) and timings of the *seed* router implementations on a
+  fixed-seed corpus, the reference every optimisation must match
+  byte for byte;
+* :mod:`repro.perf.bench` — the router benchmark runner behind
+  ``python -m repro.cli bench``, which times each router on the corpus,
+  checks equivalence against the baseline, and emits a JSON report
+  (``BENCH_routers.json``) so successive PRs inherit a perf trajectory.
+
+``benchmarks/test_perf_smoke.py`` runs a fast subset under tier-1
+pytest, asserting both the equivalence and generous wall-clock budgets.
+"""
+
+from .baseline import SEED_BASELINE
+from .bench import BenchCase, CORPUS, fingerprint, run_bench
+from .timing import time_call
+
+__all__ = [
+    "SEED_BASELINE",
+    "BenchCase",
+    "CORPUS",
+    "fingerprint",
+    "run_bench",
+    "time_call",
+]

@@ -1,0 +1,70 @@
+"""Frozen seed-router outputs: the byte-identical equivalence reference.
+
+Captured from the pre-optimisation (seed) router implementations on the
+fixed-seed corpus of :mod:`repro.perf.bench` before the mapping hot-path
+overhaul.  Every entry records the routed circuit's added SWAP count and
+a fingerprint (sha256 over the ``repr`` of each gate in order, first 16
+hex digits), plus the seed's wall-clock seconds where the case is timed.
+
+The optimised routers must keep reproducing these outputs exactly: the
+hot-path rework (incremental SABRE scoring, packed-integer A* kernel,
+flat-array DAG/device paths) changes *how* the answer is computed, never
+*which* answer comes out.  ``benchmarks/test_perf_smoke.py`` asserts
+this on every tier-1 run; ``repro.perf.bench`` re-checks it on every
+bench invocation.
+
+``seed_seconds`` values were measured on the development machine that
+produced the seed's ``benchmarks/results/router_scaling.txt`` numbers —
+they are a reference trajectory, not a portable constant.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SEED_BASELINE"]
+
+#: key: "<device>/<nq>q<ng>g_s<seed>/<router>" or a named variant case.
+#: value: {"swaps": int, "fingerprint": str, "seed_seconds": float | None}
+SEED_BASELINE: dict[str, dict] = {
+    "ibm_qx5/12q30g_s11/naive": {"swaps": 57, "fingerprint": "a9c25830b6c5f7f4", "seed_seconds": 0.0012},
+    "ibm_qx5/12q30g_s11/sabre": {"swaps": 30, "fingerprint": "beeb7bcba824674e", "seed_seconds": 0.0035},
+    "ibm_qx5/12q30g_s11/astar": {"swaps": 41, "fingerprint": "4d06a8782b45ac8e", "seed_seconds": 0.0594},
+    "ibm_qx5/12q30g_s11/latency": {"swaps": 44, "fingerprint": "968e8c082c8436d2", "seed_seconds": 0.0041},
+    "ibm_qx5/12q30g_s11/reliability": {"swaps": 34, "fingerprint": "b2090eb720a3d622", "seed_seconds": 0.0060},
+    "ibm_qx5/12q120g_s120/naive": {"swaps": 154, "fingerprint": "fa68ac83f9fcc5dc", "seed_seconds": 0.0014},
+    "ibm_qx5/12q120g_s120/sabre": {"swaps": 80, "fingerprint": "b83f83c9d0e5ba76", "seed_seconds": 0.0098},
+    "ibm_qx5/12q120g_s120/astar": {"swaps": 117, "fingerprint": "f5d7352cb1cc5461", "seed_seconds": 5.2732},
+    "ibm_qx5/12q120g_s120/latency": {"swaps": 133, "fingerprint": "264f37e9981c75e5", "seed_seconds": 0.0127},
+    "ibm_qx5/12q120g_s120/reliability": {"swaps": 74, "fingerprint": "ec64051a12cc0919", "seed_seconds": 0.0113},
+    "ibm_qx5/16q80g_s5/naive": {"swaps": 114, "fingerprint": "9b1f34779857c413", "seed_seconds": 0.0009},
+    "ibm_qx5/16q80g_s5/sabre": {"swaps": 75, "fingerprint": "1ca665a610eac7ad", "seed_seconds": 0.0099},
+    "ibm_qx5/16q80g_s5/astar": {"swaps": 59, "fingerprint": "3413f4022226b35e", "seed_seconds": 0.6067},
+    "ibm_qx5/16q80g_s5/latency": {"swaps": 123, "fingerprint": "fd28c875233688b0", "seed_seconds": 0.0126},
+    "ibm_qx5/16q80g_s5/reliability": {"swaps": 79, "fingerprint": "52b642b0844d6a75", "seed_seconds": 0.0111},
+    "grid44/16q100g_s7/naive": {"swaps": 88, "fingerprint": "ef6828c29611cb98", "seed_seconds": 0.0010},
+    "grid44/16q100g_s7/sabre": {"swaps": 47, "fingerprint": "0a5b4c749d2d9c12", "seed_seconds": 0.0071},
+    "grid44/16q100g_s7/astar": {"swaps": 59, "fingerprint": "43caeade0280f5de", "seed_seconds": 0.0987},
+    "grid44/16q100g_s7/latency": {"swaps": 100, "fingerprint": "7d5b35d06dea8ae9", "seed_seconds": 0.0102},
+    "grid44/16q100g_s7/reliability": {"swaps": 48, "fingerprint": "10cb8f518eab4007", "seed_seconds": 0.0089},
+    "grid44/10q60g_s3/naive": {"swaps": 39, "fingerprint": "4837e0986c8cf92a", "seed_seconds": 0.0006},
+    "grid44/10q60g_s3/sabre": {"swaps": 29, "fingerprint": "f3430b30c7d2cee3", "seed_seconds": 0.0039},
+    "grid44/10q60g_s3/astar": {"swaps": 30, "fingerprint": "638ddb46f238abdf", "seed_seconds": 0.0139},
+    "grid44/10q60g_s3/latency": {"swaps": 49, "fingerprint": "ff562327f627c9a3", "seed_seconds": 0.0041},
+    "grid44/10q60g_s3/reliability": {"swaps": 32, "fingerprint": "c1b39f5e5f06a5d9", "seed_seconds": 0.0043},
+    "linear9/9q50g_s2/naive": {"swaps": 78, "fingerprint": "c9dce24c2740d5bd", "seed_seconds": 0.0006},
+    "linear9/9q50g_s2/sabre": {"swaps": 51, "fingerprint": "8663fb79581d0e4b", "seed_seconds": 0.0035},
+    "linear9/9q50g_s2/astar": {"swaps": 64, "fingerprint": "adb170528ae46637", "seed_seconds": 0.0196},
+    "linear9/9q50g_s2/latency": {"swaps": 62, "fingerprint": "a2d60fb63224de8d", "seed_seconds": 0.0034},
+    "linear9/9q50g_s2/reliability": {"swaps": 55, "fingerprint": "1a8d22eb71abd6a0", "seed_seconds": 0.0041},
+    "surface17/12q70g_s13/naive": {"swaps": 71, "fingerprint": "a2ac29f2cfe95175", "seed_seconds": 0.0008},
+    "surface17/12q70g_s13/sabre": {"swaps": 39, "fingerprint": "e3892054b76f043e", "seed_seconds": 0.0052},
+    "surface17/12q70g_s13/astar": {"swaps": 46, "fingerprint": "4310a12ef9f24af1", "seed_seconds": 0.0204},
+    "surface17/12q70g_s13/latency": {"swaps": 72, "fingerprint": "6ff4a745bfb4b13f", "seed_seconds": 0.0074},
+    "surface17/12q70g_s13/reliability": {"swaps": 38, "fingerprint": "c64db0d6fc6c971c", "seed_seconds": 0.0084},
+    # Router-option variants, all on random_circuit(12, 60, seed=42,
+    # two_qubit_fraction=0.6) mapped to ibm_qx5 (untimed in the seed).
+    "variants/sabre_commutation": {"swaps": 47, "fingerprint": "7c1abe8312439ebb", "seed_seconds": None},
+    "variants/sabre_lookahead0": {"swaps": 64, "fingerprint": "ad49b72930a7ece8", "seed_seconds": None},
+    "variants/sabre_nodecay": {"swaps": 47, "fingerprint": "483e224b8211de3a", "seed_seconds": None},
+    "variants/astar_lookahead2": {"swaps": 56, "fingerprint": "5fdb7bf2ea7e27f1", "seed_seconds": None},
+    "variants/latency_commutation": {"swaps": 55, "fingerprint": "c42f4f59946446e3", "seed_seconds": None},
+}

@@ -1,0 +1,192 @@
+"""Router benchmark runner: times the corpus, checks seed equivalence.
+
+The corpus is small enough to run in seconds yet covers every router on
+several topologies (QX5's directed 2x8 lattice, a 4x4 grid, a line, the
+surface-17 layout) plus the router-option variants (commutation, no
+look-ahead, no decay, deeper A* look-ahead).  Cases and seeds must stay
+in sync with :data:`repro.perf.baseline.SEED_BASELINE` — they are the
+same corpus the seed outputs were captured on.
+
+Used by ``python -m repro.cli bench`` (JSON emission, perf trajectory)
+and by ``benchmarks/test_perf_smoke.py`` (tier-1 budgets).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.circuit import Circuit
+from ..devices import grid_device, ibm_qx5, linear_device, surface17
+from ..devices.device import Device
+from ..mapping.routing import (
+    route_astar,
+    route_latency,
+    route_naive,
+    route_reliability,
+    route_sabre,
+)
+from ..workloads import random_circuit
+from .baseline import SEED_BASELINE
+from .timing import time_call
+
+__all__ = ["BenchCase", "CORPUS", "fingerprint", "run_bench"]
+
+
+def fingerprint(circuit: Circuit) -> str:
+    """Order-sensitive digest of a circuit's gate list (16 hex digits)."""
+    digest = hashlib.sha256()
+    for gate in circuit.gates:
+        digest.update(repr(gate).encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed routing instance of the fixed-seed corpus."""
+
+    key: str                               # matches a SEED_BASELINE key
+    device_factory: Callable[[], Device]
+    num_qubits: int
+    num_gates: int
+    seed: int
+    route: Callable[[Circuit, Device], object]
+
+    def circuit(self) -> Circuit:
+        return random_circuit(
+            self.num_qubits, self.num_gates, seed=self.seed,
+            two_qubit_fraction=0.6,
+        )
+
+
+_ROUTERS: dict[str, Callable] = {
+    "naive": route_naive,
+    "sabre": route_sabre,
+    "astar": route_astar,
+    "latency": route_latency,
+    "reliability": route_reliability,
+}
+
+_DEVICES: dict[str, Callable[[], Device]] = {
+    "ibm_qx5": ibm_qx5,
+    "grid44": lambda: grid_device(4, 4),
+    "linear9": lambda: linear_device(9),
+    "surface17": surface17,
+}
+
+_INSTANCES = [
+    ("ibm_qx5", 12, 30, 11),
+    ("ibm_qx5", 12, 120, 120),
+    ("ibm_qx5", 16, 80, 5),
+    ("grid44", 16, 100, 7),
+    ("grid44", 10, 60, 3),
+    ("linear9", 9, 50, 2),
+    ("surface17", 12, 70, 13),
+]
+
+_VARIANTS: dict[str, Callable] = {
+    "sabre_commutation": lambda c, d: route_sabre(c, d, commutation=True),
+    "sabre_lookahead0": lambda c, d: route_sabre(c, d, lookahead=0),
+    "sabre_nodecay": lambda c, d: route_sabre(c, d, use_decay=False),
+    "astar_lookahead2": lambda c, d: route_astar(c, d, lookahead_layers=2),
+    "latency_commutation": lambda c, d: route_latency(c, d, commutation=True),
+}
+
+
+def _build_corpus() -> list[BenchCase]:
+    cases = []
+    for dev_name, nq, ng, seed in _INSTANCES:
+        for router_name, router in _ROUTERS.items():
+            cases.append(
+                BenchCase(
+                    key=f"{dev_name}/{nq}q{ng}g_s{seed}/{router_name}",
+                    device_factory=_DEVICES[dev_name],
+                    num_qubits=nq,
+                    num_gates=ng,
+                    seed=seed,
+                    route=router,
+                )
+            )
+    for name, variant in _VARIANTS.items():
+        cases.append(
+            BenchCase(
+                key=f"variants/{name}",
+                device_factory=ibm_qx5,
+                num_qubits=12,
+                num_gates=60,
+                seed=42,
+                route=variant,
+            )
+        )
+    return cases
+
+
+#: The full fixed-seed corpus (same keys as SEED_BASELINE).
+CORPUS: list[BenchCase] = _build_corpus()
+
+
+def run_bench(
+    cases: list[BenchCase] | None = None,
+    *,
+    repeats: int = 1,
+) -> dict:
+    """Time every case; verify outputs against the seed baseline.
+
+    Returns a JSON-serialisable report.  Each entry carries the measured
+    seconds, swap count, circuit fingerprint, the seed's reference
+    values, and a ``matches_seed`` flag; the summary totals them and
+    computes the headline speedup on the seed's slowest case.
+    """
+    report_cases = []
+    all_match = True
+    for case in cases if cases is not None else CORPUS:
+        device = case.device_factory()
+        circuit = case.circuit()
+        seconds, result = time_call(
+            case.route, circuit, device, repeats=repeats
+        )
+        fp = fingerprint(result.circuit)
+        seed_entry = SEED_BASELINE.get(case.key)
+        matches = seed_entry is not None and (
+            result.added_swaps == seed_entry["swaps"]
+            and fp == seed_entry["fingerprint"]
+        )
+        all_match = all_match and matches
+        report_cases.append(
+            {
+                "case": case.key,
+                "seconds": round(seconds, 6),
+                "swaps": result.added_swaps,
+                "fingerprint": fp,
+                "seed_seconds": seed_entry and seed_entry["seed_seconds"],
+                "seed_swaps": seed_entry and seed_entry["swaps"],
+                "matches_seed": matches,
+            }
+        )
+
+    total = sum(c["seconds"] for c in report_cases)
+    seed_total = sum(
+        c["seed_seconds"] for c in report_cases if c["seed_seconds"]
+    )
+    hot = next(
+        (c for c in report_cases if c["case"] == "ibm_qx5/12q120g_s120/astar"),
+        None,
+    )
+    summary = {
+        "total_seconds": round(total, 4),
+        "seed_total_seconds": round(seed_total, 4),
+        "all_match_seed": all_match,
+    }
+    if hot is not None and hot["seed_seconds"]:
+        summary["hot_case"] = hot["case"]
+        summary["hot_case_speedup"] = round(
+            hot["seed_seconds"] / max(hot["seconds"], 1e-9), 1
+        )
+    return {
+        "schema": 1,
+        "corpus": "fixed-seed router corpus (see repro.perf.bench)",
+        "repeats": repeats,
+        "cases": report_cases,
+        "summary": summary,
+    }

@@ -1,0 +1,28 @@
+"""Wall-clock measurement helpers for the perf harness."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["time_call"]
+
+
+def time_call(fn, *args, repeats: int = 1, **kwargs):
+    """Call ``fn(*args, **kwargs)`` ``repeats`` times; keep the best time.
+
+    Returns ``(best_seconds, result)`` where ``result`` is the return
+    value of the last call.  Best-of-N damps scheduler noise without the
+    run-count explosion of a full benchmarking framework; the perf smoke
+    test budgets are generous enough that ``repeats=1`` is reliable.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result

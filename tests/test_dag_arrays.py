@@ -1,0 +1,98 @@
+"""Parity of the flat-array DAG adjacency with a networkx reference.
+
+The hot-path overhaul replaced per-call networkx traversals in
+:class:`repro.core.dag.DependencyGraph` with tuple adjacency built once
+at construction.  These tests rebuild the dependency relation
+independently — straight from the qubit-line rule (and from
+:func:`repro.core.commutation.relaxed_dependencies` for the commutation
+mode) — into a networkx digraph and assert the flat arrays agree on
+predecessors, successors and the front layer, on a spread of random
+circuits.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.commutation import relaxed_dependencies
+from repro.core.dag import DependencyGraph
+from repro.workloads import random_circuit
+
+
+def _reference_graph(circuit) -> nx.DiGraph:
+    """Qubit-line dependencies built independently of DependencyGraph."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(circuit.gates)))
+    last_on_qubit: dict[int, int] = {}
+    for index, gate in enumerate(circuit.gates):
+        qubits = gate.qubits or tuple(range(circuit.num_qubits))
+        if gate.condition is not None:
+            qubits = tuple(dict.fromkeys(qubits + (gate.condition[0],)))
+        for qubit in qubits:
+            if qubit in last_on_qubit:
+                graph.add_edge(last_on_qubit[qubit], index)
+            last_on_qubit[qubit] = index
+    return graph
+
+
+def _reference_commutation_graph(circuit) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(len(circuit.gates)))
+    graph.add_edges_from(relaxed_dependencies(circuit))
+    return graph
+
+
+def _assert_parity(dag: DependencyGraph, reference: nx.DiGraph) -> None:
+    assert len(dag) == reference.number_of_nodes()
+    for index in range(len(dag)):
+        assert dag.predecessors(index) == sorted(reference.predecessors(index))
+        assert dag.successors(index) == sorted(reference.successors(index))
+    expected_front = sorted(
+        node for node in reference.nodes if reference.in_degree(node) == 0
+    )
+    assert sorted(dag.front_layer()) == expected_front
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 23])
+@pytest.mark.parametrize("num_gates", [1, 20, 80])
+def test_qubit_line_adjacency_matches_networkx(seed, num_gates):
+    circuit = random_circuit(6, num_gates, seed=seed, two_qubit_fraction=0.6)
+    dag = DependencyGraph(circuit)
+    _assert_parity(dag, _reference_graph(circuit))
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_commutation_adjacency_matches_networkx(seed):
+    circuit = random_circuit(5, 40, seed=seed, two_qubit_fraction=0.7)
+    dag = DependencyGraph(circuit, commutation=True)
+    _assert_parity(dag, _reference_commutation_graph(circuit))
+
+
+def test_lazy_graph_view_agrees_with_arrays():
+    circuit = random_circuit(5, 30, seed=5, two_qubit_fraction=0.6)
+    dag = DependencyGraph(circuit)
+    view = dag.graph  # lazily materialised networkx mirror
+    for index in range(len(dag)):
+        assert sorted(view.predecessors(index)) == dag.predecessors(index)
+        assert sorted(view.successors(index)) == dag.successors(index)
+
+
+def test_front_layer_shrinks_as_gates_complete():
+    circuit = random_circuit(4, 15, seed=2, two_qubit_fraction=0.5)
+    dag = DependencyGraph(circuit)
+    reference = _reference_graph(circuit)
+    done: set[int] = set()
+    for index in list(nx.topological_sort(reference)):
+        ready = {
+            node
+            for node in reference.nodes
+            if node not in done
+            and all(p in done for p in reference.predecessors(node))
+        }
+        computed = {
+            node
+            for node in range(len(dag))
+            if node not in done
+            and all(p in done for p in dag.predecessors(node))
+        }
+        assert computed == ready
+        done.add(index)
