@@ -87,3 +87,21 @@ def test_sabre_scoring_is_incremental():
     assert "_SwapScorer" in source
     # The full rescore helper must not appear in the candidate loop.
     assert "_score(" not in source
+
+
+def test_service_batch_warm_cache():
+    """The service layer serves the corpus warm at a 100% hit rate.
+
+    A 6-job slice keeps this fast (<1s): serial baseline, cold batch,
+    warm batch, byte-identity of cached artefacts vs serial — the same
+    checks ``repro batch --corpus perf --compare-serial`` runs in full.
+    """
+    from repro.perf import run_service_bench
+
+    report = run_service_bench(jobs=1, limit=6, oneshot_baseline=False)
+    summary = report["summary"]
+    assert summary["cases"] == 6
+    assert summary["warm_hit_rate"] == 1.0
+    assert summary["artifacts_match_serial"] is True
+    # Warm lookups must beat recompiling by a wide margin.
+    assert summary["warm_seconds"] < summary["serial_seconds"]

@@ -23,13 +23,19 @@ Quickstart::
 __version__ = "1.0.0"
 
 from .core import Circuit, DependencyGraph, Gate
-from .core.pipeline import CompilationResult, compile_circuit
+from .core.pipeline import (
+    CompilationResult,
+    PassConfig,
+    compile_circuit,
+    compile_with_config,
+)
 from .core.snapshot import ExecutionSnapshot, GateColor
 from .devices import Device, get_device
 from .decompose import decompose_circuit
 from .mapping import Placement, Schedule, qmap, route
 from .metrics import mapping_overhead
 from .qasm import parse_qasm, to_cqasm, to_openqasm
+from .service import CompileCache, CompileJob, CompileService, JobResult
 from .sim import StateVector, simulate
 from .sim.noise import NoiseModel
 from .verify import equivalent_circuits, equivalent_mapped
@@ -37,17 +43,23 @@ from .verify import equivalent_circuits, equivalent_mapped
 __all__ = [
     "Circuit",
     "CompilationResult",
+    "CompileCache",
+    "CompileJob",
+    "CompileService",
     "DependencyGraph",
     "Device",
     "ExecutionSnapshot",
     "Gate",
     "GateColor",
+    "JobResult",
     "NoiseModel",
+    "PassConfig",
     "Placement",
     "Schedule",
     "StateVector",
     "__version__",
     "compile_circuit",
+    "compile_with_config",
     "decompose_circuit",
     "equivalent_circuits",
     "equivalent_mapped",

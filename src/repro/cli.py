@@ -11,6 +11,10 @@ Usage examples::
         --optimize --verify -o mapped.qasm --report
     python -m repro map circuit.qasm --device-config mychip.json \
         --schedule constraints --cqasm mapped.cq
+    python -m repro batch manifest.json --jobs 4 --cache-dir .repro-cache \
+        --json report.json
+    python -m repro batch --corpus perf --jobs 4 --compare-serial \
+        --json BENCH_service.json
 """
 
 from __future__ import annotations
@@ -19,15 +23,44 @@ import argparse
 import sys
 from pathlib import Path
 
+from .core.circuit import Circuit
 from .core.pipeline import compile_circuit
 from .devices import Device, available_devices, get_device
 from .mapping.placement import PLACERS
 from .mapping.routing import ROUTERS
-from .qasm import parse_qasm, schedule_to_cqasm, to_cqasm, to_openqasm
+from .qasm import QasmError, parse_qasm, schedule_to_cqasm, to_cqasm, to_openqasm
 from .verify import equivalent_mapped
 from .viz import draw_circuit, draw_device, draw_schedule
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CliError"]
+
+
+class CliError(Exception):
+    """A user-input problem reported as one clean line, no traceback."""
+
+
+def _load_circuit(path_text: str) -> Circuit:
+    """Read and parse an OpenQASM input ('-' for stdin).
+
+    Raises:
+        CliError: when the file is missing/unreadable or the QASM text
+            does not parse.
+    """
+    if path_text == "-":
+        source = sys.stdin.read()
+        label = "<stdin>"
+    else:
+        try:
+            source = Path(path_text).read_text()
+        except OSError as exc:
+            raise CliError(
+                f"cannot read {path_text!r}: {exc.strerror or exc}"
+            ) from exc
+        label = path_text
+    try:
+        return parse_qasm(source)
+    except QasmError as exc:
+        raise CliError(f"invalid QASM in {label}: {exc}") from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -118,6 +151,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--repeats", type=int, default=1,
         help="timing repeats per case, best-of-N (default 1)",
     )
+
+    batch = sub.add_parser(
+        "batch",
+        help="compile many circuit/device/config jobs through the "
+        "caching service (manifest file or built-in corpus)",
+    )
+    batch.add_argument(
+        "manifest", nargs="?", default=None,
+        help="JSON manifest of jobs ('-' for stdin); "
+        "omit when using --corpus",
+    )
+    batch.add_argument(
+        "--corpus", choices=["perf"], default=None,
+        help="use a built-in workload instead of a manifest "
+        "(perf = the fixed-seed full-pipeline corpus)",
+    )
+    batch.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only run the first N jobs of the workload",
+    )
+    batch.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the batch (default 1 = in-process)",
+    )
+    batch.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent on-disk artefact cache directory",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true",
+        help="compile every job fresh (still dedups within the batch)",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job compile timeout (needs --jobs >= 2)",
+    )
+    batch.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retry budget per job after a worker crash (default 1)",
+    )
+    batch.add_argument(
+        "--json", metavar="FILE", dest="json_path",
+        help="write the full batch report as JSON",
+    )
+    batch.add_argument(
+        "--compare-serial", action="store_true",
+        help="run the three-phase throughput benchmark "
+        "(serial / parallel cold / warm cache) instead of a plain batch",
+    )
     return parser
 
 
@@ -166,11 +248,7 @@ def _cmd_info(args, out) -> int:
 
 
 def _cmd_map(args, out) -> int:
-    if args.input == "-":
-        source = sys.stdin.read()
-    else:
-        source = Path(args.input).read_text()
-    circuit = parse_qasm(source)
+    circuit = _load_circuit(args.input)
     device = _resolve_device(args)
 
     result = compile_circuit(
@@ -226,11 +304,7 @@ def _cmd_map(args, out) -> int:
 
 
 def _cmd_simulate(args, out) -> int:
-    if args.input == "-":
-        source = sys.stdin.read()
-    else:
-        source = Path(args.input).read_text()
-    circuit = parse_qasm(source)
+    circuit = _load_circuit(args.input)
 
     measured = sorted({g.qubits[0] for g in circuit.gates if g.is_measurement})
     report_qubits = measured or list(range(circuit.num_qubits))
@@ -308,21 +382,272 @@ def _cmd_bench(args, out) -> int:
     return 0 if summary["all_match_seed"] else 3
 
 
+def _batch_device(spec, base: Path):
+    """Resolve a manifest device spec: registry name, JSON file, or dict."""
+    if isinstance(spec, dict):
+        return Device.from_dict(spec)
+    if not isinstance(spec, str):
+        raise CliError(f"invalid device spec {spec!r} in manifest")
+    if spec in available_devices():
+        return get_device(spec)
+    path = base / spec
+    if path.suffix == ".json" or path.exists():
+        try:
+            return Device.from_json(path)
+        except OSError as exc:
+            raise CliError(
+                f"cannot read device file {spec!r}: {exc.strerror or exc}"
+            ) from exc
+        except (KeyError, ValueError) as exc:
+            raise CliError(f"invalid device file {spec!r}: {exc}") from exc
+    raise CliError(
+        f"unknown device {spec!r} (not a registry name or a .json file)"
+    )
+
+
+def _batch_jobs_from_manifest(args) -> list:
+    """Expand a batch manifest into CompileJobs.
+
+    The manifest is a JSON object with either an explicit ``jobs`` list
+    (``{"circuit": ..., "device": ..., "config": {...}}`` entries) or a
+    ``circuits`` x ``devices`` [x ``routers``] cross-product, with
+    ``defaults`` merged into every job config.  Circuit and device file
+    paths are resolved relative to the manifest's directory.
+    """
+    import json
+
+    from .core.pipeline import PassConfig
+    from .service import CompileJob
+
+    if args.manifest == "-":
+        text = sys.stdin.read()
+        base = Path.cwd()
+    else:
+        try:
+            text = Path(args.manifest).read_text()
+        except OSError as exc:
+            raise CliError(
+                f"cannot read {args.manifest!r}: {exc.strerror or exc}"
+            ) from exc
+        base = Path(args.manifest).resolve().parent
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CliError(f"invalid JSON in manifest: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise CliError("manifest must be a JSON object")
+
+    defaults = manifest.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise CliError('manifest "defaults" must be an object')
+
+    def make_config(overrides: dict) -> PassConfig:
+        merged = {**defaults, **overrides}
+        try:
+            return PassConfig.from_dict(merged)
+        except (TypeError, ValueError) as exc:
+            raise CliError(f"invalid pass config {merged!r}: {exc}") from exc
+
+    def read_qasm(spec: str) -> str:
+        try:
+            return (base / spec).read_text()
+        except OSError as exc:
+            raise CliError(
+                f"cannot read circuit {spec!r}: {exc.strerror or exc}"
+            ) from exc
+
+    jobs = []
+    for entry in manifest.get("jobs", []):
+        if not isinstance(entry, dict) or "circuit" not in entry \
+                or "device" not in entry:
+            raise CliError(
+                f'manifest job entries need "circuit" and "device": {entry!r}'
+            )
+        jobs.append(
+            CompileJob.create(
+                read_qasm(entry["circuit"]),
+                _batch_device(entry["device"], base),
+                make_config(entry.get("config", {})),
+                job_id=entry.get("id"),
+                timeout=entry.get("timeout"),
+                metadata={"circuit": entry["circuit"]},
+            )
+        )
+
+    circuits = manifest.get("circuits", [])
+    devices = manifest.get("devices", [])
+    if circuits and not devices:
+        raise CliError('manifest "circuits" needs a "devices" list')
+    routers = manifest.get("routers") or [None]
+    for circ_spec in circuits:
+        qasm = read_qasm(circ_spec)
+        for dev_spec in devices:
+            device = _batch_device(dev_spec, base)
+            dev_label = dev_spec if isinstance(dev_spec, str) else "custom"
+            for router in routers:
+                overrides = {} if router is None else {"router": router}
+                job_id = f"{circ_spec}@{dev_label}"
+                if router is not None:
+                    job_id += f"/{router}"
+                jobs.append(
+                    CompileJob.create(
+                        qasm,
+                        device,
+                        make_config(overrides),
+                        job_id=job_id,
+                        metadata={"circuit": circ_spec},
+                    )
+                )
+
+    if not jobs:
+        raise CliError("manifest expands to zero jobs")
+    return jobs
+
+
+def _cmd_batch(args, out) -> int:
+    import json
+
+    from .service import CompileCache, CompileService
+
+    if args.compare_serial:
+        from .perf import run_service_bench
+
+        report = run_service_bench(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            limit=args.limit,
+            retries=args.retries,
+            timeout=args.timeout,
+        )
+        summary = report["summary"]
+        print(
+            f"{summary['cases']} jobs, {summary['workers']} workers:",
+            file=out,
+        )
+        print(
+            f"  serial        {summary['serial_seconds']:>8}s "
+            f"({summary['serial_throughput']} jobs/s)",
+            file=out,
+        )
+        print(
+            f"  parallel cold {summary['parallel_cold_seconds']:>8}s "
+            f"({summary['parallel_cold_throughput']} jobs/s, "
+            f"{summary['parallel_speedup']}x vs serial)",
+            file=out,
+        )
+        print(
+            f"  warm cache    {summary['warm_seconds']:>8}s "
+            f"({summary['warm_throughput']} jobs/s, "
+            f"hit rate {summary['warm_hit_rate']:.0%})",
+            file=out,
+        )
+        if "speedup_vs_oneshot_cli" in summary:
+            print(
+                f"  one-shot CLI baseline "
+                f"{summary['oneshot_cli_sample_seconds']}s/job -> "
+                f"{summary['speedup_vs_oneshot_cli']}x amortised speedup",
+                file=out,
+            )
+        print(
+            f"  artifacts_match_serial={summary['artifacts_match_serial']}",
+            file=out,
+        )
+        if args.json_path:
+            with open(args.json_path, "w") as fh:
+                json.dump(report, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.json_path}", file=out)
+        return 0 if summary["artifacts_match_serial"] else 3
+
+    if args.corpus == "perf":
+        from .perf import corpus_jobs
+
+        jobs = corpus_jobs(args.limit)
+    elif args.manifest is not None:
+        jobs = _batch_jobs_from_manifest(args)
+        if args.limit is not None:
+            jobs = jobs[: args.limit]
+    else:
+        raise CliError("batch needs a manifest file or --corpus")
+
+    cache = None if args.no_cache else CompileCache(directory=args.cache_dir)
+    service = CompileService(
+        cache,
+        max_workers=args.jobs,
+        retries=args.retries,
+        default_timeout=args.timeout,
+    )
+    import time as _time
+
+    t0 = _time.perf_counter()
+    results = service.submit_batch(jobs)
+    elapsed = _time.perf_counter() - t0
+
+    print(f"{'job':<44} {'status':<8} {'cache':<7} {'swaps':>5} {'sec':>8}",
+          file=out)
+    for res in results:
+        metrics = res.metrics or {}
+        swaps = metrics.get("added_swaps")
+        compile_s = metrics.get("compile_s")
+        print(
+            f"{res.job_id:<44} {res.status:<8} "
+            f"{res.cache_hit or '-':<7} "
+            f"{'-' if swaps is None else swaps:>5} "
+            f"{'-' if compile_s is None else format(compile_s, '.4f'):>8}",
+            file=out,
+        )
+        if res.error:
+            print(f"    error: {res.error}", file=out)
+
+    n_ok = sum(1 for r in results if r.ok)
+    n = len(results)
+    stats = service.stats()
+    print(
+        f"\n{n_ok}/{n} ok in {elapsed:.3f}s "
+        f"({n / elapsed:.1f} jobs/s), "
+        f"cache hit rate {stats['service']['hit_rate']:.0%}",
+        file=out,
+    )
+    if args.json_path:
+        report = {
+            "schema": 1,
+            "jobs": [r.to_dict() for r in results],
+            "summary": {
+                "total": n,
+                "ok": n_ok,
+                "seconds": round(elapsed, 4),
+                "throughput": round(n / elapsed, 2) if elapsed else None,
+            },
+            "service_stats": stats,
+        }
+        with open(args.json_path, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json_path}", file=out)
+    return 0 if n_ok == n else 4
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
-    if args.command == "devices":
-        return _cmd_devices(out)
-    if args.command == "info":
-        return _cmd_info(args, out)
-    if args.command == "map":
-        return _cmd_map(args, out)
-    if args.command == "simulate":
-        return _cmd_simulate(args, out)
-    if args.command == "bench":
-        return _cmd_bench(args, out)
-    raise SystemExit(f"unknown command {args.command!r}")
+    commands = {
+        "devices": lambda: _cmd_devices(out),
+        "info": lambda: _cmd_info(args, out),
+        "map": lambda: _cmd_map(args, out),
+        "simulate": lambda: _cmd_simulate(args, out),
+        "bench": lambda: _cmd_bench(args, out),
+        "batch": lambda: _cmd_batch(args, out),
+    }
+    try:
+        handler = commands[args.command]
+    except KeyError:
+        raise SystemExit(f"unknown command {args.command!r}") from None
+    try:
+        return handler()
+    except CliError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

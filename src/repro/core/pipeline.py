@@ -20,7 +20,7 @@ metric the paper discusses.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Mapping
 
 from ..decompose import decompose_circuit
 from ..devices.device import Device
@@ -32,7 +32,85 @@ from ..mapping.routing import ROUTERS, RoutingResult, check_connectivity, route
 from ..mapping.scheduler import Schedule, alap_schedule, asap_schedule
 from .circuit import Circuit
 
-__all__ = ["CompilationResult", "compile_circuit"]
+__all__ = [
+    "CompilationResult",
+    "PassConfig",
+    "compile_circuit",
+    "compile_with_config",
+]
+
+
+@dataclass(frozen=True)
+class PassConfig:
+    """Hashable, serialisable description of one pipeline configuration.
+
+    Captures every knob of :func:`compile_circuit` that changes its
+    output, in a canonical form: the compile cache
+    (:mod:`repro.service`) keys artefacts on this object, so two configs
+    compare (and hash) equal exactly when they drive identical
+    compilations.  ``router_options`` is normalised to a sorted tuple of
+    ``(name, value)`` pairs; a mapping may be passed and is converted.
+
+    Only *named* placers are representable — a callable placer has no
+    canonical serial form and must go through :func:`compile_circuit`
+    directly.
+    """
+
+    placer: str = "assignment"
+    router: str = "sabre"
+    router_options: tuple[tuple[str, object], ...] = ()
+    decompose: bool = True
+    optimize: bool = False
+    schedule: str | None = "asap"
+    control_constraints: bool | None = None
+
+    def __post_init__(self) -> None:
+        opts = self.router_options
+        if isinstance(opts, Mapping):
+            pairs = opts.items()
+        else:
+            pairs = tuple(opts)
+        object.__setattr__(
+            self,
+            "router_options",
+            tuple(sorted((str(k), v) for k, v in pairs)),
+        )
+
+    def as_kwargs(self) -> dict:
+        """Keyword arguments for :func:`compile_circuit`."""
+        return {
+            "placer": self.placer,
+            "router": self.router,
+            "router_options": dict(self.router_options),
+            "decompose": self.decompose,
+            "optimize": self.optimize,
+            "schedule": self.schedule,
+            "control_constraints": self.control_constraints,
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (inverse of :meth:`from_dict`)."""
+        return {
+            "placer": self.placer,
+            "router": self.router,
+            "router_options": dict(self.router_options),
+            "decompose": self.decompose,
+            "optimize": self.optimize,
+            "schedule": self.schedule,
+            "control_constraints": self.control_constraints,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PassConfig":
+        """Rebuild a config from :meth:`to_dict` output (extras rejected)."""
+        known = {
+            "placer", "router", "router_options", "decompose",
+            "optimize", "schedule", "control_constraints",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown PassConfig fields: {sorted(unknown)}")
+        return cls(**{k: data[k] for k in known if k in data})
 
 
 @dataclass
@@ -207,3 +285,16 @@ def compile_circuit(
         placer=placer_name,
         router=router,
     )
+
+
+def compile_with_config(
+    circuit: Circuit, device: Device, config: PassConfig | None = None
+) -> CompilationResult:
+    """Run :func:`compile_circuit` under a :class:`PassConfig`.
+
+    The entry point the compile service uses: configs are hashable and
+    serialisable, so the same object that keys the cache also drives the
+    compilation — there is no way for the two to drift apart.
+    """
+    config = config or PassConfig()
+    return compile_circuit(circuit, device, **config.as_kwargs())

@@ -16,21 +16,98 @@ present here:
 * the dynamically updated set of *compatible gates* — gates that are
   ready by dependencies **and** start-able under the device and control
   constraints at the current cycle.
+
+The module also owns the plain-object (JSON-able) serialisation of the
+snapshot's building blocks — gates and timed schedules — via
+:func:`gate_to_obj` / :func:`gate_from_obj` and :func:`schedule_to_obj`
+/ :func:`schedule_from_obj`.  The compile service
+(:mod:`repro.service`) reuses these to persist
+:class:`~repro.core.pipeline.CompilationResult` artefacts in its
+content-addressed cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Mapping
 
 from ..devices.device import Device
 from ..mapping.placement import Placement
-from ..mapping.scheduler import ScheduledGate
+from ..mapping.scheduler import Schedule, ScheduledGate
 from .circuit import Circuit
 from .dag import DependencyGraph
 from .gates import Gate
 
-__all__ = ["GateColor", "ExecutionSnapshot"]
+__all__ = [
+    "GateColor",
+    "ExecutionSnapshot",
+    "gate_to_obj",
+    "gate_from_obj",
+    "schedule_to_obj",
+    "schedule_from_obj",
+]
+
+
+# ---------------------------------------------------------------------------
+# Plain-object serialisation of snapshot building blocks
+# ---------------------------------------------------------------------------
+
+def gate_to_obj(gate: Gate) -> dict:
+    """A gate as a JSON-able dict (inverse of :func:`gate_from_obj`).
+
+    Optional fields (params, condition) are omitted when empty so the
+    canonical JSON form of a gate is minimal and stable.
+    """
+    obj: dict = {"name": gate.name, "qubits": list(gate.qubits)}
+    if gate.params:
+        obj["params"] = [float(p) for p in gate.params]
+    if gate.condition is not None:
+        obj["condition"] = list(gate.condition)
+    return obj
+
+
+def gate_from_obj(obj: Mapping) -> Gate:
+    """Rebuild a :class:`Gate` from :func:`gate_to_obj` output."""
+    condition = obj.get("condition")
+    return Gate(
+        obj["name"],
+        tuple(obj["qubits"]),
+        tuple(obj.get("params", ())),
+        tuple(condition) if condition is not None else None,
+    )
+
+
+def schedule_to_obj(schedule: Schedule) -> dict:
+    """A timed schedule as a JSON-able dict (inverse of
+    :func:`schedule_from_obj`)."""
+    return {
+        "num_qubits": schedule.num_qubits,
+        "cycle_time_ns": schedule.cycle_time_ns,
+        "items": [
+            {
+                "gate": gate_to_obj(item.gate),
+                "start": item.start,
+                "duration": item.duration,
+            }
+            for item in schedule.items
+        ],
+    }
+
+
+def schedule_from_obj(obj: Mapping) -> Schedule:
+    """Rebuild a :class:`~repro.mapping.scheduler.Schedule` from
+    :func:`schedule_to_obj` output."""
+    return Schedule(
+        items=[
+            ScheduledGate(
+                gate_from_obj(item["gate"]), item["start"], item["duration"]
+            )
+            for item in obj["items"]
+        ],
+        num_qubits=obj["num_qubits"],
+        cycle_time_ns=obj.get("cycle_time_ns", 20.0),
+    )
 
 
 class GateColor(Enum):
@@ -177,3 +254,31 @@ class ExecutionSnapshot:
         ):
             table.setdefault(item.start, []).append(item)
         return table
+
+    def to_dict(self) -> dict:
+        """JSON-able view of the mapper state (colours, placements,
+        partial schedule) for logging and service-layer artefacts."""
+        return {
+            "device": self.device.name,
+            "colors": [c.value for c in self.colors],
+            "initial_placement": self.initial_placement.prog_to_phys(),
+            "current_placement": self.current_placement.prog_to_phys(),
+            "num_program": self.current_placement.num_program,
+            "qubit_free": list(self.qubit_free),
+            "scheduled": [
+                {
+                    "gate": gate_to_obj(item.gate),
+                    "start": item.start,
+                    "duration": item.duration,
+                }
+                for item in self.scheduled
+            ],
+            "extra_gates": [
+                {
+                    "gate": gate_to_obj(item.gate),
+                    "start": item.start,
+                    "duration": item.duration,
+                }
+                for item in self.extra_gates
+            ],
+        }

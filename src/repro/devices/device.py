@@ -270,6 +270,10 @@ class Device:
 
     @cached_property
     def _shortest_path_cache(self):
+        # cached_property builds this closure once *per instance*, so the
+        # lru_cache is keyed only on (a, b) but can never be shared
+        # between devices — two same-size chips with different couplings
+        # must not serve each other's paths.
         @lru_cache(maxsize=None)
         def _path(a: int, b: int) -> tuple[int, ...]:
             return tuple(nx.shortest_path(self.undirected, a, b))

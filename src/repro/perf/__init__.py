@@ -13,7 +13,11 @@ second axis:
 * :mod:`repro.perf.bench` — the router benchmark runner behind
   ``python -m repro.cli bench``, which times each router on the corpus,
   checks equivalence against the baseline, and emits a JSON report
-  (``BENCH_routers.json``) so successive PRs inherit a perf trajectory.
+  (``BENCH_routers.json``) so successive PRs inherit a perf trajectory;
+* :mod:`repro.perf.service_bench` — the batch-compile throughput
+  benchmark of the service layer (``repro batch --corpus perf
+  --compare-serial``, emitting ``BENCH_service.json``): serial vs
+  parallel vs warm-cache circuits/second plus the cache hit rate.
 
 ``benchmarks/test_perf_smoke.py`` runs a fast subset under tier-1
 pytest, asserting both the equivalence and generous wall-clock budgets.
@@ -21,13 +25,16 @@ pytest, asserting both the equivalence and generous wall-clock budgets.
 
 from .baseline import SEED_BASELINE
 from .bench import BenchCase, CORPUS, fingerprint, run_bench
+from .service_bench import corpus_jobs, run_service_bench
 from .timing import time_call
 
 __all__ = [
     "SEED_BASELINE",
     "BenchCase",
     "CORPUS",
+    "corpus_jobs",
     "fingerprint",
     "run_bench",
+    "run_service_bench",
     "time_call",
 ]

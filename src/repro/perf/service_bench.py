@@ -1,0 +1,199 @@
+"""Batch-compile throughput benchmark for the service layer.
+
+Reuses the fixed-seed router corpus of :mod:`repro.perf.bench` as a
+*compile-service workload*: every corpus case becomes a
+:class:`~repro.service.CompileJob` running the full Fig. 2 pipeline
+(place, route, decompose, schedule) rather than routing alone.  The
+benchmark times three phases and reports circuits/second for each:
+
+1. **serial** — plain in-process :func:`compile_with_config` over every
+   job, no cache: the pre-service baseline;
+2. **parallel cold** — ``CompileService.submit_batch`` with ``--jobs``
+   workers and an empty cache;
+3. **parallel warm** — the same batch again on the now-warm cache,
+   reporting the hit rate.
+
+It also cross-checks correctness: the artefact served from the cache in
+phase 3 must be byte-identical (canonical JSON) to the artefact a fresh
+serial compile produces.  ``python -m repro.cli batch --corpus perf
+--compare-serial --json BENCH_service.json`` runs this and persists the
+numbers.  An optional one-shot baseline times a cold ``repro map``
+subprocess (interpreter start + import + compile), the cost the service
+amortises for every job after the first.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+
+from ..core.pipeline import PassConfig, compile_with_config
+from ..devices.device import Device
+from ..qasm import parse_qasm, to_openqasm
+from ..service import CompileCache, CompileJob, CompileService
+from ..service.artifact import result_to_artifact
+from ..service.keys import canonical_json
+from ..workloads import random_circuit
+from .bench import _DEVICES, _INSTANCES, _ROUTERS
+
+__all__ = ["corpus_jobs", "run_service_bench"]
+
+#: Router-option variants of the corpus, as (router, options) configs —
+#: mirrors :data:`repro.perf.bench._VARIANTS`, which stores them as
+#: closures and therefore cannot feed the (serialisable) job API.
+_VARIANT_CONFIGS: dict[str, tuple[str, dict]] = {
+    "sabre_commutation": ("sabre", {"commutation": True}),
+    "sabre_lookahead0": ("sabre", {"lookahead": 0}),
+    "sabre_nodecay": ("sabre", {"use_decay": False}),
+    "astar_lookahead2": ("astar", {"lookahead_layers": 2}),
+    "latency_commutation": ("latency", {"commutation": True}),
+}
+
+
+def corpus_jobs(limit: int | None = None) -> list[CompileJob]:
+    """The perf corpus as full-pipeline compile jobs (40 by default)."""
+    jobs: list[CompileJob] = []
+    for dev_name, nq, ng, seed in _INSTANCES:
+        device = _DEVICES[dev_name]()
+        qasm = to_openqasm(
+            random_circuit(nq, ng, seed=seed, two_qubit_fraction=0.6)
+        )
+        for router_name in _ROUTERS:
+            jobs.append(
+                CompileJob.create(
+                    qasm,
+                    device,
+                    PassConfig(router=router_name),
+                    job_id=f"{dev_name}/{nq}q{ng}g_s{seed}/{router_name}",
+                )
+            )
+    variant_device = _DEVICES["ibm_qx5"]()
+    variant_qasm = to_openqasm(
+        random_circuit(12, 60, seed=42, two_qubit_fraction=0.6)
+    )
+    for name, (router_name, options) in _VARIANT_CONFIGS.items():
+        jobs.append(
+            CompileJob.create(
+                variant_qasm,
+                variant_device,
+                PassConfig(router=router_name, router_options=options),
+                job_id=f"variants/{name}",
+            )
+        )
+    return jobs[:limit] if limit is not None else jobs
+
+
+def _time_oneshot_cli() -> float | None:
+    """Seconds for one cold CLI compile (interpreter + import + map)."""
+    code = (
+        "from repro.core.pipeline import compile_circuit\n"
+        "from repro.devices import ibm_qx5\n"
+        "from repro.workloads import random_circuit\n"
+        "compile_circuit(random_circuit(12, 30, seed=11,"
+        " two_qubit_fraction=0.6), ibm_qx5())\n"
+    )
+    t0 = time.perf_counter()
+    try:
+        subprocess.run(
+            [sys.executable, "-c", code],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return time.perf_counter() - t0
+
+
+def run_service_bench(
+    *,
+    jobs: int = 4,
+    cache_dir: str | None = None,
+    limit: int | None = None,
+    retries: int = 1,
+    timeout: float | None = None,
+    oneshot_baseline: bool = True,
+) -> dict:
+    """Run the three-phase service benchmark; returns the JSON report."""
+    workload = corpus_jobs(limit)
+    n = len(workload)
+
+    # Phase 1: serial in-process baseline (no cache, no pool).
+    serial_artifacts: dict[str, str] = {}
+    t0 = time.perf_counter()
+    for job in workload:
+        result = compile_with_config(
+            parse_qasm(job.qasm), Device.from_dict(job.device), job.config
+        )
+        serial_artifacts[job.job_id] = canonical_json(
+            result_to_artifact(result, config=job.config)
+        )
+    serial_seconds = time.perf_counter() - t0
+
+    # Phase 2: parallel batch on an empty cache.
+    service = CompileService(
+        CompileCache(directory=cache_dir),
+        max_workers=jobs,
+        retries=retries,
+        default_timeout=timeout,
+    )
+    t0 = time.perf_counter()
+    cold = service.submit_batch(workload)
+    cold_seconds = time.perf_counter() - t0
+
+    # Phase 3: the same batch on the warm cache.
+    t0 = time.perf_counter()
+    warm = service.submit_batch(workload)
+    warm_seconds = time.perf_counter() - t0
+    warm_hits = sum(1 for r in warm if r.cache_hit)
+
+    mismatches = [
+        r.job_id
+        for r in warm
+        if not r.ok
+        or canonical_json(r.artifact) != serial_artifacts[r.job_id]
+    ]
+
+    report_cases = []
+    for job, cold_r, warm_r in zip(workload, cold, warm):
+        report_cases.append(
+            {
+                "case": job.job_id,
+                "cold_status": cold_r.status,
+                "cold_compile_s": cold_r.metrics.get("compile_s"),
+                "warm_hit": warm_r.cache_hit,
+                "added_swaps": (warm_r.metrics or {}).get("added_swaps"),
+                "native_gates": (warm_r.metrics or {}).get("native_gates"),
+                "matches_serial": job.job_id not in mismatches,
+            }
+        )
+
+    summary = {
+        "cases": n,
+        "workers": jobs,
+        "serial_seconds": round(serial_seconds, 4),
+        "serial_throughput": round(n / serial_seconds, 2),
+        "parallel_cold_seconds": round(cold_seconds, 4),
+        "parallel_cold_throughput": round(n / cold_seconds, 2),
+        "parallel_speedup": round(serial_seconds / cold_seconds, 2),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_throughput": round(n / warm_seconds, 2),
+        "warm_hit_rate": round(warm_hits / n, 4) if n else 0.0,
+        "artifacts_match_serial": not mismatches,
+    }
+    if oneshot_baseline:
+        sample = _time_oneshot_cli()
+        if sample is not None:
+            summary["oneshot_cli_sample_seconds"] = round(sample, 4)
+            summary["estimated_oneshot_total_seconds"] = round(sample * n, 2)
+            summary["speedup_vs_oneshot_cli"] = round(
+                (sample * n) / cold_seconds, 1
+            )
+    return {
+        "schema": 1,
+        "corpus": "fixed-seed full-pipeline corpus (see repro.perf.service_bench)",
+        "cases": report_cases,
+        "summary": summary,
+        "service_stats": service.stats(),
+    }

@@ -29,17 +29,23 @@ from ..core.gates import Gate
 __all__ = ["QasmError", "parse_qasm"]
 
 #: OpenQASM gate names handled natively, mapped to canonical names.
+#: Includes the toolkit's extension spellings the writer emits for
+#: non-standard native gates (x90 family, rxx, shuttle), so that
+#: ``parse_qasm`` accepts everything ``to_openqasm`` can produce.
 _DIRECT = {
     "h": "h", "x": "x", "y": "y", "z": "z", "s": "s", "sdg": "sdg",
     "t": "t", "tdg": "tdg", "id": "i", "rx": "rx", "ry": "ry", "rz": "rz",
     "u3": "u", "u": "u", "cx": "cnot", "cnot": "cnot", "cz": "cz",
     "swap": "swap", "ccx": "toffoli", "cswap": "fredkin", "cp": "cp",
     "cu1": "cp", "crz": "crz",
+    "x90": "x90", "xm90": "xm90", "y90": "y90", "ym90": "ym90",
+    "rxx": "rxx", "shuttle": "shuttle",
 }
 
 #: Parameter counts for the direct gates (for arity checking).
 _PARAM_COUNT = {
     "rx": 1, "ry": 1, "rz": 1, "u3": 3, "u": 3, "cp": 1, "cu1": 1, "crz": 1,
+    "rxx": 1,
 }
 
 

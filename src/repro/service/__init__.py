@@ -1,0 +1,40 @@
+"""The compilation service layer.
+
+The paper's observation that "every device is (almost) equal before the
+compiler" makes the mapper a *service*: one engine invoked over many
+circuit/device pairs.  This package wraps the Fig. 2 pipeline
+(:func:`repro.core.pipeline.compile_circuit`) in production plumbing:
+
+* :mod:`repro.service.keys` — content-addressed cache keys over
+  (canonical QASM, device description, pass config, library version);
+* :mod:`repro.service.artifact` — JSON-able serialisation of
+  :class:`~repro.core.pipeline.CompilationResult`;
+* :mod:`repro.service.cache` — the two-tier (memory LRU + on-disk)
+  :class:`CompileCache`;
+* :mod:`repro.service.jobs` — the :class:`CompileJob` /
+  :class:`JobResult` API;
+* :mod:`repro.service.engine` — :class:`CompileService` with
+  ``submit``, parallel ``submit_batch``, and ``stats``.
+
+The ``repro batch`` CLI command and
+:mod:`repro.perf.service_bench` build on this package; see
+``docs/service.md`` for the cache-key scheme and usage.
+"""
+
+from .artifact import artifact_to_result, result_to_artifact
+from .cache import CompileCache
+from .engine import CompileService
+from .jobs import CompileJob, JobResult
+from .keys import canonical_qasm, compute_key, device_fingerprint
+
+__all__ = [
+    "CompileCache",
+    "CompileJob",
+    "CompileService",
+    "JobResult",
+    "artifact_to_result",
+    "canonical_qasm",
+    "compute_key",
+    "device_fingerprint",
+    "result_to_artifact",
+]

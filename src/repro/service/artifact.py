@@ -1,0 +1,142 @@
+"""Serialisation of :class:`~repro.core.pipeline.CompilationResult`.
+
+An *artefact* is the JSON-able dict form of one compilation result: the
+thing the compile cache stores and the batch workers ship back to the
+parent process.  Circuits are stored as OpenQASM text (via
+:func:`repro.qasm.to_openqasm`, whose output :func:`repro.qasm.parse_qasm`
+accepts in full), the schedule through the snapshot serialisers
+(:func:`repro.core.snapshot.schedule_to_obj`), and placements as the
+paper's program->physical integer arrays.  The artefact embeds the
+device description, so :func:`artifact_to_result` rebuilds a complete,
+standalone :class:`CompilationResult` with no other context.
+
+Byte-stability contract: serialising a fresh compile of the same
+(circuit, device, config) always yields the same artefact bytes under
+:func:`repro.service.keys.canonical_json` — the cache-correctness tests
+assert this over the whole perf corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.pipeline import CompilationResult, PassConfig
+from ..core.snapshot import schedule_from_obj, schedule_to_obj
+from ..devices.device import Device
+from ..mapping.placement import Placement
+from ..mapping.routing import RoutingResult
+from ..qasm import parse_qasm, to_openqasm
+from .keys import ARTIFACT_SCHEMA
+
+__all__ = ["result_to_artifact", "artifact_to_result", "artifact_metrics"]
+
+
+def _placement_to_obj(placement: Placement) -> dict:
+    return {
+        "prog_to_phys": placement.prog_to_phys(),
+        "num_program": placement.num_program,
+    }
+
+
+def _placement_from_obj(obj: Mapping) -> Placement:
+    return Placement(obj["prog_to_phys"], obj["num_program"])
+
+
+def result_to_artifact(
+    result: CompilationResult, *, config: PassConfig | None = None
+) -> dict:
+    """Serialise ``result`` into a JSON-able artefact dict.
+
+    Args:
+        result: A full compilation result.
+        config: The pass configuration that produced it, recorded for
+            provenance (the cache key already commits to it).
+    """
+    from .. import __version__
+
+    artifact: dict = {
+        "schema": ARTIFACT_SCHEMA,
+        "version": __version__,
+        "original_qasm": to_openqasm(result.original),
+        "routed_qasm": to_openqasm(result.routed.circuit),
+        "native_qasm": to_openqasm(result.native),
+        "schedule": (
+            schedule_to_obj(result.schedule)
+            if result.schedule is not None
+            else None
+        ),
+        "routing": {
+            "router": result.routed.router,
+            "added_swaps": result.routed.added_swaps,
+            "initial": _placement_to_obj(result.routed.initial),
+            "final": _placement_to_obj(result.routed.final),
+        },
+        "flips": result.flips,
+        "placer": result.placer,
+        "router": result.router,
+        "device": result.device.to_dict(),
+        "metrics": {
+            "original_gates": result.original.size(),
+            "original_depth": result.original.depth(),
+            "native_gates": result.native.size(),
+            "native_depth": result.native.depth(),
+            "added_swaps": result.added_swaps,
+            "gate_overhead": result.gate_overhead,
+            "depth_ratio": result.depth_ratio,
+            "flips": result.flips,
+            "latency": result.latency,
+            "latency_ns": result.latency_ns,
+        },
+    }
+    if config is not None:
+        artifact["config"] = config.to_dict()
+    if result.original.name:
+        artifact["circuit_name"] = result.original.name
+    return artifact
+
+
+def artifact_to_result(artifact: Mapping) -> CompilationResult:
+    """Rebuild a standalone :class:`CompilationResult` from an artefact.
+
+    Raises:
+        ValueError: when the artefact schema is from a different,
+            incompatible layout version.
+    """
+    if artifact.get("schema") != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"artifact schema {artifact.get('schema')!r} is not supported "
+            f"(expected {ARTIFACT_SCHEMA})"
+        )
+    device = Device.from_dict(artifact["device"])
+    original = parse_qasm(artifact["original_qasm"])
+    if "circuit_name" in artifact:
+        original.name = artifact["circuit_name"]
+    routing = artifact["routing"]
+    routed = RoutingResult(
+        circuit=parse_qasm(artifact["routed_qasm"]),
+        initial=_placement_from_obj(routing["initial"]),
+        final=_placement_from_obj(routing["final"]),
+        added_swaps=routing["added_swaps"],
+        router=routing["router"],
+    )
+    schedule = (
+        schedule_from_obj(artifact["schedule"])
+        if artifact.get("schedule") is not None
+        else None
+    )
+    return CompilationResult(
+        original=original,
+        device=device,
+        routed=routed,
+        native=parse_qasm(artifact["native_qasm"]),
+        schedule=schedule,
+        flips=artifact["flips"],
+        placer=artifact["placer"],
+        router=artifact["router"],
+        metadata={"from_artifact": True},
+    )
+
+
+def artifact_metrics(artifact: Mapping) -> dict:
+    """The pre-computed headline metrics stored in an artefact."""
+    return dict(artifact.get("metrics", {}))

@@ -1,0 +1,160 @@
+"""The two-tier content-addressed compile cache.
+
+Tier 1 is an in-memory LRU of artefact dicts; tier 2 an optional
+on-disk store with one JSON file per key (``<key>.json`` under the cache
+directory), written atomically (temp file + rename) so concurrent
+writers can never leave a torn entry.  Disk hits are promoted to
+memory.  Corrupt or unreadable disk entries count as misses and are
+deleted best-effort — the cache is always allowed to forget, never to
+return wrong bytes.
+
+Keys come from :mod:`repro.service.keys`; because the key commits to
+circuit, device, pass config and library version, entries never need
+explicit invalidation — a change to any input simply addresses a
+different slot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter, OrderedDict
+from pathlib import Path
+
+__all__ = ["CompileCache"]
+
+
+class CompileCache:
+    """Content-addressed artefact store with memory and disk tiers.
+
+    Args:
+        max_memory_entries: LRU capacity of the in-memory tier
+            (0 disables it).
+        directory: Root of the on-disk tier; ``None`` disables it.
+            Created on first write.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_memory_entries: int = 512,
+        directory: str | os.PathLike | None = None,
+    ) -> None:
+        self.max_memory_entries = int(max_memory_entries)
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: OrderedDict[str, dict] = OrderedDict()
+        self._counters: Counter = Counter()
+
+    # ------------------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached artefact for ``key``, or ``None`` on miss.
+
+        Sets :meth:`last_tier` ("memory"/"disk") on a hit so callers can
+        report where the artefact came from.
+        """
+        entry = self._memory.get(key)
+        if entry is not None:
+            self._memory.move_to_end(key)
+            self._counters["memory_hits"] += 1
+            self._last_tier = "memory"
+            return entry
+        if self.directory is not None:
+            path = self._disk_path(key)
+            try:
+                with open(path) as fh:
+                    entry = json.load(fh)
+            except FileNotFoundError:
+                pass
+            except (OSError, ValueError):
+                self._counters["disk_errors"] += 1
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            else:
+                self._counters["disk_hits"] += 1
+                self._last_tier = "disk"
+                self._remember(key, entry)
+                return entry
+        self._counters["misses"] += 1
+        self._last_tier = None
+        return None
+
+    def last_tier(self) -> str | None:
+        """Tier of the most recent :meth:`get` hit (None after a miss)."""
+        return getattr(self, "_last_tier", None)
+
+    def put(self, key: str, artifact: dict) -> None:
+        """Store ``artifact`` under ``key`` in every enabled tier."""
+        self._counters["puts"] += 1
+        self._remember(key, artifact)
+        if self.directory is not None:
+            path = self._disk_path(key)
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            try:
+                with open(tmp, "w") as fh:
+                    json.dump(artifact, fh, sort_keys=True)
+                os.replace(tmp, path)
+            except OSError:
+                self._counters["disk_errors"] += 1
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+
+    def _remember(self, key: str, artifact: dict) -> None:
+        if self.max_memory_entries <= 0:
+            return
+        self._memory[key] = artifact
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self._counters["evictions"] += 1
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        if self.directory is not None:
+            return self._disk_path(key).exists()
+        return False
+
+    def __len__(self) -> int:
+        """Number of entries in the memory tier (disk not enumerated)."""
+        return len(self._memory)
+
+    def stats(self) -> dict:
+        """Counter snapshot plus tier occupancy."""
+        snapshot = {
+            key: self._counters[key]
+            for key in (
+                "memory_hits", "disk_hits", "misses", "puts",
+                "evictions", "disk_errors",
+            )
+        }
+        hits = snapshot["memory_hits"] + snapshot["disk_hits"]
+        lookups = hits + snapshot["misses"]
+        snapshot["hit_rate"] = round(hits / lookups, 4) if lookups else 0.0
+        snapshot["memory_entries"] = len(self._memory)
+        if self.directory is not None and self.directory.is_dir():
+            snapshot["disk_entries"] = sum(
+                1 for _ in self.directory.glob("*.json")
+            )
+        return snapshot
+
+    def clear(self, *, memory_only: bool = False) -> None:
+        """Drop every entry (optionally only the memory tier)."""
+        self._memory.clear()
+        if not memory_only and self.directory is not None:
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass

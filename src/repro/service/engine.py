@@ -1,0 +1,476 @@
+"""The compile service: cache-aware single and parallel batch compiles.
+
+:class:`CompileService` turns :func:`repro.core.pipeline.compile_circuit`
+into a servable engine:
+
+* :meth:`CompileService.submit` — one job, in-process, through the
+  content-addressed cache;
+* :meth:`CompileService.submit_batch` — a list of jobs fanned across a
+  ``ProcessPoolExecutor`` with per-job timeouts, bounded retry when a
+  worker process dies, in-batch deduplication of identical requests,
+  and **deterministic result ordering** (results[i] always corresponds
+  to jobs[i], whatever order the workers finish in);
+* :meth:`CompileService.stats` — a counter snapshot of everything the
+  service has done (jobs, cache tiers, compile seconds, retries).
+
+Workers receive plain-dict payloads (:meth:`CompileJob.payload`) and
+return plain-dict outcomes, so nothing un-picklable ever crosses the
+process boundary; the parent owns the cache, so a batch warms it for
+every later request regardless of which worker compiled what.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterable, Sequence
+
+from ..core.pipeline import PassConfig, compile_with_config
+from ..devices.device import Device
+from ..qasm import parse_qasm
+from .artifact import artifact_metrics, result_to_artifact
+from .cache import CompileCache
+from .jobs import CompileJob, JobResult
+
+__all__ = ["CompileService", "run_payload"]
+
+
+def run_payload(payload: dict) -> dict:
+    """Compile one job payload; always returns, never raises.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it.  The
+    ``__test_hook__`` metadata key is an internal testing aid: ``crash``
+    kills the worker process (exercising the retry path) and
+    ``sleep:<seconds>`` delays the compile (exercising timeouts).
+    """
+    hook = payload.get("metadata", {}).get("__test_hook__", "")
+    if hook == "crash":
+        os._exit(13)
+    if hook.startswith("sleep:"):
+        time.sleep(float(hook.split(":", 1)[1]))
+    started_at = time.time()
+    t0 = time.perf_counter()
+    try:
+        circuit = parse_qasm(payload["qasm"])
+        device = Device.from_dict(payload["device"])
+        config = PassConfig.from_dict(payload["config"])
+        result = compile_with_config(circuit, device, config)
+        artifact = result_to_artifact(result, config=config)
+        return {
+            "status": "ok",
+            "artifact": artifact,
+            "compile_seconds": time.perf_counter() - t0,
+            "started_at": started_at,
+        }
+    except Exception as exc:  # noqa: BLE001 — report, don't kill the pool
+        return {
+            "status": "error",
+            "error": f"{type(exc).__name__}: {exc}",
+            "compile_seconds": time.perf_counter() - t0,
+            "started_at": started_at,
+        }
+
+
+#: Sentinel distinguishing "no cache argument" from an explicit ``None``.
+_DEFAULT_CACHE = object()
+
+
+class CompileService:
+    """Compile jobs against devices, with caching and parallel batches.
+
+    Args:
+        cache: The artefact cache.  Omitted: a fresh in-memory-only
+            :class:`CompileCache`.  An explicit ``None`` disables
+            caching entirely (every submit compiles fresh; batches
+            still dedup identical requests internally).
+        max_workers: Default parallelism of :meth:`submit_batch`
+            (default: the machine's CPU count).
+        retries: How many times a batch re-dispatches jobs whose worker
+            process crashed before reporting them as errors.
+        default_timeout: Per-job wall-clock budget in seconds applied
+            when neither the job nor the batch call specifies one
+            (``None``: unlimited).
+    """
+
+    def __init__(
+        self,
+        cache: CompileCache | None = _DEFAULT_CACHE,  # type: ignore[assignment]
+        *,
+        max_workers: int | None = None,
+        retries: int = 1,
+        default_timeout: float | None = None,
+    ) -> None:
+        self.cache = CompileCache() if cache is _DEFAULT_CACHE else cache
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self.retries = int(retries)
+        self.default_timeout = default_timeout
+        self._counters: Counter = Counter()
+        self._compile_seconds = 0.0
+        self._queue_wait_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Single submit
+    # ------------------------------------------------------------------
+
+    def submit(self, job: CompileJob) -> JobResult:
+        """Compile one job in-process (cache first, then fresh)."""
+        self._counters["jobs_submitted"] += 1
+        key = job.key()
+        hit = self._try_cache(job, key)
+        if hit is not None:
+            return hit
+        dispatch_wall = time.time()
+        outcome = run_payload(job.payload())
+        return self._finish(job, key, outcome, dispatch_wall, attempts=1)
+
+    # ------------------------------------------------------------------
+    # Batch submit
+    # ------------------------------------------------------------------
+
+    def submit_batch(
+        self,
+        jobs: Iterable[CompileJob],
+        *,
+        max_workers: int | None = None,
+        timeout: float | None = None,
+        retries: int | None = None,
+    ) -> list[JobResult]:
+        """Compile ``jobs``, fanning cache misses across worker processes.
+
+        Args:
+            jobs: The requests, in the order results are returned.
+            max_workers: Parallelism for this batch (default: the
+                service's ``max_workers``; ``1`` runs in-process).
+            timeout: Per-job wall-clock budget in seconds, measured from
+                batch dispatch; a job's own ``timeout`` takes precedence.
+                Timed-out jobs report ``status == "timeout"`` (the
+                worker is abandoned, not interrupted).
+            retries: Crash-retry budget for this batch (default: the
+                service's ``retries``).
+
+        Returns:
+            One :class:`JobResult` per job, positionally aligned with
+            the input regardless of completion order.
+        """
+        jobs = list(jobs)
+        workers = self.max_workers if max_workers is None else max_workers
+        budget = self.retries if retries is None else int(retries)
+        self._counters["jobs_submitted"] += len(jobs)
+        self._counters["batches"] += 1
+
+        keys = [job.key() for job in jobs]
+        results: list[JobResult | None] = [None] * len(jobs)
+
+        # Tier lookups and in-batch dedup: identical requests compile once.
+        pending: list[int] = []
+        first_for_key: dict[str, int] = {}
+        duplicate_of: dict[int, int] = {}
+        for i, (job, key) in enumerate(zip(jobs, keys)):
+            hit = self._try_cache(job, key)
+            if hit is not None:
+                results[i] = hit
+            elif key in first_for_key:
+                duplicate_of[i] = first_for_key[key]
+                self._counters["batch_dedup_hits"] += 1
+            else:
+                first_for_key[key] = i
+                pending.append(i)
+
+        if pending:
+            # Pool dispatch is only worth it with real parallelism, but
+            # timeouts can only be enforced from outside the worker, so
+            # any timed job forces the pool path — as does a crash/sleep
+            # test hook, which must never run in this process.
+            needs_pool = workers > 1 and (
+                len(pending) > 1
+                or timeout is not None
+                or self.default_timeout is not None
+                or any(jobs[i].timeout is not None for i in pending)
+                or any(
+                    "__test_hook__" in jobs[i].metadata for i in pending
+                )
+            )
+            if not needs_pool:
+                for i in pending:
+                    dispatch_wall = time.time()
+                    outcome = run_payload(jobs[i].payload())
+                    results[i] = self._finish(
+                        jobs[i], keys[i], outcome, dispatch_wall, attempts=1
+                    )
+            else:
+                self._run_pool(
+                    jobs, keys, pending, results, workers, timeout, budget
+                )
+
+        for i, src in duplicate_of.items():
+            base = results[src]
+            assert base is not None
+            results[i] = JobResult(
+                job_id=jobs[i].job_id,
+                key=keys[i],
+                status=base.status,
+                cache_hit="batch" if base.ok else base.cache_hit,
+                artifact=base.artifact,
+                error=base.error,
+                attempts=base.attempts,
+                metrics={**base.metrics, "queue_wait_s": 0.0, "compile_s": 0.0},
+                metadata=jobs[i].metadata,
+            )
+
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    def _run_pool(
+        self,
+        jobs: Sequence[CompileJob],
+        keys: Sequence[str],
+        pending: list[int],
+        results: list[JobResult | None],
+        workers: int,
+        timeout: float | None,
+        budget: int,
+    ) -> None:
+        """Dispatch ``pending`` job indices across a process pool.
+
+        Each round uses a fresh pool; when the pool breaks (a worker
+        died), unfinished jobs are re-dispatched until the retry budget
+        runs out.  Pools are shut down without waiting so an abandoned
+        (timed-out) worker never stalls the batch.
+        """
+        attempts = {i: 0 for i in pending}
+        remaining = set(pending)
+        rounds_left = budget + 1
+        isolate = False
+        while remaining and rounds_left > 0:
+            rounds_left -= 1
+            if max(attempts.values()) > 0:
+                self._counters["crash_retries"] += 1
+            if isolate:
+                # Recovery round: one single-worker pool per job, so a
+                # deterministic crasher can no longer take down the
+                # results of the jobs that happened to share its pool.
+                for i in sorted(remaining.copy()):
+                    attempts[i] += 1
+                    self._dispatch_one(
+                        jobs[i], keys[i], i, results, remaining,
+                        attempts[i], timeout,
+                    )
+                continue
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(remaining))
+            )
+            dispatch_wall = time.time()
+            dispatch_perf = time.perf_counter()
+            futures = {}
+            broken = False
+            abandoned = False
+            try:
+                for i in sorted(remaining):
+                    attempts[i] += 1
+                    futures[i] = pool.submit(run_payload, jobs[i].payload())
+            except BrokenProcessPool:
+                broken = True
+            for i in sorted(futures):
+                job_timeout = self._job_timeout(jobs[i], timeout)
+                try:
+                    # After a pool break, completed futures still hold
+                    # results; only never-run ones raise (instantly), so
+                    # keep harvesting instead of abandoning the round.
+                    if job_timeout is None and not broken:
+                        outcome = futures[i].result()
+                    else:
+                        left = (
+                            0.0
+                            if job_timeout is None
+                            else job_timeout
+                            - (time.perf_counter() - dispatch_perf)
+                        )
+                        outcome = futures[i].result(timeout=max(0.0, left))
+                except _FutureTimeout:
+                    if broken:
+                        continue  # retry in the next round
+                    futures[i].cancel()
+                    abandoned = True
+                    self._counters["timeouts"] += 1
+                    results[i] = self._timeout_result(
+                        jobs[i], keys[i], job_timeout, attempts[i]
+                    )
+                    remaining.discard(i)
+                except BrokenProcessPool:
+                    broken = True
+                    continue
+                else:
+                    results[i] = self._finish(
+                        jobs[i], keys[i], outcome, dispatch_wall, attempts[i]
+                    )
+                    remaining.discard(i)
+            # Join the pool threads when every worker is accounted for —
+            # tearing down without waiting is only needed when a worker
+            # was abandoned mid-job, and it races interpreter exit.
+            pool.shutdown(wait=not (abandoned or broken), cancel_futures=True)
+            isolate = broken
+        for i in sorted(remaining):
+            self._counters["crash_failures"] += 1
+            results[i] = JobResult(
+                job_id=jobs[i].job_id,
+                key=keys[i],
+                status="error",
+                error=f"worker process crashed ({attempts[i]} attempts)",
+                attempts=attempts[i],
+                metadata=jobs[i].metadata,
+            )
+
+    def _dispatch_one(
+        self,
+        job: CompileJob,
+        key: str,
+        index: int,
+        results: list[JobResult | None],
+        remaining: set[int],
+        attempts: int,
+        timeout: float | None,
+    ) -> None:
+        """Run one job in its own single-worker pool (recovery rounds)."""
+        pool = ProcessPoolExecutor(max_workers=1)
+        dispatch_wall = time.time()
+        job_timeout = self._job_timeout(job, timeout)
+        abandoned = False
+        try:
+            future = pool.submit(run_payload, job.payload())
+            outcome = future.result(timeout=job_timeout)
+        except _FutureTimeout:
+            abandoned = True
+            self._counters["timeouts"] += 1
+            results[index] = self._timeout_result(
+                job, key, job_timeout, attempts
+            )
+            remaining.discard(index)
+        except BrokenProcessPool:
+            abandoned = True  # worker died; nothing left to join cleanly
+        else:
+            results[index] = self._finish(
+                job, key, outcome, dispatch_wall, attempts
+            )
+            remaining.discard(index)
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+
+    def _job_timeout(
+        self, job: CompileJob, batch_timeout: float | None
+    ) -> float | None:
+        if job.timeout is not None:
+            return job.timeout
+        if batch_timeout is not None:
+            return batch_timeout
+        return self.default_timeout
+
+    def _timeout_result(
+        self, job: CompileJob, key: str, job_timeout: float | None, attempts: int
+    ) -> JobResult:
+        return JobResult(
+            job_id=job.job_id,
+            key=key,
+            status="timeout",
+            error=f"exceeded the {job_timeout}s budget",
+            attempts=attempts,
+            metadata=job.metadata,
+        )
+
+    # ------------------------------------------------------------------
+    # Shared plumbing
+    # ------------------------------------------------------------------
+
+    def _try_cache(self, job: CompileJob, key: str) -> JobResult | None:
+        if self.cache is None:
+            return None
+        t0 = time.perf_counter()
+        artifact = self.cache.get(key)
+        if artifact is None:
+            return None
+        tier = self.cache.last_tier()
+        self._counters["cache_hits"] += 1
+        metrics = {
+            "queue_wait_s": 0.0,
+            "compile_s": 0.0,
+            "total_s": round(time.perf_counter() - t0, 6),
+        }
+        metrics.update(artifact_metrics(artifact))
+        return JobResult(
+            job_id=job.job_id,
+            key=key,
+            status="ok",
+            cache_hit=tier,
+            artifact=artifact,
+            metrics=metrics,
+            metadata=job.metadata,
+        )
+
+    def _finish(
+        self,
+        job: CompileJob,
+        key: str,
+        outcome: dict,
+        dispatch_wall: float,
+        attempts: int,
+    ) -> JobResult:
+        queue_wait = max(0.0, outcome.get("started_at", dispatch_wall) - dispatch_wall)
+        compile_s = outcome.get("compile_seconds", 0.0)
+        if outcome["status"] != "ok":
+            self._counters["errors"] += 1
+            return JobResult(
+                job_id=job.job_id,
+                key=key,
+                status="error",
+                error=outcome.get("error", "unknown failure"),
+                attempts=attempts,
+                metrics={
+                    "queue_wait_s": round(queue_wait, 6),
+                    "compile_s": round(compile_s, 6),
+                },
+                metadata=job.metadata,
+            )
+        artifact = outcome["artifact"]
+        if self.cache is not None:
+            self.cache.put(key, artifact)
+        self._counters["fresh_compiles"] += 1
+        self._compile_seconds += compile_s
+        self._queue_wait_seconds += queue_wait
+        metrics = {
+            "queue_wait_s": round(queue_wait, 6),
+            "compile_s": round(compile_s, 6),
+            "total_s": round(queue_wait + compile_s, 6),
+        }
+        metrics.update(artifact_metrics(artifact))
+        return JobResult(
+            job_id=job.job_id,
+            key=key,
+            status="ok",
+            artifact=artifact,
+            attempts=attempts,
+            metrics=metrics,
+            metadata=job.metadata,
+        )
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counter snapshot: service totals plus cache tier counters."""
+        service = {
+            key: self._counters[key]
+            for key in (
+                "jobs_submitted", "batches", "cache_hits",
+                "batch_dedup_hits", "fresh_compiles", "errors",
+                "timeouts", "crash_retries", "crash_failures",
+            )
+        }
+        service["compile_seconds"] = round(self._compile_seconds, 6)
+        service["queue_wait_seconds"] = round(self._queue_wait_seconds, 6)
+        lookups = service["cache_hits"] + service["fresh_compiles"]
+        service["hit_rate"] = (
+            round(service["cache_hits"] / lookups, 4) if lookups else 0.0
+        )
+        cache_stats = self.cache.stats() if self.cache is not None else None
+        return {"service": service, "cache": cache_stats}

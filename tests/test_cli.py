@@ -181,3 +181,41 @@ class TestSimulateCommand:
         _, a = _run(["simulate", str(qasm_file), "--shots", "50", "--seed", "4"])
         _, b = _run(["simulate", str(qasm_file), "--shots", "50", "--seed", "4"])
         assert a == b
+
+
+class TestCliErrors:
+    """Bad input produces one clean line on stderr and exit code 2."""
+
+    def test_missing_input_file(self, capsys):
+        code, text = _run(["map", "/nonexistent/x.qasm", "--device", "ibm_qx4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert err.strip().count("\n") == 0  # one line, no traceback
+        assert "/nonexistent/x.qasm" in err
+
+    def test_unparsable_input_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.qasm"
+        path.write_text("OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n")
+        code, text = _run(["map", str(path), "--device", "ibm_qx4"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "invalid QASM" in err and "frobnicate" in err
+        assert "Traceback" not in err
+
+    def test_simulate_missing_file(self, capsys):
+        code, text = _run(["simulate", "/nonexistent/x.qasm"])
+        assert code == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_simulate_unparsable_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.qasm"
+        path.write_text("this is not qasm at all")
+        code, text = _run(["simulate", str(path)])
+        assert code == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_good_input_still_exits_zero(self, qasm_file):
+        code, _ = _run(["map", str(qasm_file), "--device", "ibm_qx4"])
+        assert code == 0

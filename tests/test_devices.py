@@ -58,6 +58,21 @@ class TestGraphStructure:
         device = _toy_device()
         assert device.undirected_edges() == [(0, 1), (1, 2)]
 
+    def test_shortest_path_cache_is_per_instance(self):
+        # Regression guard: shortest_path memoises on (a, b) only, so a
+        # cache shared between instances would let a 9-qubit line serve
+        # a 9-qubit ring's queries (or vice versa). Same size, same
+        # endpoints, different topology -> different answers required.
+        linear = get_device("linear", num_qubits=9)
+        ring = get_device("ring", num_qubits=9)
+        assert linear.shortest_path(0, 8) == list(range(9))
+        assert ring.shortest_path(0, 8) == [0, 8]
+        # And in the opposite query order on fresh instances.
+        ring2 = get_device("ring", num_qubits=9)
+        linear2 = get_device("linear", num_qubits=9)
+        assert ring2.shortest_path(0, 8) == [0, 8]
+        assert linear2.shortest_path(0, 8) == list(range(9))
+
 
 class TestGateAdmissibility:
     def test_native_one_qubit(self):

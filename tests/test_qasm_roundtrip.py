@@ -1,0 +1,75 @@
+"""QASM writer/parser round-trip stability across the workload corpus.
+
+The service layer's cache keys rely on ``to_openqasm(parse_qasm(text))``
+being a *normal form*: parsing a written circuit and writing it again
+must be a fixed point, otherwise semantically identical requests would
+hash to different keys.  These tests pin that property across every
+workload family plus the device-specific gate sets.
+"""
+
+import pytest
+
+from repro.core import Circuit, Gate
+from repro.qasm import parse_qasm, to_openqasm
+from repro.workloads import WORKLOADS, random_circuit
+from repro.workloads.paper import fig1_circuit, fig2_circuit
+
+
+def _circuits_equal(a: Circuit, b: Circuit) -> bool:
+    if a.num_qubits != b.num_qubits or len(a.gates) != len(b.gates):
+        return False
+    for ga, gb in zip(a.gates, b.gates):
+        if (ga.name, ga.qubits, ga.params, ga.condition) != (
+            gb.name, gb.qubits, gb.params, gb.condition
+        ):
+            return False
+    return True
+
+
+def _assert_roundtrip_stable(circuit: Circuit) -> None:
+    once = parse_qasm(to_openqasm(circuit))
+    twice = parse_qasm(to_openqasm(once))
+    assert _circuits_equal(once, twice)
+    # The canonical text itself is a fixed point too.
+    assert to_openqasm(once) == to_openqasm(twice)
+
+
+class TestWorkloadCorpus:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_workload_roundtrip(self, name):
+        _assert_roundtrip_stable(WORKLOADS[name]())
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 11])
+    def test_random_circuit_roundtrip(self, seed):
+        _assert_roundtrip_stable(
+            random_circuit(8, 40, seed=seed, two_qubit_fraction=0.6)
+        )
+
+    def test_paper_figures_roundtrip(self):
+        _assert_roundtrip_stable(fig1_circuit())
+        _assert_roundtrip_stable(fig2_circuit())
+
+
+class TestNativeGateSets:
+    def test_surface17_native_gates_roundtrip(self):
+        # x90/y90/ym90 etc. come out of the surface-17 decomposition;
+        # the parser must accept everything the writer can emit.
+        circuit = Circuit(3)
+        circuit.append(Gate("x90", (0,)))
+        circuit.append(Gate("xm90", (1,)))
+        circuit.append(Gate("y90", (2,)))
+        circuit.append(Gate("ym90", (0,)))
+        circuit.cz(0, 1)
+        _assert_roundtrip_stable(circuit)
+
+    def test_iontrap_gates_roundtrip(self):
+        circuit = Circuit(2)
+        circuit.append(Gate("rxx", (0, 1), params=(0.5,)))
+        _assert_roundtrip_stable(circuit)
+
+    def test_measurement_and_condition_roundtrip(self):
+        circuit = Circuit(2)
+        circuit.h(0)
+        circuit.measure(0)
+        circuit.append(Gate("x", (1,), condition=(0, 1)))
+        _assert_roundtrip_stable(circuit)

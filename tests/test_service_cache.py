@@ -1,0 +1,213 @@
+"""Tests for the content-addressed compile cache (repro.service)."""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import PassConfig, compile_with_config
+from repro.devices import get_device
+from repro.qasm import parse_qasm, to_openqasm
+from repro.service import (
+    CompileCache,
+    CompileJob,
+    CompileService,
+    artifact_to_result,
+    compute_key,
+    device_fingerprint,
+    result_to_artifact,
+)
+from repro.service.keys import canonical_json, canonical_qasm
+from repro.workloads import random_circuit
+
+QASM = """
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[2];
+cx q[2],q[3];
+"""
+
+
+@pytest.fixture
+def device():
+    return get_device("ibm_qx4")
+
+
+class TestKeys:
+    def test_key_is_deterministic(self, device):
+        assert compute_key(QASM, device) == compute_key(QASM, device)
+
+    def test_formatting_does_not_change_key(self, device):
+        # Extra whitespace/comments normalise away in the canonical form.
+        noisy = QASM.replace("h q[0];", "// hadamard\n  h  q[0] ;")
+        assert compute_key(noisy, device) == compute_key(QASM, device)
+
+    def test_circuit_change_changes_key(self, device):
+        other = QASM.replace("h q[0];", "x q[0];")
+        assert compute_key(other, device) != compute_key(QASM, device)
+
+    def test_device_change_changes_key(self, device):
+        other = get_device("ibm_qx5")
+        assert compute_key(QASM, other) != compute_key(QASM, device)
+
+    def test_config_change_changes_key(self, device):
+        base = compute_key(QASM, device, PassConfig(router="sabre"))
+        assert compute_key(QASM, device, PassConfig(router="astar")) != base
+        assert (
+            compute_key(
+                QASM,
+                device,
+                PassConfig(router="sabre", router_options={"lookahead": 0}),
+            )
+            != base
+        )
+
+    def test_version_change_changes_key(self, device):
+        assert compute_key(QASM, device, version="0.0.0-test") != compute_key(
+            QASM, device
+        )
+
+    def test_router_option_order_is_canonical(self, device):
+        a = PassConfig(router="sabre", router_options={"a": 1, "b": 2})
+        b = PassConfig(router="sabre", router_options={"b": 2, "a": 1})
+        assert compute_key(QASM, device, a) == compute_key(QASM, device, b)
+
+    def test_unparsable_source_still_keys(self, device):
+        key = compute_key("not qasm", device)
+        assert len(key) == 64
+        assert compute_key("not qasm", device) == key
+        assert compute_key("also not qasm", device) != key
+
+    def test_device_fingerprint_distinguishes_topologies(self):
+        linear = get_device("linear", num_qubits=9)
+        ring = get_device("ring", num_qubits=9)
+        assert device_fingerprint(linear) != device_fingerprint(ring)
+
+
+class TestArtifactRoundTrip:
+    def test_result_survives_serialisation(self, device):
+        circuit = parse_qasm(QASM)
+        config = PassConfig(router="sabre")
+        result = compile_with_config(circuit, device, config)
+        artifact = result_to_artifact(result, config=config)
+        json.dumps(artifact)  # must be plain JSON
+        restored = artifact_to_result(artifact)
+        assert to_openqasm(restored.native) == to_openqasm(result.native)
+        assert restored.routed.added_swaps == result.routed.added_swaps
+        assert restored.routed.initial.prog_to_phys() == \
+            result.routed.initial.prog_to_phys()
+        assert restored.routed.final.prog_to_phys() == \
+            result.routed.final.prog_to_phys()
+        if result.schedule is not None:
+            assert restored.schedule.latency == result.schedule.latency
+
+    def test_schema_mismatch_rejected(self, device):
+        result = compile_with_config(parse_qasm(QASM), device)
+        artifact = result_to_artifact(result)
+        artifact["schema"] = 999
+        with pytest.raises(ValueError):
+            artifact_to_result(artifact)
+
+
+class TestCompileCacheTiers:
+    def test_memory_tier_hit(self):
+        cache = CompileCache()
+        cache.put("k1", {"x": 1})
+        assert cache.get("k1") == {"x": 1}
+        assert cache.last_tier() == "memory"
+        assert cache.stats()["memory_hits"] == 1
+
+    def test_miss_counted(self):
+        cache = CompileCache()
+        assert cache.get("nope") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        cache = CompileCache(max_memory_entries=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", {"v": 3})
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 1}
+        assert cache.stats()["evictions"] == 1
+
+    def test_disk_tier_persists_across_instances(self, tmp_path):
+        first = CompileCache(directory=tmp_path)
+        first.put("deadbeef", {"payload": [1, 2, 3]})
+        fresh = CompileCache(directory=tmp_path)
+        assert fresh.get("deadbeef") == {"payload": [1, 2, 3]}
+        assert fresh.last_tier() == "disk"
+        # The disk hit was promoted into the memory tier.
+        assert fresh.get("deadbeef") == {"payload": [1, 2, 3]}
+        assert fresh.last_tier() == "memory"
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = CompileCache(directory=tmp_path)
+        cache.put("badkey", {"fine": True})
+        [path] = list(tmp_path.glob("*.json"))
+        path.write_text("{not json")
+        fresh = CompileCache(directory=tmp_path)
+        assert fresh.get("badkey") is None
+        stats = fresh.stats()
+        assert stats["misses"] == 1 and stats["disk_errors"] == 1
+        assert not path.exists()  # corrupt file was removed
+
+    def test_clear(self, tmp_path):
+        cache = CompileCache(directory=tmp_path)
+        cache.put("k", {"v": 1})
+        cache.clear(memory_only=True)
+        assert len(cache) == 0
+        assert cache.get("k") == {"v": 1}  # still on disk
+        cache.clear()
+        assert cache.get("k") is None
+
+
+class TestCacheCorrectness:
+    """Cached artefacts must be byte-identical to fresh compiles."""
+
+    def _mini_corpus(self):
+        cases = []
+        for dev_name, nq, ng, seed in [
+            ("ibm_qx4", 5, 15, 3),
+            ("ibm_qx5", 10, 25, 7),
+            ("surface17", 12, 25, 5),
+        ]:
+            device = get_device(dev_name)
+            qasm = to_openqasm(
+                random_circuit(nq, ng, seed=seed, two_qubit_fraction=0.6)
+            )
+            for router in ("naive", "sabre", "astar"):
+                cases.append((qasm, device, PassConfig(router=router)))
+        return cases
+
+    def test_warm_artifacts_byte_identical(self, tmp_path):
+        corpus = self._mini_corpus()
+        expected = {}
+        for i, (qasm, device, config) in enumerate(corpus):
+            result = compile_with_config(parse_qasm(qasm), device, config)
+            expected[i] = canonical_json(
+                result_to_artifact(result, config=config)
+            )
+
+        service = CompileService(CompileCache(directory=tmp_path))
+        jobs = [
+            CompileJob.create(qasm, device, config, job_id=str(i))
+            for i, (qasm, device, config) in enumerate(corpus)
+        ]
+        cold = service.submit_batch(jobs)
+        assert all(r.ok and r.cache_hit is None for r in cold)
+
+        # A brand-new service over the same directory must serve every
+        # artefact from disk, byte-identical to the fresh compile.
+        warm_service = CompileService(CompileCache(directory=tmp_path))
+        warm = warm_service.submit_batch(jobs)
+        for res in warm:
+            assert res.ok and res.cache_hit == "disk"
+            assert canonical_json(res.artifact) == expected[int(res.job_id)]
+
+    def test_canonical_qasm_accepts_circuit(self):
+        circuit = parse_qasm(QASM)
+        assert canonical_qasm(circuit) == canonical_qasm(QASM)

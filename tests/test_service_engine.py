@@ -1,0 +1,167 @@
+"""Tests for the batch compile engine (repro.service.engine)."""
+
+import pytest
+
+from repro.core.pipeline import PassConfig
+from repro.devices import get_device
+from repro.qasm import to_openqasm
+from repro.service import CompileCache, CompileJob, CompileService
+from repro.workloads import random_circuit
+
+
+def _job(seed=1, router="sabre", **kwargs):
+    qasm = to_openqasm(
+        random_circuit(5, 12, seed=seed, two_qubit_fraction=0.6)
+    )
+    return CompileJob.create(
+        qasm, get_device("ibm_qx4"), PassConfig(router=router), **kwargs
+    )
+
+
+class TestSubmit:
+    def test_fresh_compile(self):
+        service = CompileService(CompileCache())
+        res = service.submit(_job())
+        assert res.ok and res.status == "ok"
+        assert res.cache_hit is None
+        assert res.artifact["routing"]["added_swaps"] >= 0
+        assert res.metrics["compile_s"] > 0
+
+    def test_cache_hit_on_resubmit(self):
+        service = CompileService(CompileCache())
+        first = service.submit(_job(seed=2))
+        second = service.submit(_job(seed=2))
+        assert second.cache_hit == "memory"
+        assert second.key == first.key
+        assert second.artifact == first.artifact
+
+    def test_result_reconstruction(self):
+        service = CompileService(CompileCache())
+        res = service.submit(_job(seed=3))
+        rebuilt = res.result()
+        assert rebuilt.routed.added_swaps == \
+            res.artifact["routing"]["added_swaps"]
+
+    def test_error_status_for_bad_qasm(self):
+        service = CompileService(CompileCache())
+        job = CompileJob(
+            qasm="definitely not qasm",
+            device=get_device("ibm_qx4").to_dict(),
+            config=PassConfig(),
+        )
+        res = service.submit(job)
+        assert res.status == "error" and not res.ok
+        assert res.artifact is None and res.error
+
+    def test_no_cache_service(self):
+        service = CompileService(cache=None)
+        a = service.submit(_job(seed=4))
+        b = service.submit(_job(seed=4))
+        assert a.ok and b.ok
+        assert b.cache_hit is None  # nothing to hit
+
+
+class TestSubmitBatch:
+    def test_deterministic_ordering(self):
+        service = CompileService(CompileCache())
+        jobs = [_job(seed=s, job_id=f"job{s}") for s in range(6)]
+        results = service.submit_batch(jobs)
+        assert [r.job_id for r in results] == [j.job_id for j in jobs]
+
+    def test_in_batch_dedup(self):
+        service = CompileService(CompileCache())
+        jobs = [_job(seed=9, job_id="a"), _job(seed=9, job_id="b")]
+        results = service.submit_batch(jobs)
+        assert results[0].ok and results[1].ok
+        assert results[0].cache_hit is None
+        assert results[1].cache_hit == "batch"
+        assert results[0].artifact == results[1].artifact
+        assert service.stats()["service"]["batch_dedup_hits"] == 1
+
+    def test_pool_path_matches_inline(self):
+        jobs = [_job(seed=s, job_id=f"j{s}") for s in range(4)]
+        inline = CompileService(CompileCache()).submit_batch(jobs)
+        pooled = CompileService(CompileCache(), max_workers=2).submit_batch(
+            jobs
+        )
+        assert all(r.ok for r in pooled)
+        for a, b in zip(inline, pooled):
+            assert a.artifact == b.artifact
+
+    def test_warm_batch_hits_cache(self):
+        service = CompileService(CompileCache(), max_workers=2)
+        jobs = [_job(seed=s) for s in range(3)]
+        service.submit_batch(jobs)
+        warm = service.submit_batch(jobs)
+        assert all(r.cache_hit == "memory" for r in warm)
+
+    def test_mixed_good_and_bad_jobs(self):
+        service = CompileService(CompileCache())
+        bad = CompileJob(
+            qasm="nope",
+            device=get_device("ibm_qx4").to_dict(),
+            config=PassConfig(),
+            job_id="bad",
+        )
+        results = service.submit_batch([_job(job_id="good"), bad])
+        assert results[0].ok
+        assert results[1].status == "error"
+
+
+class TestFaultTolerance:
+    """Timeout and crash handling on the pool path (test hooks)."""
+
+    def test_per_job_timeout(self):
+        service = CompileService(CompileCache(), max_workers=2)
+        slow = _job(job_id="slow")
+        slow.metadata["__test_hook__"] = "sleep:10"
+        slow.timeout = 0.3
+        res = service.submit_batch([slow])[0]
+        assert res.status == "timeout" and not res.ok
+        assert "0.3s budget" in res.error
+
+    def test_crash_exhausts_retries(self):
+        service = CompileService(CompileCache(), max_workers=2, retries=1)
+        crasher = _job(job_id="crash")
+        crasher.metadata["__test_hook__"] = "crash"
+        res = service.submit_batch([crasher])[0]
+        assert res.status == "error"
+        assert "crashed" in res.error
+        assert res.attempts == 2
+        assert service.stats()["service"]["crash_failures"] == 1
+
+    def test_crash_does_not_starve_other_jobs(self):
+        service = CompileService(CompileCache(), max_workers=2, retries=1)
+        crasher = _job(job_id="crash")
+        crasher.metadata["__test_hook__"] = "crash"
+        good = _job(seed=5, job_id="good")
+        results = service.submit_batch([crasher, good])
+        by_id = {r.job_id: r for r in results}
+        assert by_id["crash"].status == "error"
+        assert by_id["good"].ok
+
+
+class TestStats:
+    def test_counters(self):
+        service = CompileService(CompileCache())
+        jobs = [_job(seed=s) for s in range(2)]
+        service.submit_batch(jobs)
+        service.submit_batch(jobs)
+        stats = service.stats()
+        svc = stats["service"]
+        assert svc["jobs_submitted"] == 4
+        assert svc["batches"] == 2
+        assert svc["fresh_compiles"] == 2
+        assert svc["cache_hits"] == 2
+        assert svc["hit_rate"] == pytest.approx(0.5)
+        assert stats["cache"]["memory_entries"] == 2
+
+    def test_job_result_to_dict(self):
+        service = CompileService(CompileCache())
+        res = service.submit(_job(seed=6))
+        data = res.to_dict()
+        assert data["status"] == "ok"
+        assert "artifact" not in data
+        assert "added_swaps" in data["metrics"]
+        full = res.to_dict(include_artifact=True)
+        assert full["artifact"]["routing"]["added_swaps"] >= 0
