@@ -15,6 +15,8 @@ Usage examples::
         --json report.json
     python -m repro batch --corpus perf --jobs 4 --compare-serial \
         --json BENCH_service.json
+    python -m repro bench --trace trace.json
+    python -m repro trace summarize trace.json
 """
 
 from __future__ import annotations
@@ -120,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--draw", action="store_true",
         help="print ASCII diagrams of the input and mapped circuits",
     )
+    map_cmd.add_argument(
+        "--trace", metavar="FILE", dest="trace_path",
+        help="record per-pass spans and write a Chrome-trace JSON file",
+    )
 
     sim = sub.add_parser(
         "simulate", help="run an OpenQASM file on the statevector simulator"
@@ -150,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--repeats", type=int, default=1,
         help="timing repeats per case, best-of-N (default 1)",
+    )
+    bench.add_argument(
+        "--trace", metavar="FILE", dest="trace_path",
+        help="record per-case routing spans and router counters as a "
+        "Chrome-trace JSON file",
     )
 
     batch = sub.add_parser(
@@ -200,6 +211,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the three-phase throughput benchmark "
         "(serial / parallel cold / warm cache) instead of a plain batch",
     )
+    batch.add_argument(
+        "--trace", metavar="FILE", dest="trace_path",
+        help="record per-job pass spans (merged across workers) as a "
+        "Chrome-trace JSON file",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace", help="inspect Chrome-trace files written with --trace"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_sum = trace_sub.add_parser(
+        "summarize", help="print a per-pass time/gate table for a trace file"
+    )
+    trace_sum.add_argument("file", help="Chrome-trace JSON file")
     return parser
 
 
@@ -235,6 +260,29 @@ def _resolve_device(args: argparse.Namespace) -> Device:
     return get_device(args.device, **params)
 
 
+def _make_tracer(args):
+    """A (tracer, context) pair for ``--trace``; null when not requested."""
+    from contextlib import nullcontext
+
+    if not getattr(args, "trace_path", None):
+        return None, nullcontext()
+    from .obs import Tracer, use_tracer
+
+    tracer = Tracer()
+    return tracer, use_tracer(tracer)
+
+
+def _write_trace(args, tracer, out, meta=None) -> None:
+    """Write the tracer's spans as a Chrome-trace JSON file."""
+    from .obs import write_chrome_trace
+
+    write_chrome_trace(
+        args.trace_path, tracer.finished(),
+        counters=tracer.counters(), meta=meta,
+    )
+    print(f"wrote {args.trace_path}", file=out)
+
+
 def _cmd_devices(out) -> int:
     for name in available_devices():
         print(name, file=out)
@@ -251,15 +299,19 @@ def _cmd_map(args, out) -> int:
     circuit = _load_circuit(args.input)
     device = _resolve_device(args)
 
-    result = compile_circuit(
-        circuit,
-        device,
-        placer=args.placer,
-        router=args.router,
-        decompose=not args.no_decompose,
-        optimize=args.optimize,
-        schedule=None if args.schedule == "none" else args.schedule,
-    )
+    tracer, trace_ctx = _make_tracer(args)
+    with trace_ctx:
+        result = compile_circuit(
+            circuit,
+            device,
+            placer=args.placer,
+            router=args.router,
+            decompose=not args.no_decompose,
+            optimize=args.optimize,
+            schedule=None if args.schedule == "none" else args.schedule,
+        )
+    if tracer is not None:
+        _write_trace(args, tracer, out)
 
     if args.verify:
         unitary_only = all(
@@ -350,7 +402,9 @@ def _cmd_bench(args, out) -> int:
 
     from .perf import run_bench
 
-    report = run_bench(repeats=args.repeats)
+    tracer, trace_ctx = _make_tracer(args)
+    with trace_ctx:
+        report = run_bench(repeats=args.repeats)
     print(f"{'case':<42} {'seconds':>9} {'seed_s':>9} {'swaps':>6} match",
           file=out)
     for case in report["cases"]:
@@ -379,6 +433,8 @@ def _cmd_bench(args, out) -> int:
             json.dump(report, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.json_path}", file=out)
+    if tracer is not None:
+        _write_trace(args, tracer, out, meta={"bench_summary": summary})
     return 0 if summary["all_match_seed"] else 3
 
 
@@ -512,13 +568,15 @@ def _cmd_batch(args, out) -> int:
     if args.compare_serial:
         from .perf import run_service_bench
 
-        report = run_service_bench(
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            limit=args.limit,
-            retries=args.retries,
-            timeout=args.timeout,
-        )
+        tracer, trace_ctx = _make_tracer(args)
+        with trace_ctx:
+            report = run_service_bench(
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                limit=args.limit,
+                retries=args.retries,
+                timeout=args.timeout,
+            )
         summary = report["summary"]
         print(
             f"{summary['cases']} jobs, {summary['workers']} workers:",
@@ -557,6 +615,8 @@ def _cmd_batch(args, out) -> int:
                 json.dump(report, fh, indent=2)
                 fh.write("\n")
             print(f"wrote {args.json_path}", file=out)
+        if tracer is not None:
+            _write_trace(args, tracer, out, meta={"bench_summary": summary})
         return 0 if summary["artifacts_match_serial"] else 3
 
     if args.corpus == "perf":
@@ -579,8 +639,10 @@ def _cmd_batch(args, out) -> int:
     )
     import time as _time
 
+    tracer, trace_ctx = _make_tracer(args)
     t0 = _time.perf_counter()
-    results = service.submit_batch(jobs)
+    with trace_ctx:
+        results = service.submit_batch(jobs)
     elapsed = _time.perf_counter() - t0
 
     print(f"{'job':<44} {'status':<8} {'cache':<7} {'swaps':>5} {'sec':>8}",
@@ -620,11 +682,37 @@ def _cmd_batch(args, out) -> int:
             },
             "service_stats": stats,
         }
+        if tracer is not None:
+            report["trace"] = service.trace_report(tracer)
         with open(args.json_path, "w") as fh:
             json.dump(report, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.json_path}", file=out)
+    if tracer is not None:
+        _write_trace(args, tracer, out, meta={"service_stats": stats})
     return 0 if n_ok == n else 4
+
+
+def _cmd_trace(args, out) -> int:
+    import json
+
+    from .obs import format_summary, load_trace, summarize_trace
+
+    try:
+        trace = load_trace(args.file)
+    except OSError as exc:
+        raise CliError(
+            f"cannot read {args.file!r}: {exc.strerror or exc}"
+        ) from exc
+    except (json.JSONDecodeError, ValueError) as exc:
+        raise CliError(f"invalid trace file {args.file!r}: {exc}") from exc
+    rows = summarize_trace(trace)
+    if not rows:
+        print("trace contains no spans", file=out)
+        return 0
+    counters = trace.get("otherData", {}).get("counters")
+    print(format_summary(rows, counters=counters), file=out)
+    return 0
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
@@ -638,6 +726,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "simulate": lambda: _cmd_simulate(args, out),
         "bench": lambda: _cmd_bench(args, out),
         "batch": lambda: _cmd_batch(args, out),
+        "trace": lambda: _cmd_trace(args, out),
     }
     try:
         handler = commands[args.command]

@@ -24,6 +24,7 @@ from typing import Callable, Mapping
 
 from ..decompose import decompose_circuit
 from ..devices.device import Device
+from ..obs import trace_span
 from ..optimize import optimize_circuit
 from ..mapping.control import schedule_with_constraints
 from ..mapping.direction import fix_directions
@@ -222,58 +223,128 @@ def compile_circuit(
     Returns:
         A :class:`CompilationResult`.
     """
-    # Multi-qubit gates cannot be routed; lower them first if present.
-    prepared = circuit
-    if any(len(g.qubits) > 2 for g in circuit.gates):
-        prepared = decompose_circuit(circuit, device)
+    with trace_span(
+        "compile", pass_="pipeline", device=device.name, router=router
+    ) as root:
+        # Multi-qubit gates cannot be routed; lower them first if present.
+        prepared = circuit
+        if any(len(g.qubits) > 2 for g in circuit.gates):
+            with trace_span("decompose", pass_="decompose",
+                            stage="pre-route") as sp:
+                prepared = decompose_circuit(circuit, device)
+                if sp.enabled:
+                    sp.set(gates_in=circuit.size(), gates_out=prepared.size())
 
-    if callable(placer):
-        placement = placer(prepared, device)
-        placer_name = getattr(placer, "__name__", "custom")
-    else:
-        placement = PLACERS[placer](prepared, device)
-        placer_name = placer
+        with trace_span("placement", pass_="placement") as sp:
+            if callable(placer):
+                placement = placer(prepared, device)
+                placer_name = getattr(placer, "__name__", "custom")
+            else:
+                placement = PLACERS[placer](prepared, device)
+                placer_name = placer
+            if sp.enabled:
+                sp.set(placer=placer_name)
 
-    routed = route(prepared, device, router, placement, **(router_options or {}))
-
-    native = routed.circuit
-    flips = 0
-    if decompose:
-        native = decompose_circuit(native, device)
-        native, flips = fix_directions(native, device)
-        if optimize:
-            # Clean up *before* the final lowering so H/H pairs from the
-            # direction fix cancel while still recognisable.
-            native = optimize_circuit(native)
-        native = decompose_circuit(native, device)
-        if optimize:
-            native = optimize_circuit(native, fuse="u" in device.native_gates)
-        check_connectivity(native, device)
-    elif optimize:
-        native = optimize_circuit(native)
-
-    timed: Schedule | None = None
-    if schedule == "asap":
-        timed = asap_schedule(native, device)
-    elif schedule == "alap":
-        timed = alap_schedule(native, device)
-    elif schedule == "constraints":
-        use = control_constraints
-        if use is None:
-            use = (
-                device.constraints is not None
-                or "serial_two_qubit" in device.features
+        with trace_span("routing", pass_="routing", router=router) as sp:
+            routed = route(
+                prepared, device, router, placement, **(router_options or {})
             )
-        timed = schedule_with_constraints(
-            native,
-            device,
-            awg=use,
-            feedlines=use,
-            parking=use,
-            serial_two_qubit=None if use else False,
-        )
-    elif schedule is not None:
-        raise ValueError(f"unknown schedule mode {schedule!r}")
+            if sp.enabled:
+                sp.set(
+                    added_swaps=routed.added_swaps,
+                    gates_in=prepared.size(),
+                    gates_out=routed.circuit.size(),
+                    depth_in=prepared.depth(),
+                    depth_out=routed.circuit.depth(),
+                )
+
+        native = routed.circuit
+        flips = 0
+        if decompose:
+            with trace_span("decompose", pass_="decompose",
+                            stage="lower") as sp:
+                lowered = decompose_circuit(native, device)
+                if sp.enabled:
+                    sp.set(gates_in=native.size(), gates_out=lowered.size())
+                native = lowered
+            with trace_span("direction-fix", pass_="direction-fix") as sp:
+                gates_in = native.size() if sp.enabled else 0
+                native, flips = fix_directions(native, device)
+                if sp.enabled:
+                    sp.set(flips=flips, gates_in=gates_in,
+                           gates_out=native.size())
+            if optimize:
+                # Clean up *before* the final lowering so H/H pairs from
+                # the direction fix cancel while still recognisable.
+                with trace_span("optimize", pass_="optimize",
+                                stage="pre-lower") as sp:
+                    optimized = optimize_circuit(native)
+                    if sp.enabled:
+                        sp.set(gates_in=native.size(),
+                               gates_out=optimized.size())
+                    native = optimized
+            with trace_span("decompose", pass_="decompose",
+                            stage="native") as sp:
+                lowered = decompose_circuit(native, device)
+                if sp.enabled:
+                    sp.set(gates_in=native.size(), gates_out=lowered.size())
+                native = lowered
+            if optimize:
+                with trace_span("optimize", pass_="optimize",
+                                stage="native") as sp:
+                    optimized = optimize_circuit(
+                        native, fuse="u" in device.native_gates
+                    )
+                    if sp.enabled:
+                        sp.set(gates_in=native.size(),
+                               gates_out=optimized.size())
+                    native = optimized
+            with trace_span("verify", pass_="verify"):
+                check_connectivity(native, device)
+        elif optimize:
+            with trace_span("optimize", pass_="optimize") as sp:
+                optimized = optimize_circuit(native)
+                if sp.enabled:
+                    sp.set(gates_in=native.size(), gates_out=optimized.size())
+                native = optimized
+
+        timed: Schedule | None = None
+        if schedule is not None:
+            with trace_span("schedule", pass_="schedule",
+                            mode=schedule) as sp:
+                if schedule == "asap":
+                    timed = asap_schedule(native, device)
+                elif schedule == "alap":
+                    timed = alap_schedule(native, device)
+                elif schedule == "constraints":
+                    use = control_constraints
+                    if use is None:
+                        use = (
+                            device.constraints is not None
+                            or "serial_two_qubit" in device.features
+                        )
+                    timed = schedule_with_constraints(
+                        native,
+                        device,
+                        awg=use,
+                        feedlines=use,
+                        parking=use,
+                        serial_two_qubit=None if use else False,
+                    )
+                else:
+                    raise ValueError(f"unknown schedule mode {schedule!r}")
+                if sp.enabled and timed is not None:
+                    sp.set(latency=timed.latency)
+
+        if root.enabled:
+            root.set(
+                gates_in=circuit.size(),
+                gates_out=native.size(),
+                depth_in=circuit.depth(),
+                depth_out=native.depth(),
+                added_swaps=routed.added_swaps,
+                flips=flips,
+            )
 
     return CompilationResult(
         original=circuit,

@@ -40,6 +40,7 @@ from __future__ import annotations
 import heapq
 import itertools
 
+from ...obs import add_counter
 from .base import RoutingError
 from ._astar_native import solve_layer_native
 
@@ -131,6 +132,8 @@ def solve_layer_packed(
         future_active, edges, dflat, key0, max_expansions,
     )
     if native is not None:
+        add_counter("astar.native_layers", 1)
+        add_counter("astar.swaps_emitted", len(native))
         return native
 
     def pending_of(key: int) -> int:
@@ -149,6 +152,7 @@ def solve_layer_packed(
 
     pending0 = pending_of(key0)
     if pending0 == 0:
+        add_counter("astar.python_layers", 1)
         return []
 
     counter = itertools.count()
@@ -171,9 +175,11 @@ def solve_layer_packed(
     # by undoing the writes, which touches only ``m`` cells).
     occ = [-1] * n
 
+    pruned = 0
     while open_heap:
         _, __, key, g, pending, lookahead = heappop(open_heap)
         if g > g_get(key, inf):
+            pruned += 1
             continue
         if pending == 0:
             sequence: list[tuple[int, int]] = []
@@ -183,6 +189,10 @@ def solve_layer_packed(
                 sequence.append(swap)
                 entry = parents[key]
             sequence.reverse()
+            add_counter("astar.python_layers", 1)
+            add_counter("astar.nodes_expanded", expansions)
+            add_counter("astar.nodes_pruned", pruned)
+            add_counter("astar.swaps_emitted", len(sequence))
             return sequence
         expansions += 1
         if expansions > max_expansions:

@@ -27,6 +27,7 @@ from ...core.circuit import Circuit
 from ...core.dag import DependencyGraph
 from ...core import gates as G
 from ...devices.device import Device
+from ...obs import add_counter
 from ..placement import Placement
 from .base import RoutingError, RoutingResult
 
@@ -86,6 +87,10 @@ def route_sabre(
     decisions = 0
     stall = 0
     max_stall = 4 * device.num_qubits * device.num_qubits + 16
+    # Per-iteration observability totals, accumulated in locals so the
+    # hot loop never touches the tracer; reported once at the end.
+    candidates_scored = 0
+    forced_routes = 0
 
     def executable(index: int) -> bool:
         gate = dag.gate(index)
@@ -125,6 +130,7 @@ def route_sabre(
             raise RoutingError("no candidate swaps; is the device connected?")
 
         scorer = _SwapScorer(blocked, extended, dag, current, dist, extended_weight)
+        candidates_scored += len(candidates)
         best_swap, best_score = None, None
         for pa, pb in candidates:
             score = scorer.score(pa, pb)
@@ -155,6 +161,7 @@ def route_sabre(
                 current.apply_swap(path[step], path[step + 1])
                 added += 1
             stall = 0
+            forced_routes += 1
         decisions += 1
         if use_decay:
             if decisions % _DECAY_RESET == 0:
@@ -162,6 +169,10 @@ def route_sabre(
             decay[pa] += _DECAY_STEP
             decay[pb] += _DECAY_STEP
 
+    add_counter("sabre.swap_candidates_scored", candidates_scored)
+    add_counter("sabre.swap_decisions", decisions)
+    if forced_routes:
+        add_counter("sabre.forced_routes", forced_routes)
     return RoutingResult(
         out,
         initial,

@@ -1,0 +1,170 @@
+"""Trace exporters and report helpers.
+
+Finished span events (see :meth:`repro.obs.Tracer.finished`) are plain
+dicts; this module turns them into
+
+* the **Chrome trace event format** (the ``{"traceEvents": [...]}`` JSON
+  object array documented for ``chrome://tracing`` / Perfetto), using
+  complete ``"ph": "X"`` duration events with microsecond timestamps
+  rebased to the earliest span, and
+* human-facing **per-pass summaries** — total/mean seconds, share of
+  root wall time, and the gate/swap deltas the spans carry — behind
+  ``repro trace summarize``.
+
+Events keep an extra ``depth`` field (nesting level at record time);
+trace viewers ignore unknown keys, and the summariser uses it to find
+root spans without re-deriving containment.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "format_summary",
+    "load_trace",
+    "summarize_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+def to_chrome_trace(
+    events: list[dict], *, counters: dict | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """Convert finished span events into a Chrome-trace JSON object.
+
+    Args:
+        events: Span event dicts (``ts``/``dur`` in monotonic seconds).
+        counters: Tracer counter totals, stored under ``otherData``.
+        meta: Extra report payload (e.g. service stats) for ``otherData``.
+    """
+    base = min((e["ts"] for e in events), default=0.0)
+    trace_events = []
+    for e in events:
+        trace_events.append(
+            {
+                "name": e["name"],
+                "cat": e.get("pass") or e["name"],
+                "ph": "X",
+                "ts": round((e["ts"] - base) * 1e6, 3),
+                "dur": round(e["dur"] * 1e6, 3),
+                "pid": e.get("pid", 0),
+                "tid": e.get("tid", 0),
+                "depth": e.get("depth", 0),
+                "args": dict(e.get("args", {})),
+            }
+        )
+    trace_events.sort(key=lambda ev: (ev["pid"], ev["tid"], ev["ts"], -ev["dur"]))
+    doc: dict = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    other: dict = {}
+    if counters:
+        other["counters"] = dict(counters)
+    if meta:
+        other.update(meta)
+    if other:
+        doc["otherData"] = other
+    return doc
+
+
+def write_chrome_trace(
+    path: str | Path, events: list[dict], *, counters: dict | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """Write :func:`to_chrome_trace` output to ``path``; returns the doc."""
+    doc = to_chrome_trace(events, counters=counters, meta=meta)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc
+
+
+def load_trace(path: str | Path) -> dict:
+    """Read a Chrome-trace JSON file written by :func:`write_chrome_trace`.
+
+    Raises:
+        ValueError: when the file is not a Chrome-trace object.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        raise ValueError("not a Chrome-trace file (no traceEvents array)")
+    return doc
+
+
+#: Span attribute summed into the summary's swap column.
+_DELTA_KEYS = ("added_swaps",)
+
+
+def summarize_trace(doc: dict) -> list[dict]:
+    """Aggregate a Chrome-trace doc into per-pass rows.
+
+    Groups duration events by their ``cat`` (the span's pass), summing
+    durations and the gate/swap deltas carried in ``args``.  The
+    ``share`` column is each pass's fraction of the root wall time (the
+    summed duration of ``depth == 0`` spans), so nested stages report
+    what slice of the measured total they account for.
+    """
+    spans = [e for e in doc.get("traceEvents", []) if e.get("ph") == "X"]
+    wall_us = sum(e["dur"] for e in spans if e.get("depth", 0) == 0)
+    rows: dict[str, dict] = {}
+    for e in spans:
+        row = rows.setdefault(
+            e.get("cat") or e["name"],
+            {
+                "pass": e.get("cat") or e["name"],
+                "count": 0,
+                "total_s": 0.0,
+                "swaps": 0,
+                "gates_delta": 0,
+                "root": True,
+            },
+        )
+        row["count"] += 1
+        row["total_s"] += e["dur"] / 1e6
+        row["root"] = row["root"] and e.get("depth", 0) == 0
+        args = e.get("args", {})
+        for key in _DELTA_KEYS:
+            if isinstance(args.get(key), (int, float)):
+                row["swaps" if key == "added_swaps" else "gates_delta"] += \
+                    args[key]
+        gin, gout = args.get("gates_in"), args.get("gates_out")
+        if isinstance(gin, (int, float)) and isinstance(gout, (int, float)):
+            row["gates_delta"] += gout - gin
+    out = []
+    for row in rows.values():
+        # Share before rounding: µs-scale spans would otherwise pick up
+        # the 1 µs quantisation of total_s as a visible share error.
+        row["share"] = (
+            round(row["total_s"] * 1e6 / wall_us, 4) if wall_us else 0.0
+        )
+        row["total_s"] = round(row["total_s"], 6)
+        row["mean_s"] = round(row["total_s"] / row["count"], 6)
+        out.append(row)
+    out.sort(key=lambda r: (-r["root"], -r["total_s"]))
+    return out
+
+
+def format_summary(rows: list[dict], *, counters: dict | None = None) -> str:
+    """Render :func:`summarize_trace` rows as an aligned text table."""
+    lines = [
+        f"{'pass':<16} {'spans':>6} {'total_s':>10} {'mean_s':>10} "
+        f"{'share':>7} {'Δgates':>8} {'swaps':>7}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['pass']:<16} {row['count']:>6} {row['total_s']:>10.4f} "
+            f"{row['mean_s']:>10.4f} {row['share']:>6.1%} "
+            f"{row['gates_delta']:>+8} {row['swaps']:>7}"
+        )
+    if counters:
+        lines.append("\ncounters:")
+        for name in sorted(counters):
+            value = counters[name]
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"  {name:<40} {shown}")
+    return "\n".join(lines)

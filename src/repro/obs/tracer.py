@@ -1,0 +1,248 @@
+"""Nested-span tracer with a zero-cost disabled path.
+
+The observability core: a :class:`Tracer` records *spans* — named,
+monotonic-clocked regions with a pass category, gate/depth/swap deltas
+and free-form attributes — plus flat counters.  Code under test never
+holds a tracer reference: it opens spans through the module-level
+:func:`trace_span` / :func:`add_counter` helpers, which consult a
+:mod:`contextvars` context variable holding the *current* tracer.  The
+default is the :class:`NullTracer` singleton whose span context manager
+is a shared no-op object, so instrumentation left in hot paths costs a
+single ``ContextVar.get`` plus an empty ``with`` block when tracing is
+off (the perf-corpus budget allows <2%; the overhead smoke test pins it
+far below that).
+
+Clocking discipline: span timestamps come from :func:`time.monotonic`,
+which is system-wide, so spans recorded by batch worker processes are
+directly comparable with spans recorded by the parent once shipped back
+(see :func:`repro.service.engine.run_payload`).  Wall-clock never enters
+a span.
+
+Thread/process safety: the active-span stack is thread-local (each
+thread nests its own spans), finished spans are appended under a lock,
+and worker processes build their own tracer whose finished spans the
+parent merges with :meth:`Tracer.absorb` — events carry ``pid``/``tid``
+so merged traces stay attributable.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import Counter
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "add_counter",
+    "current_tracer",
+    "trace_span",
+    "use_tracer",
+]
+
+
+class Span:
+    """One timed region: name, pass category, attrs, and counters.
+
+    Used as a context manager (entering starts the monotonic clock,
+    exiting records the finished event on the owning tracer).  Callers
+    may check :attr:`enabled` before computing expensive attributes —
+    the null span reports ``False`` so metric computation is skipped
+    entirely when tracing is off.
+    """
+
+    __slots__ = (
+        "name", "category", "attrs", "counters",
+        "start", "duration", "depth", "_tracer",
+    )
+
+    enabled = True
+
+    def __init__(self, tracer: "Tracer", name: str, category: str | None,
+                 attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+        self.counters: dict[str, float] = {}
+        self.start = 0.0
+        self.duration = 0.0
+        self.depth = 0
+
+    def set(self, **attrs) -> None:
+        """Attach attributes (gate counts, deltas, labels) to the span."""
+        self.attrs.update(attrs)
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Bump a per-span counter (also totalled on the tracer)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+        self._tracer._counters[name] += n
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        self.depth = len(stack)
+        stack.append(self)
+        self.start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.monotonic() - self.start
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._record(self)
+        return False
+
+    def to_event(self) -> dict:
+        """The finished span as a plain, picklable event dict."""
+        args = dict(self.attrs)
+        args.update(self.counters)
+        return {
+            "name": self.name,
+            "pass": self.category or self.name,
+            "ts": self.start,
+            "dur": self.duration,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "depth": self.depth,
+            "args": args,
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path."""
+
+    __slots__ = ()
+
+    enabled = False
+    attrs: dict = {}
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def count(self, name: str, n: float = 1) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects finished spans and counters for one traced run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._events: list[dict] = []
+        self._counters: Counter = Counter()
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, *, pass_: str | None = None, **attrs) -> Span:
+        """A new span context manager under the calling thread's stack."""
+        return Span(self, name, pass_, attrs)
+
+    def counter(self, name: str, n: float = 1) -> None:
+        """Bump a counter on the innermost active span (or tracer-wide)."""
+        stack = self._stack()
+        if stack:
+            stack[-1].count(name, n)
+        else:
+            self._counters[name] += n
+
+    def absorb(self, events: list[dict]) -> None:
+        """Merge finished span events from another tracer (e.g. a worker)."""
+        with self._lock:
+            self._events.extend(events)
+
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._events.append(span.to_event())
+
+    # -- reading -------------------------------------------------------
+
+    def finished(self) -> list[dict]:
+        """Snapshot of every finished span event, in completion order."""
+        with self._lock:
+            return list(self._events)
+
+    def counters(self) -> dict:
+        """Tracer-wide counter totals (sum over all spans)."""
+        return dict(self._counters)
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op.
+
+    A single module-level instance backs the default context, so the
+    cost of instrumentation with tracing off is one ``ContextVar.get``
+    and one empty context-manager round trip per span.
+    """
+
+    enabled = False
+
+    def span(self, name: str, *, pass_: str | None = None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str, n: float = 1) -> None:
+        pass
+
+    def absorb(self, events: list[dict]) -> None:
+        pass
+
+    def finished(self) -> list[dict]:
+        return []
+
+    def counters(self) -> dict:
+        return {}
+
+
+NULL_TRACER = NullTracer()
+
+_CURRENT: ContextVar = ContextVar("repro_tracer", default=NULL_TRACER)
+
+
+def current_tracer():
+    """The tracer instrumentation reports to (default: the null tracer)."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Install ``tracer`` as the current tracer for the enclosed block."""
+    token = _CURRENT.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _CURRENT.reset(token)
+
+
+def trace_span(name: str, *, pass_: str | None = None, **attrs):
+    """Open a span on the current tracer (no-op when tracing is off)."""
+    return _CURRENT.get().span(name, pass_=pass_, **attrs)
+
+
+def add_counter(name: str, n: float = 1) -> None:
+    """Bump a counter on the current tracer (no-op when tracing is off)."""
+    _CURRENT.get().counter(name, n)

@@ -20,6 +20,7 @@ from typing import Callable
 from ..core.circuit import Circuit
 from ..devices import grid_device, ibm_qx5, linear_device, surface17
 from ..devices.device import Device
+from ..obs import trace_span
 from ..mapping.routing import (
     route_astar,
     route_latency,
@@ -143,8 +144,25 @@ def run_bench(
     for case in cases if cases is not None else CORPUS:
         device = case.device_factory()
         circuit = case.circuit()
+
+        # The span sits *inside* the timed region so traced runs report
+        # pipeline-stage (routing) spans covering the measured wall time
+        # of each case; with tracing disabled the wrapper is a no-op
+        # context manager (<2% corpus overhead, budgeted by the smoke
+        # test on the null-span path).
+        def traced_route(circ: Circuit, dev: Device):
+            with trace_span("routing", pass_="routing", case=case.key) as sp:
+                routed = case.route(circ, dev)
+                if sp.enabled:
+                    sp.set(
+                        added_swaps=routed.added_swaps,
+                        gates_in=circ.size(),
+                        gates_out=routed.circuit.size(),
+                    )
+                return routed
+
         seconds, result = time_call(
-            case.route, circuit, device, repeats=repeats
+            traced_route, circuit, device, repeats=repeats
         )
         fp = fingerprint(result.circuit)
         seed_entry = SEED_BASELINE.get(case.key)

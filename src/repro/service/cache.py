@@ -16,12 +16,18 @@ different slot.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import warnings
 from collections import Counter, OrderedDict
 from pathlib import Path
 
 __all__ = ["CompileCache"]
+
+#: Per-process counter distinguishing concurrent same-key temp files —
+#: the PID alone collides when two threads of one process write one key.
+_TMP_COUNTER = itertools.count()
 
 
 class CompileCache:
@@ -44,6 +50,7 @@ class CompileCache:
         self.directory = Path(directory) if directory is not None else None
         self._memory: OrderedDict[str, dict] = OrderedDict()
         self._counters: Counter = Counter()
+        self._last_tier: str | None = None
 
     # ------------------------------------------------------------------
 
@@ -51,18 +58,20 @@ class CompileCache:
         assert self.directory is not None
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> dict | None:
-        """The cached artefact for ``key``, or ``None`` on miss.
+    def lookup(self, key: str) -> tuple[dict | None, str | None]:
+        """``(artifact, tier)`` for ``key``; ``(None, None)`` on miss.
 
-        Sets :meth:`last_tier` ("memory"/"disk") on a hit so callers can
-        report where the artefact came from.
+        The tier (``"memory"`` or ``"disk"``) is returned *with* the
+        artefact so concurrent callers can never misattribute a hit —
+        unlike the deprecated stateful :meth:`last_tier`, which reads a
+        shared slot that any interleaved lookup may have overwritten.
         """
         entry = self._memory.get(key)
         if entry is not None:
             self._memory.move_to_end(key)
             self._counters["memory_hits"] += 1
             self._last_tier = "memory"
-            return entry
+            return entry, "memory"
         if self.directory is not None:
             path = self._disk_path(key)
             try:
@@ -80,14 +89,29 @@ class CompileCache:
                 self._counters["disk_hits"] += 1
                 self._last_tier = "disk"
                 self._remember(key, entry)
-                return entry
+                return entry, "disk"
         self._counters["misses"] += 1
         self._last_tier = None
-        return None
+        return None, None
+
+    def get(self, key: str) -> dict | None:
+        """The cached artefact for ``key``, or ``None`` on miss."""
+        return self.lookup(key)[0]
 
     def last_tier(self) -> str | None:
-        """Tier of the most recent :meth:`get` hit (None after a miss)."""
-        return getattr(self, "_last_tier", None)
+        """Deprecated: tier of the most recent hit (None after a miss).
+
+        Stateful and therefore racy across interleaved lookups — use the
+        tier returned by :meth:`lookup` instead.
+        """
+        warnings.warn(
+            "CompileCache.last_tier() is deprecated (stateful and racy "
+            "across interleaved lookups); use CompileCache.lookup(), which "
+            "returns (artifact, tier)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._last_tier
 
     def put(self, key: str, artifact: dict) -> None:
         """Store ``artifact`` under ``key`` in every enabled tier."""
@@ -96,7 +120,9 @@ class CompileCache:
         if self.directory is not None:
             path = self._disk_path(key)
             self.directory.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".{os.getpid()}.tmp")
+            tmp = path.with_suffix(
+                f".{os.getpid()}-{next(_TMP_COUNTER)}.tmp"
+            )
             try:
                 with open(tmp, "w") as fh:
                     json.dump(artifact, fh, sort_keys=True)
@@ -120,11 +146,33 @@ class CompileCache:
     # ------------------------------------------------------------------
 
     def __contains__(self, key: str) -> bool:
+        """Whether :meth:`get` would hit — corrupt disk entries excluded.
+
+        Membership shares :meth:`lookup`'s semantics: a disk file that
+        does not parse is *not* contained (it is deleted best-effort and
+        counted as a ``disk_error``, exactly as a lookup would treat
+        it), so ``key in cache`` never promises an artefact that ``get``
+        then fails to return.  Hit/miss counters are untouched —
+        membership is not a lookup.
+        """
         if key in self._memory:
             return True
-        if self.directory is not None:
-            return self._disk_path(key).exists()
-        return False
+        if self.directory is None:
+            return False
+        path = self._disk_path(key)
+        try:
+            with open(path) as fh:
+                json.load(fh)
+        except FileNotFoundError:
+            return False
+        except (OSError, ValueError):
+            self._counters["disk_errors"] += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False
+        return True
 
     def __len__(self) -> int:
         """Number of entries in the memory tier (disk not enumerated)."""

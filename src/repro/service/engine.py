@@ -27,10 +27,12 @@ from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
 from typing import Iterable, Sequence
 
 from ..core.pipeline import PassConfig, compile_with_config
 from ..devices.device import Device
+from ..obs import Tracer, current_tracer, trace_span, use_tracer
 from ..qasm import parse_qasm
 from .artifact import artifact_metrics, result_to_artifact
 from .cache import CompileCache
@@ -39,40 +41,66 @@ from .jobs import CompileJob, JobResult
 __all__ = ["CompileService", "run_payload"]
 
 
-def run_payload(payload: dict) -> dict:
+def run_payload(
+    payload: dict,
+    *,
+    dispatch_mono: float | None = None,
+    trace: bool = False,
+) -> dict:
     """Compile one job payload; always returns, never raises.
 
     Module-level so :class:`ProcessPoolExecutor` can pickle it.  The
     ``__test_hook__`` metadata key is an internal testing aid: ``crash``
     kills the worker process (exercising the retry path) and
     ``sleep:<seconds>`` delays the compile (exercising timeouts).
+
+    Args:
+        payload: A :meth:`CompileJob.payload` dict.
+        dispatch_mono: The dispatcher's :func:`time.monotonic` reading
+            at hand-off.  ``time.monotonic`` is system-wide, so the
+            worker's own reading on the same clock yields the queue wait
+            directly — no wall clock (NTP steps, suspend) ever enters
+            the metric.  Echoed back so the parent needs no bookkeeping.
+        trace: Record pass-level spans for this compile and ship them
+            back in the outcome's ``spans`` list for the parent tracer
+            to absorb.
     """
+    started_mono = time.monotonic()
     hook = payload.get("metadata", {}).get("__test_hook__", "")
     if hook == "crash":
         os._exit(13)
     if hook.startswith("sleep:"):
         time.sleep(float(hook.split(":", 1)[1]))
-    started_at = time.time()
+    tracer = Tracer() if trace else None
     t0 = time.perf_counter()
     try:
-        circuit = parse_qasm(payload["qasm"])
-        device = Device.from_dict(payload["device"])
-        config = PassConfig.from_dict(payload["config"])
-        result = compile_with_config(circuit, device, config)
-        artifact = result_to_artifact(result, config=config)
-        return {
+        with use_tracer(tracer) if tracer is not None else nullcontext():
+            with trace_span(
+                "job", pass_="service", job_id=payload.get("job_id", "")
+            ):
+                circuit = parse_qasm(payload["qasm"])
+                device = Device.from_dict(payload["device"])
+                config = PassConfig.from_dict(payload["config"])
+                result = compile_with_config(circuit, device, config)
+                artifact = result_to_artifact(result, config=config)
+        outcome = {
             "status": "ok",
             "artifact": artifact,
             "compile_seconds": time.perf_counter() - t0,
-            "started_at": started_at,
         }
     except Exception as exc:  # noqa: BLE001 — report, don't kill the pool
-        return {
+        outcome = {
             "status": "error",
             "error": f"{type(exc).__name__}: {exc}",
             "compile_seconds": time.perf_counter() - t0,
-            "started_at": started_at,
         }
+    outcome["started_mono"] = started_mono
+    if dispatch_mono is not None:
+        outcome["dispatch_mono"] = dispatch_mono
+    if tracer is not None:
+        outcome["spans"] = tracer.finished()
+        outcome["trace_counters"] = tracer.counters()
+    return outcome
 
 
 #: Sentinel distinguishing "no cache argument" from an explicit ``None``.
@@ -123,9 +151,13 @@ class CompileService:
         hit = self._try_cache(job, key)
         if hit is not None:
             return hit
-        dispatch_wall = time.time()
-        outcome = run_payload(job.payload())
-        return self._finish(job, key, outcome, dispatch_wall, attempts=1)
+        dispatch_mono = time.monotonic()
+        outcome = run_payload(
+            job.payload(),
+            dispatch_mono=dispatch_mono,
+            trace=current_tracer().enabled,
+        )
+        return self._finish(job, key, outcome, dispatch_mono, attempts=1)
 
     # ------------------------------------------------------------------
     # Batch submit
@@ -195,11 +227,16 @@ class CompileService:
                 )
             )
             if not needs_pool:
+                trace = current_tracer().enabled
                 for i in pending:
-                    dispatch_wall = time.time()
-                    outcome = run_payload(jobs[i].payload())
+                    dispatch_mono = time.monotonic()
+                    outcome = run_payload(
+                        jobs[i].payload(),
+                        dispatch_mono=dispatch_mono,
+                        trace=trace,
+                    )
                     results[i] = self._finish(
-                        jobs[i], keys[i], outcome, dispatch_wall, attempts=1
+                        jobs[i], keys[i], outcome, dispatch_mono, attempts=1
                     )
             else:
                 self._run_pool(
@@ -245,6 +282,7 @@ class CompileService:
         remaining = set(pending)
         rounds_left = budget + 1
         isolate = False
+        trace = current_tracer().enabled
         while remaining and rounds_left > 0:
             rounds_left -= 1
             if max(attempts.values()) > 0:
@@ -263,15 +301,23 @@ class CompileService:
             pool = ProcessPoolExecutor(
                 max_workers=min(workers, len(remaining))
             )
-            dispatch_wall = time.time()
-            dispatch_perf = time.perf_counter()
+            # One shared-epoch monotonic reading per future: the worker
+            # subtracts its own monotonic reading on the same system-wide
+            # clock, so queue waits survive NTP steps and suspends.
+            dispatched: dict[int, float] = {}
             futures = {}
             broken = False
             abandoned = False
             try:
                 for i in sorted(remaining):
                     attempts[i] += 1
-                    futures[i] = pool.submit(run_payload, jobs[i].payload())
+                    dispatched[i] = time.monotonic()
+                    futures[i] = pool.submit(
+                        run_payload,
+                        jobs[i].payload(),
+                        dispatch_mono=dispatched[i],
+                        trace=trace,
+                    )
             except BrokenProcessPool:
                 broken = True
             for i in sorted(futures):
@@ -287,7 +333,7 @@ class CompileService:
                             0.0
                             if job_timeout is None
                             else job_timeout
-                            - (time.perf_counter() - dispatch_perf)
+                            - (time.monotonic() - dispatched[i])
                         )
                         outcome = futures[i].result(timeout=max(0.0, left))
                 except _FutureTimeout:
@@ -305,7 +351,7 @@ class CompileService:
                     continue
                 else:
                     results[i] = self._finish(
-                        jobs[i], keys[i], outcome, dispatch_wall, attempts[i]
+                        jobs[i], keys[i], outcome, dispatched[i], attempts[i]
                     )
                     remaining.discard(i)
             # Join the pool threads when every worker is accounted for —
@@ -336,11 +382,16 @@ class CompileService:
     ) -> None:
         """Run one job in its own single-worker pool (recovery rounds)."""
         pool = ProcessPoolExecutor(max_workers=1)
-        dispatch_wall = time.time()
+        dispatch_mono = time.monotonic()
         job_timeout = self._job_timeout(job, timeout)
         abandoned = False
         try:
-            future = pool.submit(run_payload, job.payload())
+            future = pool.submit(
+                run_payload,
+                job.payload(),
+                dispatch_mono=dispatch_mono,
+                trace=current_tracer().enabled,
+            )
             outcome = future.result(timeout=job_timeout)
         except _FutureTimeout:
             abandoned = True
@@ -353,7 +404,7 @@ class CompileService:
             abandoned = True  # worker died; nothing left to join cleanly
         else:
             results[index] = self._finish(
-                job, key, outcome, dispatch_wall, attempts
+                job, key, outcome, dispatch_mono, attempts
             )
             remaining.discard(index)
         pool.shutdown(wait=not abandoned, cancel_futures=True)
@@ -387,10 +438,12 @@ class CompileService:
         if self.cache is None:
             return None
         t0 = time.perf_counter()
-        artifact = self.cache.get(key)
+        with trace_span("cache.lookup", pass_="cache", job_id=job.job_id) as sp:
+            artifact, tier = self.cache.lookup(key)
+            if sp.enabled:
+                sp.set(tier=tier or "miss")
         if artifact is None:
             return None
-        tier = self.cache.last_tier()
         self._counters["cache_hits"] += 1
         metrics = {
             "queue_wait_s": 0.0,
@@ -413,11 +466,21 @@ class CompileService:
         job: CompileJob,
         key: str,
         outcome: dict,
-        dispatch_wall: float,
+        dispatch_mono: float,
         attempts: int,
     ) -> JobResult:
-        queue_wait = max(0.0, outcome.get("started_at", dispatch_wall) - dispatch_wall)
+        # Both readings come from the system-wide monotonic clock (the
+        # dispatch one crossed the process boundary as a shared epoch),
+        # so the difference is non-negative by construction — no clamp,
+        # which would silently turn a clock bug into a zero wait.
+        queue_wait = outcome.get("started_mono", dispatch_mono) - dispatch_mono
         compile_s = outcome.get("compile_seconds", 0.0)
+        spans = outcome.get("spans")
+        if spans:
+            tracer = current_tracer()
+            tracer.absorb(spans)
+            for name, value in outcome.get("trace_counters", {}).items():
+                tracer.counter(name, value)
         if outcome["status"] != "ok":
             self._counters["errors"] += 1
             return JobResult(
@@ -474,3 +537,49 @@ class CompileService:
         )
         cache_stats = self.cache.stats() if self.cache is not None else None
         return {"service": service, "cache": cache_stats}
+
+    def trace_report(self, tracer) -> dict:
+        """Per-job span trees plus service/cache/pool counters.
+
+        Args:
+            tracer: The :class:`~repro.obs.Tracer` that was current
+                while jobs ran (worker spans were absorbed into it).
+
+        Returns:
+            A JSON-able report: one entry per ``job`` root span with its
+            total seconds and per-pass time breakdown (children matched
+            by pid/tid and time containment), the tracer's counter
+            totals, and :meth:`stats`.
+        """
+        events = tracer.finished()
+        roots = [
+            e for e in events if e["name"] == "job" and e.get("depth", 0) == 0
+        ]
+        job_rows = []
+        for root in roots:
+            t0, t1 = root["ts"], root["ts"] + root["dur"]
+            passes: dict[str, float] = {}
+            for e in events:
+                if e is root or e["pid"] != root["pid"] \
+                        or e["tid"] != root["tid"]:
+                    continue
+                key = e.get("pass") or e["name"]
+                # Leaf passes only: "pipeline"/"service" wrappers would
+                # double-count the stages nested inside them.
+                if key in ("pipeline", "service"):
+                    continue
+                if t0 <= e["ts"] and e["ts"] + e["dur"] <= t1 + 1e-9:
+                    passes[key] = round(passes.get(key, 0.0) + e["dur"], 6)
+            job_rows.append(
+                {
+                    "job_id": root["args"].get("job_id", ""),
+                    "total_s": round(root["dur"], 6),
+                    "passes": passes,
+                }
+            )
+        return {
+            "schema": 1,
+            "jobs": job_rows,
+            "counters": tracer.counters(),
+            "stats": self.stats(),
+        }

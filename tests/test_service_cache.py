@@ -115,8 +115,7 @@ class TestCompileCacheTiers:
     def test_memory_tier_hit(self):
         cache = CompileCache()
         cache.put("k1", {"x": 1})
-        assert cache.get("k1") == {"x": 1}
-        assert cache.last_tier() == "memory"
+        assert cache.lookup("k1") == ({"x": 1}, "memory")
         assert cache.stats()["memory_hits"] == 1
 
     def test_miss_counted(self):
@@ -138,11 +137,20 @@ class TestCompileCacheTiers:
         first = CompileCache(directory=tmp_path)
         first.put("deadbeef", {"payload": [1, 2, 3]})
         fresh = CompileCache(directory=tmp_path)
-        assert fresh.get("deadbeef") == {"payload": [1, 2, 3]}
-        assert fresh.last_tier() == "disk"
+        assert fresh.lookup("deadbeef") == ({"payload": [1, 2, 3]}, "disk")
         # The disk hit was promoted into the memory tier.
-        assert fresh.get("deadbeef") == {"payload": [1, 2, 3]}
-        assert fresh.last_tier() == "memory"
+        assert fresh.lookup("deadbeef") == ({"payload": [1, 2, 3]}, "memory")
+
+    def test_last_tier_shim_deprecated(self):
+        cache = CompileCache()
+        cache.put("k1", {"x": 1})
+        assert cache.get("k1") == {"x": 1}
+        with pytest.warns(DeprecationWarning, match="last_tier"):
+            assert cache.last_tier() == "memory"
+
+    def test_last_tier_initialised_before_any_lookup(self):
+        with pytest.warns(DeprecationWarning):
+            assert CompileCache().last_tier() is None
 
     def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
         cache = CompileCache(directory=tmp_path)
@@ -154,6 +162,79 @@ class TestCompileCacheTiers:
         stats = fresh.stats()
         assert stats["misses"] == 1 and stats["disk_errors"] == 1
         assert not path.exists()  # corrupt file was removed
+
+    def test_contains_memory_and_disk_tiers(self, tmp_path):
+        cache = CompileCache(directory=tmp_path)
+        cache.put("k", {"v": 1})
+        assert "k" in cache
+        assert "other" not in cache
+        fresh = CompileCache(directory=tmp_path)
+        assert "k" in fresh  # disk-only entry
+
+    def test_contains_rejects_corrupt_disk_entry(self, tmp_path):
+        # Regression: __contains__ used to answer True for any existing
+        # file, while get() treated an unparsable one as a miss — so
+        # ``key in cache`` promised an artefact get() then refused.
+        cache = CompileCache(directory=tmp_path)
+        cache.put("badkey", {"fine": True})
+        [path] = list(tmp_path.glob("*.json"))
+        path.write_text("{not json")
+        fresh = CompileCache(directory=tmp_path)
+        assert "badkey" not in fresh
+        assert fresh.get("badkey") is None
+        assert not path.exists()  # corrupt file removed by membership test
+
+    def test_contains_does_not_touch_hit_miss_counters(self, tmp_path):
+        cache = CompileCache(directory=tmp_path)
+        cache.put("k", {"v": 1})
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        assert "k" in cache
+        assert "corrupt" not in cache
+        assert "absent" not in cache
+        stats = cache.stats()
+        assert stats["memory_hits"] == 0
+        assert stats["disk_hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["disk_errors"] == 1  # the corrupt entry, counted once
+
+    def test_concurrent_same_key_puts_leave_no_tmp_files(self, tmp_path):
+        # Regression: the temp-file name used to be pid-only, so two
+        # threads of one process writing the same key collided — one
+        # thread's os.replace could move the file away while the other
+        # still held it, leaving torn writes or orphan ``*.tmp`` files.
+        import threading
+
+        cache = CompileCache(directory=tmp_path)
+        n_threads = 8
+        artifacts = [
+            {"writer": i, "payload": list(range(2000))} for i in range(n_threads)
+        ]
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def writer(i):
+            try:
+                barrier.wait()
+                for _ in range(20):
+                    cache.put("shared-key", artifacts[i])
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        assert list(tmp_path.glob("*.tmp")) == []  # no orphan temp files
+        assert cache.stats()["disk_errors"] == 0
+        # The final disk entry is one of the complete artefacts, untorn.
+        final = json.loads((tmp_path / "shared-key.json").read_text())
+        assert final in artifacts
 
     def test_clear(self, tmp_path):
         cache = CompileCache(directory=tmp_path)

@@ -1,11 +1,15 @@
 """Tests for the batch compile engine (repro.service.engine)."""
 
+import time
+
 import pytest
 
 from repro.core.pipeline import PassConfig
 from repro.devices import get_device
+from repro.obs import Tracer, use_tracer
 from repro.qasm import to_openqasm
 from repro.service import CompileCache, CompileJob, CompileService
+from repro.service.engine import run_payload
 from repro.workloads import random_circuit
 
 
@@ -139,6 +143,110 @@ class TestFaultTolerance:
         by_id = {r.job_id: r for r in results}
         assert by_id["crash"].status == "error"
         assert by_id["good"].ok
+
+
+class TestMonotonicClock:
+    """Queue-wait timing uses the monotonic clock end to end.
+
+    Regression tests for the wall/monotonic clock mix: dispatch used to
+    be stamped with ``time.time()`` while durations came from
+    ``time.perf_counter()``, and a ``max(0.0, ...)`` clamp hid the
+    resulting negative queue waits whenever the wall clock stepped.
+    """
+
+    def test_run_payload_reports_monotonic_start(self):
+        before = time.monotonic()
+        outcome = run_payload(_job(seed=11).payload())
+        after = time.monotonic()
+        # Pre-fix outcomes carried a wall-clock "started_at" instead.
+        assert "started_at" not in outcome
+        assert before <= outcome["started_mono"] <= after
+
+    def test_run_payload_echoes_dispatch_mono(self):
+        mark = time.monotonic()
+        outcome = run_payload(_job(seed=11).payload(), dispatch_mono=mark)
+        assert outcome["dispatch_mono"] == mark
+        assert outcome["started_mono"] >= mark
+
+    def test_queue_wait_immune_to_wall_clock_jumps(self, monkeypatch):
+        # A wall clock stepping forward ~500s per reading (NTP slew,
+        # suspend/resume) must not leak into queue_wait_s.  Pre-fix,
+        # dispatch was time.time() and the worker's start was also
+        # time.time(), so a jump between the two readings showed up as
+        # hundreds of seconds of phantom queue wait.
+        real_time = time.time
+        jump = [0.0]
+
+        def jumping_time():
+            jump[0] += 500.0
+            return real_time() + jump[0]
+
+        monkeypatch.setattr(time, "time", jumping_time)
+        service = CompileService(CompileCache())
+        res = service.submit(_job(seed=12))
+        assert res.ok
+        assert 0.0 <= res.metrics["queue_wait_s"] < 10.0
+
+    def test_negative_wait_not_clamped(self):
+        # _finish must report what the clocks say; the old max(0.0, ...)
+        # clamp silently converted clock bugs into a zero wait.
+        service = CompileService(CompileCache())
+        job = _job(seed=13)
+        outcome = run_payload(job.payload())
+        res = service._finish(
+            job, job.key(), dict(outcome, started_mono=outcome["started_mono"] - 1.0),
+            outcome["started_mono"], attempts=1,
+        )
+        assert res.metrics["queue_wait_s"] == pytest.approx(-1.0, abs=0.01)
+
+    def test_batch_queue_waits_never_negative(self):
+        service = CompileService(CompileCache(), max_workers=2)
+        jobs = [_job(seed=s, job_id=f"q{s}") for s in range(4)]
+        results = service.submit_batch(jobs)
+        assert all(r.ok for r in results)
+        for res in results:
+            assert res.metrics["queue_wait_s"] >= 0.0
+        assert service.stats()["service"]["queue_wait_seconds"] >= 0.0
+
+
+class TestTracedBatches:
+    def test_pool_batch_absorbs_worker_spans(self):
+        tracer = Tracer()
+        service = CompileService(CompileCache(), max_workers=2)
+        jobs = [_job(seed=s, job_id=f"t{s}") for s in range(3)]
+        with use_tracer(tracer):
+            results = service.submit_batch(jobs)
+        assert all(r.ok for r in results)
+        events = tracer.finished()
+        job_roots = [e for e in events if e["name"] == "job"]
+        assert len(job_roots) == 3
+        # Worker-side pipeline stages crossed the process boundary.
+        passes = {e.get("pass") for e in events}
+        assert {"placement", "routing", "schedule"} <= passes
+        # Cache lookups are parent-side spans in the same tracer.
+        assert "cache" in passes
+
+    def test_trace_report_shape(self):
+        tracer = Tracer()
+        service = CompileService(CompileCache(), max_workers=2)
+        jobs = [_job(seed=s, job_id=f"r{s}") for s in range(3)]
+        with use_tracer(tracer):
+            results = service.submit_batch(jobs)
+        assert all(r.ok for r in results)
+        report = service.trace_report(tracer)
+        assert report["schema"] == 1
+        assert {row["job_id"] for row in report["jobs"]} == {"r0", "r1", "r2"}
+        for row in report["jobs"]:
+            assert row["total_s"] > 0
+            assert "routing" in row["passes"]
+            # Stage spans cover most of the job, never more than all of it.
+            covered = sum(row["passes"].values())
+            assert 0 < covered <= row["total_s"] * 1.01
+        assert report["stats"]["service"]["fresh_compiles"] == 3
+
+    def test_untraced_batch_ships_no_spans(self):
+        outcome = run_payload(_job(seed=14).payload(), trace=False)
+        assert "spans" not in outcome
 
 
 class TestStats:
