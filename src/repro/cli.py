@@ -196,11 +196,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
-        help="per-job compile timeout (needs --jobs >= 2)",
+        help="per-job compute budget, measured from the moment a worker "
+        "starts the job (queue wait is free); enforced from outside the "
+        "worker, so it needs the pool path",
+    )
+    batch.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="cooperative per-job routing deadline: routers poll it and "
+        "degrade through the fallback chain (astar -> sabre -> naive) "
+        "instead of being killed",
+    )
+    batch.add_argument(
+        "--batch-timeout", type=float, default=None, metavar="SECONDS",
+        help="overall wall-clock bound on the whole batch; unfinished "
+        "jobs report status=timeout when it expires",
+    )
+    batch.add_argument(
+        "--faults", metavar="PLAN", default=None,
+        help="fault-injection plan: a JSON file path or inline JSON "
+        "(see docs/resilience.md); crash/hang faults run in pool "
+        "workers, never in this process",
     )
     batch.add_argument(
         "--retries", type=int, default=1, metavar="N",
-        help="retry budget per job after a worker crash (default 1)",
+        help="retry budget per job after a worker crash (default 1); "
+        "attributed crashes retry with the next fallback router",
     )
     batch.add_argument(
         "--json", metavar="FILE", dest="json_path",
@@ -630,6 +650,19 @@ def _cmd_batch(args, out) -> int:
     else:
         raise CliError("batch needs a manifest file or --corpus")
 
+    fault_plan = None
+    if args.faults:
+        from .resilience import FaultPlan
+
+        try:
+            text = args.faults.strip()
+            if text.startswith("{"):
+                fault_plan = FaultPlan.from_json(text)
+            else:
+                fault_plan = FaultPlan.from_file(args.faults)
+        except (OSError, ValueError) as exc:
+            raise CliError(f"bad fault plan: {exc}")
+
     cache = None if args.no_cache else CompileCache(directory=args.cache_dir)
     service = CompileService(
         cache,
@@ -642,7 +675,12 @@ def _cmd_batch(args, out) -> int:
     tracer, trace_ctx = _make_tracer(args)
     t0 = _time.perf_counter()
     with trace_ctx:
-        results = service.submit_batch(jobs)
+        results = service.submit_batch(
+            jobs,
+            deadline=args.deadline,
+            batch_timeout=args.batch_timeout,
+            fault_plan=fault_plan,
+        )
     elapsed = _time.perf_counter() - t0
 
     print(f"{'job':<44} {'status':<8} {'cache':<7} {'swaps':>5} {'sec':>8}",
@@ -663,9 +701,19 @@ def _cmd_batch(args, out) -> int:
 
     n_ok = sum(1 for r in results if r.ok)
     n = len(results)
+    status_counts = {}
+    for res in results:
+        status_counts[res.status] = status_counts.get(res.status, 0) + 1
+    breakdown = ", ".join(
+        f"{status} {count}"
+        for status, count in sorted(status_counts.items())
+        if status != "ok"
+    )
     stats = service.stats()
     print(
-        f"\n{n_ok}/{n} ok in {elapsed:.3f}s "
+        f"\n{n_ok}/{n} ok"
+        + (f" ({breakdown})" if breakdown else "")
+        + f" in {elapsed:.3f}s "
         f"({n / elapsed:.1f} jobs/s), "
         f"cache hit rate {stats['service']['hit_rate']:.0%}",
         file=out,
@@ -677,6 +725,7 @@ def _cmd_batch(args, out) -> int:
             "summary": {
                 "total": n,
                 "ok": n_ok,
+                "statuses": status_counts,
                 "seconds": round(elapsed, 4),
                 "throughput": round(n / elapsed, 2) if elapsed else None,
             },
@@ -690,7 +739,9 @@ def _cmd_batch(args, out) -> int:
         print(f"wrote {args.json_path}", file=out)
     if tracer is not None:
         _write_trace(args, tracer, out, meta={"service_stats": stats})
-    return 0 if n_ok == n else 4
+    # Degraded compiles still produced an artefact: the batch succeeded,
+    # the per-job statuses carry the nuance.
+    return 0 if all(r.completed for r in results) else 4
 
 
 def _cmd_trace(args, out) -> int:

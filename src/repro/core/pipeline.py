@@ -24,13 +24,16 @@ from typing import Callable, Mapping
 
 from ..decompose import decompose_circuit
 from ..devices.device import Device
-from ..obs import trace_span
+from ..obs import add_counter, trace_span
 from ..optimize import optimize_circuit
 from ..mapping.control import schedule_with_constraints
 from ..mapping.direction import fix_directions
 from ..mapping.placement import PLACERS, Placement
-from ..mapping.routing import ROUTERS, RoutingResult, check_connectivity, route
+from ..mapping.routing import ROUTERS, RoutingError, RoutingResult, \
+    check_connectivity, route
 from ..mapping.scheduler import Schedule, alap_schedule, asap_schedule
+from ..resilience.deadline import Deadline, DeadlineExceeded, use_deadline
+from ..resilience.faults import FaultInjected, fault_point
 from .circuit import Circuit
 
 __all__ = [
@@ -38,7 +41,25 @@ __all__ = [
     "PassConfig",
     "compile_circuit",
     "compile_with_config",
+    "fallback_chain",
 ]
+
+#: Cheaper routers tried, in order, when a routing stage times out or
+#: fails: SABRE is the fast heuristic, naive always terminates.
+_FALLBACK_ORDER = ("sabre", "naive")
+
+
+def fallback_chain(router: str) -> tuple[str, ...]:
+    """The router sequence tried for ``router``: itself, then cheaper ones.
+
+    ``astar`` degrades through ``sabre`` to ``naive``; ``naive`` has no
+    fallback.  Any unknown/expensive router degrades through the full
+    ``sabre -> naive`` tail.
+    """
+    if router in _FALLBACK_ORDER:
+        index = _FALLBACK_ORDER.index(router)
+        return (router,) + _FALLBACK_ORDER[index + 1:]
+    return (router,) + _FALLBACK_ORDER
 
 
 @dataclass(frozen=True)
@@ -231,11 +252,13 @@ def compile_circuit(
         if any(len(g.qubits) > 2 for g in circuit.gates):
             with trace_span("decompose", pass_="decompose",
                             stage="pre-route") as sp:
+                fault_point("decompose")
                 prepared = decompose_circuit(circuit, device)
                 if sp.enabled:
                     sp.set(gates_in=circuit.size(), gates_out=prepared.size())
 
         with trace_span("placement", pass_="placement") as sp:
+            fault_point("placement")
             if callable(placer):
                 placement = placer(prepared, device)
                 placer_name = getattr(placer, "__name__", "custom")
@@ -246,6 +269,7 @@ def compile_circuit(
                 sp.set(placer=placer_name)
 
         with trace_span("routing", pass_="routing", router=router) as sp:
+            fault_point("routing", router=router)
             routed = route(
                 prepared, device, router, placement, **(router_options or {})
             )
@@ -268,6 +292,7 @@ def compile_circuit(
                     sp.set(gates_in=native.size(), gates_out=lowered.size())
                 native = lowered
             with trace_span("direction-fix", pass_="direction-fix") as sp:
+                fault_point("direction-fix")
                 gates_in = native.size() if sp.enabled else 0
                 native, flips = fix_directions(native, device)
                 if sp.enabled:
@@ -278,6 +303,7 @@ def compile_circuit(
                 # the direction fix cancel while still recognisable.
                 with trace_span("optimize", pass_="optimize",
                                 stage="pre-lower") as sp:
+                    fault_point("optimize")
                     optimized = optimize_circuit(native)
                     if sp.enabled:
                         sp.set(gates_in=native.size(),
@@ -300,9 +326,11 @@ def compile_circuit(
                                gates_out=optimized.size())
                     native = optimized
             with trace_span("verify", pass_="verify"):
+                fault_point("verify")
                 check_connectivity(native, device)
         elif optimize:
             with trace_span("optimize", pass_="optimize") as sp:
+                fault_point("optimize")
                 optimized = optimize_circuit(native)
                 if sp.enabled:
                     sp.set(gates_in=native.size(), gates_out=optimized.size())
@@ -312,6 +340,7 @@ def compile_circuit(
         if schedule is not None:
             with trace_span("schedule", pass_="schedule",
                             mode=schedule) as sp:
+                fault_point("schedule")
                 if schedule == "asap":
                     timed = asap_schedule(native, device)
                 elif schedule == "alap":
@@ -359,13 +388,76 @@ def compile_circuit(
 
 
 def compile_with_config(
-    circuit: Circuit, device: Device, config: PassConfig | None = None
+    circuit: Circuit,
+    device: Device,
+    config: PassConfig | None = None,
+    *,
+    deadline: Deadline | None = None,
+    fallback: bool = True,
 ) -> CompilationResult:
     """Run :func:`compile_circuit` under a :class:`PassConfig`.
 
     The entry point the compile service uses: configs are hashable and
     serialisable, so the same object that keys the cache also drives the
     compilation — there is no way for the two to drift apart.
+
+    Resilience: when ``fallback`` is true and the routing stage times out
+    (``deadline``, cooperative — the routers poll it) or fails, the
+    compilation is retried down :func:`fallback_chain` with the next
+    cheaper router.  A result produced by a fallback router carries
+    ``metadata["resilience"]`` with ``degraded=True``, the requested and
+    actually-used routers, the fallback path walked, and the failure
+    messages.  The last router in the chain runs without a deadline if
+    the budget is already spent — the chain's contract is to always
+    return *an* answer.  With no deadline and no fault, the first
+    attempt uses ``config``'s kwargs verbatim, so output is
+    byte-identical to a plain :func:`compile_circuit` call.
     """
     config = config or PassConfig()
-    return compile_circuit(circuit, device, **config.as_kwargs())
+    chain = fallback_chain(config.router) if fallback else (config.router,)
+    failures: list[dict] = []
+    for position, router in enumerate(chain):
+        last = position == len(chain) - 1
+        kwargs = config.as_kwargs()
+        if position > 0:
+            # Router options belong to the requested router; the fallback
+            # runs with its defaults.
+            kwargs["router"] = router
+            kwargs["router_options"] = {}
+        attempt_deadline = deadline
+        if fallback and last and deadline is not None and deadline.expired():
+            # The budget is gone but the chain must still answer: run the
+            # last-resort router unbounded.  (With fallback disabled the
+            # caller asked for strict enforcement — let the router raise.)
+            attempt_deadline = None
+        try:
+            with use_deadline(attempt_deadline):
+                result = compile_circuit(circuit, device, **kwargs)
+        except DeadlineExceeded as exc:
+            add_counter("pipeline.deadline_aborts", 1)
+            if last:
+                raise
+            failures.append(
+                {"router": router, "kind": "deadline", "error": str(exc)}
+            )
+            continue
+        except (RoutingError, FaultInjected) as exc:
+            add_counter("pipeline.router_failures", 1)
+            if last:
+                raise
+            failures.append(
+                {"router": router, "kind": type(exc).__name__,
+                 "error": str(exc)}
+            )
+            continue
+        if failures:
+            add_counter("pipeline.router_fallbacks", 1)
+            result.metadata["resilience"] = {
+                "degraded": True,
+                "requested_router": config.router,
+                "router_used": router,
+                "fallback_path": [f["router"] for f in failures] + [router],
+                "failures": failures,
+            }
+        return result
+    raise RuntimeError("unreachable: fallback chain exhausted")  # pragma: no cover

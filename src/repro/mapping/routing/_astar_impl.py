@@ -41,6 +41,7 @@ import heapq
 import itertools
 
 from ...obs import add_counter
+from ...resilience.deadline import current_deadline
 from .base import RoutingError
 from ._astar_native import solve_layer_native
 
@@ -127,14 +128,18 @@ def solve_layer_packed(
 
     # Compiled kernel first (same search, same tie-breaks, same floats);
     # ``None`` means unavailable or unsupported — run the Python loop.
-    native = solve_layer_native(
-        n, nbits, active, pair_slots, future_slots, future_weights,
-        future_active, edges, dflat, key0, max_expansions,
-    )
-    if native is not None:
-        add_counter("astar.native_layers", 1)
-        add_counter("astar.swaps_emitted", len(native))
-        return native
+    # The C kernel cannot poll the cooperative deadline, so a bounded
+    # search must take the Python loop, which checks every 256 expansions.
+    deadline = current_deadline()
+    if deadline is None:
+        native = solve_layer_native(
+            n, nbits, active, pair_slots, future_slots, future_weights,
+            future_active, edges, dflat, key0, max_expansions,
+        )
+        if native is not None:
+            add_counter("astar.native_layers", 1)
+            add_counter("astar.swaps_emitted", len(native))
+            return native
 
     def pending_of(key: int) -> int:
         total = 0
@@ -195,6 +200,8 @@ def solve_layer_packed(
             add_counter("astar.swaps_emitted", len(sequence))
             return sequence
         expansions += 1
+        if deadline is not None and not expansions & 0xFF:
+            deadline.check("astar layer search")
         if expansions > max_expansions:
             raise RoutingError(
                 f"A* expanded more than {max_expansions} placements on one "

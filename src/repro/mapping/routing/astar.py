@@ -21,6 +21,7 @@ from ...core.circuit import Circuit
 from ...core.dag import DependencyGraph
 from ...core import gates as G
 from ...devices.device import Device
+from ...resilience.deadline import current_deadline
 from ..placement import Placement
 from .base import RoutingError, RoutingResult
 from ._astar_impl import solve_layer_packed
@@ -64,8 +65,11 @@ def route_astar(
             raise RoutingError(f"decompose {gate.name} before routing")
 
     # Solve each layer's SWAP sequence against the evolving placement.
+    deadline = current_deadline()
     layer_swaps: list[list[tuple[int, int]]] = []
     for layer_pos, layer in enumerate(layers):
+        if deadline is not None:
+            deadline.check("astar routing")
         pairs = [dag.gate(i).qubits for i in layer]
         future = []
         for ahead in range(1, lookahead_layers + 1):

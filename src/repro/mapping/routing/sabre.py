@@ -28,6 +28,7 @@ from ...core.dag import DependencyGraph
 from ...core import gates as G
 from ...devices.device import Device
 from ...obs import add_counter
+from ...resilience.deadline import current_deadline
 from ..placement import Placement
 from .base import RoutingError, RoutingResult
 
@@ -111,7 +112,12 @@ def route_sabre(
             if all(p in done for p in dag.predecessors(succ)):
                 front.add(succ)
 
+    deadline = current_deadline()
     while front:
+        # Cooperative deadline poll: one decision per iteration, so the
+        # check costs a single clock read per emitted SWAP.
+        if deadline is not None:
+            deadline.check("sabre routing")
         progressed = True
         while progressed:
             progressed = False

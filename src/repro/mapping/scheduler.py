@@ -69,11 +69,21 @@ class Schedule:
     def gates_starting_at(self, cycle: int) -> list[ScheduledGate]:
         return [item for item in self.items if item.start == cycle]
 
+    # Ordering key for gate lists: start cycle, then operand tuple, then
+    # gate name.  Two distinct gates can share (start, qubits) — e.g. a
+    # conditioned single-qubit gate and the measure feeding it modelled
+    # on the same line — so sorting by start (or start+qubits) alone
+    # leaves their order to the sort's input order, which varies between
+    # construction paths and made serialised schedules nondeterministic.
+    @staticmethod
+    def _order_key(item: ScheduledGate):
+        return (item.start, item.gate.qubits, item.gate.name)
+
     def circuit(self) -> Circuit:
         """The schedule's gates as a circuit in start-time order."""
         ordered = sorted(
             (item for item in self.items if not item.gate.is_barrier),
-            key=lambda it: (it.start, it.gate.qubits),
+            key=self._order_key,
         )
         return Circuit(self.num_qubits, (item.gate for item in ordered))
 
@@ -94,7 +104,7 @@ class Schedule:
             for q in item.gate.qubits:
                 per_qubit.setdefault(q, []).append(item)
         for q, gate_list in per_qubit.items():
-            gate_list.sort(key=lambda it: it.start)
+            gate_list.sort(key=self._order_key)
             for first, second in zip(gate_list, gate_list[1:]):
                 if second.start < first.end:
                     problems.append(
@@ -106,7 +116,7 @@ class Schedule:
     def table(self) -> str:
         """A human-readable cycle table (one row per start cycle)."""
         rows: dict[int, list[str]] = {}
-        for item in sorted(self.items, key=lambda it: it.start):
+        for item in sorted(self.items, key=self._order_key):
             if item.gate.is_barrier:
                 continue
             rows.setdefault(item.start, []).append(str(item.gate))

@@ -50,11 +50,24 @@ _PARAM_COUNT = {
 
 
 class QasmError(ValueError):
-    """Parse error with line information."""
+    """Parse error with position information.
 
-    def __init__(self, message: str, line: int):
-        super().__init__(f"line {line}: {message}")
+    Attributes:
+        message: The bare description (without the position prefix).
+        line: 1-based source line of the offending statement.
+        column: 1-based column of the statement's first character on
+            that line, when known (``None`` otherwise) — statements
+            after the first on a shared line report where *they* start.
+    """
+
+    def __init__(self, message: str, line: int, column: int | None = None):
+        where = f"line {line}"
+        if column is not None:
+            where += f", col {column}"
+        super().__init__(f"{where}: {message}")
+        self.message = message
         self.line = line
+        self.column = column
 
 
 @dataclass
@@ -143,23 +156,36 @@ class _ExprParser:
             raise QasmError(f"bad expression token {token!r}", self.line)
 
 
-def _strip_comments(source: str) -> list[tuple[int, str]]:
-    """Split into statements annotated with 1-based line numbers."""
-    statements: list[tuple[int, str]] = []
+def _strip_comments(source: str) -> list[tuple[int, int, str]]:
+    """Split into statements annotated with 1-based (line, col) starts.
+
+    The position is where each statement's first non-blank character
+    sits, so the second statement on a shared line reports its own
+    column instead of inheriting the line's first statement.  Line
+    breaks inside an unfinished statement are preserved as ``\\n`` in
+    the buffer — without them, tokens ending one line fused with tokens
+    opening the next (``h\\nq[0];`` used to parse as the gate ``hq``).
+    """
+    statements: list[tuple[int, int, str]] = []
     buffer = ""
     start_line = 1
+    start_col = 1
     for lineno, raw in enumerate(source.splitlines(), start=1):
         line = raw.split("//", 1)[0]
-        for ch in line:
+        for colno, ch in enumerate(line, start=1):
             if not buffer.strip():
-                start_line = lineno
+                start_line, start_col = lineno, colno
             if ch in ";{}":
-                statements.append((start_line, (buffer + ch).strip()))
+                statements.append(
+                    (start_line, start_col, (buffer + ch).strip())
+                )
                 buffer = ""
             else:
                 buffer += ch
+        if buffer.strip():
+            buffer += "\n"
     if buffer.strip():
-        statements.append((start_line, buffer.strip()))
+        statements.append((start_line, start_col, buffer.strip()))
     return statements
 
 
@@ -174,102 +200,115 @@ def parse_qasm(source: str) -> Circuit:
     gates: list[Gate] = []
     name = ""
 
-    for line, statement in _strip_comments(source):
-        body = statement.rstrip(";").strip()
-        if not body:
-            continue
-        head = body.split(None, 1)[0].lower()
+    for line, col, statement in _strip_comments(source):
+        try:
+            body = statement.rstrip(";").strip()
+            if not body:
+                continue
+            head = body.split(None, 1)[0].lower()
 
-        if head == "openqasm":
-            continue
-        if head == "include":
-            continue
-        if head == "creg":
-            continue  # classical registers only receive measurements
-        if head in ("gate", "opaque"):
-            raise QasmError(f"unsupported construct {head!r}", line)
+            if head == "openqasm":
+                continue
+            if head == "include":
+                continue
+            if head == "creg":
+                continue  # classical registers only receive measurements
+            if head in ("gate", "opaque"):
+                raise QasmError(f"unsupported construct {head!r}", line)
 
-        condition: tuple[int, int] | None = None
-        if head == "if" or body.startswith("if"):
+            condition: tuple[int, int] | None = None
+            if head == "if" or body.startswith("if"):
+                match = re.fullmatch(
+                    r"if\s*\(\s*([A-Za-z_]\w*)\s*==\s*(\d+)\s*\)\s*(.+)",
+                    body,
+                    flags=re.S,
+                )
+                if match is None:
+                    raise QasmError("malformed if statement", line)
+                reg_name, value_text, body = match.groups()
+                bit_match = re.fullmatch(r"c(\d+)", reg_name)
+                if bit_match is None:
+                    raise QasmError(
+                        "conditions must use the per-qubit classical "
+                        f"registers c<N> (got {reg_name!r})",
+                        line,
+                    )
+                value = int(value_text)
+                if value not in (0, 1):
+                    raise QasmError("condition value must be 0 or 1", line)
+                condition = (int(bit_match.group(1)), value)
+                head = body.split(None, 1)[0].lower()
+            if head == "qreg":
+                match = re.fullmatch(
+                    r"qreg\s+([A-Za-z_]\w*)\s*\[\s*(\d+)\s*\]", body
+                )
+                if match is None:
+                    raise QasmError("malformed qreg declaration", line)
+                reg_name, size = match.group(1), int(match.group(2))
+                if reg_name in registers:
+                    raise QasmError(f"duplicate register {reg_name!r}", line)
+                registers[reg_name] = _Register(reg_name, size, total_qubits)
+                total_qubits += size
+                continue
+            if condition is not None and head in ("barrier", "measure", "reset"):
+                raise QasmError(f"cannot condition {head!r}", line)
+            if head == "barrier":
+                operands = body[len("barrier"):].strip()
+                qubits = (
+                    _parse_operands(operands, registers, line)
+                    if operands else []
+                )
+                flat = [q for group in qubits for q in group]
+                gates.append(Gate("barrier", tuple(flat)))
+                continue
+            if head == "measure":
+                match = re.fullmatch(
+                    r"measure\s+(.+?)\s*(?:->\s*.+)?", body, flags=re.S
+                )
+                if match is None:
+                    raise QasmError("malformed measure", line)
+                for group in _parse_operands(match.group(1), registers, line):
+                    for q in group:
+                        gates.append(Gate("measure", (q,)))
+                continue
+            if head == "reset":
+                operands = body[len("reset"):].strip()
+                for group in _parse_operands(operands, registers, line):
+                    for q in group:
+                        gates.append(Gate("prep_z", (q,)))
+                continue
+
+            # Generic gate application: name[(params)] operands
             match = re.fullmatch(
-                r"if\s*\(\s*([A-Za-z_]\w*)\s*==\s*(\d+)\s*\)\s*(.+)",
-                body,
-                flags=re.S,
+                r"([A-Za-z_]\w*)\s*(?:\((.*?)\))?\s*(.+)", body, flags=re.S
             )
             if match is None:
-                raise QasmError("malformed if statement", line)
-            reg_name, value_text, body = match.groups()
-            bit_match = re.fullmatch(r"c(\d+)", reg_name)
-            if bit_match is None:
+                raise QasmError(f"cannot parse statement {body!r}", line)
+            gate_name, params_text, operand_text = match.groups()
+            key = gate_name.lower()
+            if key not in _DIRECT:
+                raise QasmError(f"unsupported gate {gate_name!r}", line)
+            params = _parse_params(params_text, line)
+            expected = _PARAM_COUNT.get(key, 0)
+            if len(params) != expected:
                 raise QasmError(
-                    "conditions must use the per-qubit classical registers "
-                    f"c<N> (got {reg_name!r})",
+                    f"gate {gate_name!r} expects {expected} parameters, "
+                    f"got {len(params)}",
                     line,
                 )
-            value = int(value_text)
-            if value not in (0, 1):
-                raise QasmError("condition value must be 0 or 1", line)
-            condition = (int(bit_match.group(1)), value)
-            head = body.split(None, 1)[0].lower()
-        if head == "qreg":
-            match = re.fullmatch(r"qreg\s+([A-Za-z_]\w*)\s*\[\s*(\d+)\s*\]", body)
-            if match is None:
-                raise QasmError("malformed qreg declaration", line)
-            reg_name, size = match.group(1), int(match.group(2))
-            if reg_name in registers:
-                raise QasmError(f"duplicate register {reg_name!r}", line)
-            registers[reg_name] = _Register(reg_name, size, total_qubits)
-            total_qubits += size
-            continue
-        if condition is not None and head in ("barrier", "measure", "reset"):
-            raise QasmError(f"cannot condition {head!r}", line)
-        if head == "barrier":
-            operands = body[len("barrier"):].strip()
-            qubits = _parse_operands(operands, registers, line) if operands else []
-            flat = [q for group in qubits for q in group]
-            gates.append(Gate("barrier", tuple(flat)))
-            continue
-        if head == "measure":
-            match = re.fullmatch(
-                r"measure\s+(.+?)\s*(?:->\s*.+)?", body, flags=re.S
-            )
-            if match is None:
-                raise QasmError("malformed measure", line)
-            for group in _parse_operands(match.group(1), registers, line):
-                for q in group:
-                    gates.append(Gate("measure", (q,)))
-            continue
-        if head == "reset":
-            operands = body[len("reset"):].strip()
-            for group in _parse_operands(operands, registers, line):
-                for q in group:
-                    gates.append(Gate("prep_z", (q,)))
-            continue
-
-        # Generic gate application: name[(params)] operands
-        match = re.fullmatch(
-            r"([A-Za-z_]\w*)\s*(?:\((.*?)\))?\s*(.+)", body, flags=re.S
-        )
-        if match is None:
-            raise QasmError(f"cannot parse statement {body!r}", line)
-        gate_name, params_text, operand_text = match.groups()
-        key = gate_name.lower()
-        if key not in _DIRECT:
-            raise QasmError(f"unsupported gate {gate_name!r}", line)
-        params = _parse_params(params_text, line)
-        expected = _PARAM_COUNT.get(key, 0)
-        if len(params) != expected:
-            raise QasmError(
-                f"gate {gate_name!r} expects {expected} parameters, "
-                f"got {len(params)}",
-                line,
-            )
-        canonical = _DIRECT[key]
-        if key in ("cu1", "cp"):
-            pass  # identical semantics
-        operand_groups = _parse_operands(operand_text, registers, line)
-        for qubits in _broadcast(operand_groups, line):
-            gates.append(Gate(canonical, qubits, tuple(params), condition))
+            canonical = _DIRECT[key]
+            if key in ("cu1", "cp"):
+                pass  # identical semantics
+            operand_groups = _parse_operands(operand_text, registers, line)
+            for qubits in _broadcast(operand_groups, line):
+                gates.append(Gate(canonical, qubits, tuple(params), condition))
+        except QasmError as exc:
+            if exc.column is None and exc.line == line:
+                # Attach where this statement starts, so errors on the
+                # second statement of a shared line point at it and not
+                # at the line's first statement.
+                raise QasmError(exc.message, line, col) from None
+            raise
 
     circuit = Circuit(total_qubits, name=name)
     for gate in gates:

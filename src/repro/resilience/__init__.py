@@ -1,0 +1,56 @@
+"""Resilience layer: fault injection, deadlines, graceful degradation.
+
+"Every device is (almost) equal before the compiler" (the paper's
+conclusion) only holds in practice when the compiler *always returns an
+answer* within its budget.  This package gives the stack the three
+mechanisms that guarantee that:
+
+* :mod:`repro.resilience.deadline` — a monotonic :class:`Deadline`
+  threaded through :func:`repro.core.pipeline.compile_with_config` into
+  the routers, which poll it and abandon search cleanly
+  (:class:`DeadlineExceeded`) instead of being killed from outside;
+* :mod:`repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultPlan` (crash / hang / raise / corrupt at named pipeline
+  stages) that crosses the process boundary into pool workers, driving
+  the resilience tests and the CI fault-injection smoke;
+* the router **fallback chain** (``astar -> sabre -> naive``) in
+  :func:`repro.core.pipeline.compile_with_config`, which retries a
+  failed or timed-out routing stage with the next cheaper router and
+  records ``degraded=True`` plus the fallback path in the artefact.
+
+The batch engine (:mod:`repro.service.engine`) builds its per-job
+outcome taxonomy (``ok | degraded | timeout | crashed | invalid``) on
+these pieces; see ``docs/resilience.md``.
+"""
+
+from .deadline import (
+    Deadline,
+    DeadlineExceeded,
+    current_deadline,
+    use_deadline,
+)
+from .faults import (
+    FAULT_ACTIONS,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    corrupt_point,
+    fault_point,
+    reset_env_cache,
+    use_faults,
+)
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "corrupt_point",
+    "current_deadline",
+    "fault_point",
+    "reset_env_cache",
+    "use_deadline",
+    "use_faults",
+]

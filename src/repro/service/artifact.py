@@ -28,7 +28,12 @@ from ..mapping.routing import RoutingResult
 from ..qasm import parse_qasm, to_openqasm
 from .keys import ARTIFACT_SCHEMA
 
-__all__ = ["result_to_artifact", "artifact_to_result", "artifact_metrics"]
+__all__ = [
+    "result_to_artifact",
+    "artifact_to_result",
+    "artifact_metrics",
+    "validate_artifact",
+]
 
 
 def _placement_to_obj(placement: Placement) -> dict:
@@ -92,6 +97,11 @@ def result_to_artifact(
         artifact["config"] = config.to_dict()
     if result.original.name:
         artifact["circuit_name"] = result.original.name
+    # Only present on degraded compiles (router fallback), so artefacts of
+    # clean compiles keep their pre-resilience byte layout.
+    resilience = result.metadata.get("resilience")
+    if resilience:
+        artifact["resilience"] = resilience
     return artifact
 
 
@@ -124,6 +134,9 @@ def artifact_to_result(artifact: Mapping) -> CompilationResult:
         if artifact.get("schedule") is not None
         else None
     )
+    metadata: dict = {"from_artifact": True}
+    if artifact.get("resilience"):
+        metadata["resilience"] = dict(artifact["resilience"])
     return CompilationResult(
         original=original,
         device=device,
@@ -133,10 +146,49 @@ def artifact_to_result(artifact: Mapping) -> CompilationResult:
         flips=artifact["flips"],
         placer=artifact["placer"],
         router=artifact["router"],
-        metadata={"from_artifact": True},
+        metadata=metadata,
     )
 
 
 def artifact_metrics(artifact: Mapping) -> dict:
     """The pre-computed headline metrics stored in an artefact."""
     return dict(artifact.get("metrics", {}))
+
+
+#: Keys every artefact must carry, with their expected container types.
+_REQUIRED_FIELDS = (
+    ("original_qasm", str),
+    ("routed_qasm", str),
+    ("native_qasm", str),
+    ("routing", Mapping),
+    ("metrics", Mapping),
+    ("device", Mapping),
+)
+
+
+def validate_artifact(artifact) -> str | None:
+    """Structural check of an artefact shipped back by a worker.
+
+    Returns ``None`` when the artefact looks sound, else a one-line
+    description of the first problem.  The batch engine runs this on
+    every worker-produced artefact before caching or reporting it, so a
+    worker that ships garbage (bit-flips, a ``corrupt`` fault, a
+    truncated pickle) is treated like a crash instead of poisoning the
+    cache.  Cheap by design: structure and headers only, no re-parse of
+    the QASM bodies.
+    """
+    if not isinstance(artifact, Mapping):
+        return f"artifact is {type(artifact).__name__}, not a mapping"
+    if artifact.get("schema") != ARTIFACT_SCHEMA:
+        return (
+            f"artifact schema {artifact.get('schema')!r} is not "
+            f"{ARTIFACT_SCHEMA}"
+        )
+    for name, kind in _REQUIRED_FIELDS:
+        value = artifact.get(name)
+        if not isinstance(value, kind):
+            return f"artifact field {name!r} is missing or mistyped"
+    for name in ("original_qasm", "routed_qasm", "native_qasm"):
+        if "OPENQASM" not in artifact[name]:
+            return f"artifact field {name!r} is not OpenQASM text"
+    return None

@@ -6,10 +6,11 @@ into a servable engine:
 * :meth:`CompileService.submit` — one job, in-process, through the
   content-addressed cache;
 * :meth:`CompileService.submit_batch` — a list of jobs fanned across a
-  ``ProcessPoolExecutor`` with per-job timeouts, bounded retry when a
-  worker process dies, in-batch deduplication of identical requests,
-  and **deterministic result ordering** (results[i] always corresponds
-  to jobs[i], whatever order the workers finish in);
+  ``ProcessPoolExecutor`` with per-job compute budgets, an overall batch
+  deadline, bounded retry-with-fallback when a worker process dies,
+  in-batch deduplication of identical requests, and **deterministic
+  result ordering** (results[i] always corresponds to jobs[i], whatever
+  order the workers finish in);
 * :meth:`CompileService.stats` — a counter snapshot of everything the
   service has done (jobs, cache tiers, compile seconds, retries).
 
@@ -17,28 +18,53 @@ Workers receive plain-dict payloads (:meth:`CompileJob.payload`) and
 return plain-dict outcomes, so nothing un-picklable ever crosses the
 process boundary; the parent owns the cache, so a batch warms it for
 every later request regardless of which worker compiled what.
+
+Resilience (see ``docs/resilience.md``): every job ends in exactly one
+of the terminal statuses ``ok | degraded | timeout | crashed | invalid``
+(:data:`repro.service.jobs.JOB_STATUSES`) — a batch never loses a job.
+Per-job budgets are **compute budgets measured from worker start** (the
+worker reports its start instant through a shared manager dict), not
+from batch dispatch, so jobs queued behind a full pool are not billed
+for their queue wait.  A separate ``batch_timeout`` bounds the whole
+batch.  Crashed workers are retried down the router fallback chain
+(:func:`repro.core.pipeline.fallback_chain`) instead of blindly, and
+worker-shipped artefacts are validated
+(:func:`repro.service.artifact.validate_artifact`) before they can reach
+the cache.  Only clean ``ok`` artefacts are ever cached — a degraded
+compile must not impersonate the requested configuration.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from typing import Iterable, Sequence
 
-from ..core.pipeline import PassConfig, compile_with_config
+from ..core.pipeline import PassConfig, compile_with_config, fallback_chain
 from ..devices.device import Device
 from ..obs import Tracer, current_tracer, trace_span, use_tracer
 from ..qasm import parse_qasm
-from .artifact import artifact_metrics, result_to_artifact
+from ..resilience.deadline import Deadline, DeadlineExceeded
+from ..resilience.faults import (
+    FaultInjected,
+    FaultPlan,
+    corrupt_point,
+    fault_point,
+    use_faults,
+)
+from .artifact import artifact_metrics, result_to_artifact, validate_artifact
 from .cache import CompileCache
 from .jobs import CompileJob, JobResult
 
 __all__ = ["CompileService", "run_payload"]
+
+#: Parent-side poll interval of the batch wait loop, seconds.
+_POLL_INTERVAL = 0.02
 
 
 def run_payload(
@@ -46,6 +72,8 @@ def run_payload(
     *,
     dispatch_mono: float | None = None,
     trace: bool = False,
+    start_report=None,
+    start_token: str | None = None,
 ) -> dict:
     """Compile one job payload; always returns, never raises.
 
@@ -54,8 +82,24 @@ def run_payload(
     kills the worker process (exercising the retry path) and
     ``sleep:<seconds>`` delays the compile (exercising timeouts).
 
+    Resilience keys the engine may add to a payload:
+
+    * ``faults`` — a :meth:`FaultPlan.to_dict`, installed around the
+      compile with this job's id (fault injection crosses the process
+      boundary here);
+    * ``deadline_s`` — per-job compute budget in seconds; the worker
+      starts the clock on **its own** entry, so queue wait is free;
+    * ``batch_deadline`` — a :meth:`Deadline.to_dict` (absolute
+      monotonic instant, valid across processes) bounding the batch;
+    * ``router_override`` — route with this router instead of the
+      config's (a fallback retry after a crash); the result is marked
+      degraded.
+
+    The outcome's ``status`` is one of ``ok | degraded | timeout |
+    crashed | invalid`` — the same taxonomy the parent reports.
+
     Args:
-        payload: A :meth:`CompileJob.payload` dict.
+        payload: A :meth:`CompileJob.payload` dict, possibly augmented.
         dispatch_mono: The dispatcher's :func:`time.monotonic` reading
             at hand-off.  ``time.monotonic`` is system-wide, so the
             worker's own reading on the same clock yields the queue wait
@@ -64,33 +108,107 @@ def run_payload(
         trace: Record pass-level spans for this compile and ship them
             back in the outcome's ``spans`` list for the parent tracer
             to absorb.
+        start_report: Optional shared mapping (a manager dict proxy);
+            the worker stores its start instant under ``start_token``
+            before doing anything else, so the parent can measure the
+            compute budget from worker start rather than from dispatch.
+        start_token: Key for the ``start_report`` write.
     """
     started_mono = time.monotonic()
+    if start_report is not None and start_token is not None:
+        try:
+            start_report[start_token] = started_mono
+        except Exception:  # noqa: BLE001 — manager gone: batch abandoned us
+            pass
     hook = payload.get("metadata", {}).get("__test_hook__", "")
     if hook == "crash":
         os._exit(13)
     if hook.startswith("sleep:"):
         time.sleep(float(hook.split(":", 1)[1]))
+
+    plan = None
+    if payload.get("faults"):
+        plan = FaultPlan.from_dict(payload["faults"])
+    deadline = None
+    if payload.get("deadline_s") is not None:
+        deadline = Deadline.after(float(payload["deadline_s"]))
+    if payload.get("batch_deadline"):
+        batch_dl = Deadline.from_dict(payload["batch_deadline"])
+        if deadline is None or batch_dl.expires_mono < deadline.expires_mono:
+            deadline = batch_dl
+
     tracer = Tracer() if trace else None
     t0 = time.perf_counter()
     try:
-        with use_tracer(tracer) if tracer is not None else nullcontext():
-            with trace_span(
-                "job", pass_="service", job_id=payload.get("job_id", "")
-            ):
-                circuit = parse_qasm(payload["qasm"])
-                device = Device.from_dict(payload["device"])
-                config = PassConfig.from_dict(payload["config"])
-                result = compile_with_config(circuit, device, config)
-                artifact = result_to_artifact(result, config=config)
+        with use_faults(plan, payload.get("job_id", "")) \
+                if plan is not None else nullcontext():
+            fault_point("worker")
+            with use_tracer(tracer) if tracer is not None else nullcontext():
+                with trace_span(
+                    "job", pass_="service", job_id=payload.get("job_id", "")
+                ):
+                    fault_point("parse")
+                    circuit = parse_qasm(payload["qasm"])
+                    device = Device.from_dict(payload["device"])
+                    config = PassConfig.from_dict(payload["config"])
+                    requested = config.router
+                    override = payload.get("router_override")
+                    if override and override != requested:
+                        run_cfg = config.to_dict()
+                        run_cfg["router"] = override
+                        run_cfg["router_options"] = {}
+                        run_config = PassConfig.from_dict(run_cfg)
+                    else:
+                        override = None
+                        run_config = config
+                    result = compile_with_config(
+                        circuit, device, run_config, deadline=deadline
+                    )
+                    if override is not None:
+                        # A fallback retry: record the full degradation
+                        # path from the *originally requested* router.
+                        inner = result.metadata.get("resilience")
+                        path = [requested] + (
+                            inner["fallback_path"] if inner else [override]
+                        )
+                        failures = [{
+                            "router": requested,
+                            "kind": "retry",
+                            "error": "previous attempt crashed or timed out",
+                        }] + (inner["failures"] if inner else [])
+                        result.metadata["resilience"] = {
+                            "degraded": True,
+                            "requested_router": requested,
+                            "router_used": result.router,
+                            "fallback_path": path,
+                            "failures": failures,
+                        }
+                    fault_point("artifact")
+                    artifact = result_to_artifact(result, config=config)
+                    artifact = corrupt_point("artifact", artifact)
+        degraded = bool(
+            result.metadata.get("resilience", {}).get("degraded")
+        )
         outcome = {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
             "artifact": artifact,
+            "compile_seconds": time.perf_counter() - t0,
+        }
+    except DeadlineExceeded as exc:
+        outcome = {
+            "status": "timeout",
+            "error": f"{type(exc).__name__}: {exc}",
+            "compile_seconds": time.perf_counter() - t0,
+        }
+    except FaultInjected as exc:
+        outcome = {
+            "status": "crashed",
+            "error": f"{type(exc).__name__}: {exc}",
             "compile_seconds": time.perf_counter() - t0,
         }
     except Exception as exc:  # noqa: BLE001 — report, don't kill the pool
         outcome = {
-            "status": "error",
+            "status": "invalid",
             "error": f"{type(exc).__name__}: {exc}",
             "compile_seconds": time.perf_counter() - t0,
         }
@@ -118,10 +236,18 @@ class CompileService:
         max_workers: Default parallelism of :meth:`submit_batch`
             (default: the machine's CPU count).
         retries: How many times a batch re-dispatches jobs whose worker
-            process crashed before reporting them as errors.
-        default_timeout: Per-job wall-clock budget in seconds applied
-            when neither the job nor the batch call specifies one
-            (``None``: unlimited).
+            process crashed (or shipped a corrupt artefact) before
+            reporting them as ``crashed``.  Retries walk the router
+            fallback chain.
+        default_timeout: Per-job compute budget in seconds applied when
+            neither the job nor the batch call specifies one (``None``:
+            unlimited).  Measured from worker start, not from dispatch.
+        default_deadline: Cooperative routing deadline in seconds handed
+            to every job that does not override it (``None``: no
+            deadline).  Routers poll it and degrade through the fallback
+            chain instead of being killed.
+        fault_plan: A :class:`FaultPlan` injected into every batch
+            (testing/chaos runs; ``None``: no faults).
     """
 
     def __init__(
@@ -131,11 +257,15 @@ class CompileService:
         max_workers: int | None = None,
         retries: int = 1,
         default_timeout: float | None = None,
+        default_deadline: float | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.cache = CompileCache() if cache is _DEFAULT_CACHE else cache
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self.retries = int(retries)
         self.default_timeout = default_timeout
+        self.default_deadline = default_deadline
+        self.fault_plan = fault_plan
         self._counters: Counter = Counter()
         self._compile_seconds = 0.0
         self._queue_wait_seconds = 0.0
@@ -145,15 +275,32 @@ class CompileService:
     # ------------------------------------------------------------------
 
     def submit(self, job: CompileJob) -> JobResult:
-        """Compile one job in-process (cache first, then fresh)."""
+        """Compile one job in-process (cache first, then fresh).
+
+        Raises:
+            ValueError: when the service's fault plan contains ``crash``
+                or ``hang`` faults — those would kill or stall *this*
+                process; use :meth:`submit_batch`, which isolates them
+                in pool workers.
+        """
+        plan = self.fault_plan
+        if plan is not None and plan.has_action("crash", "hang"):
+            raise ValueError(
+                "crash/hang fault plans cannot run in-process; "
+                "use submit_batch"
+            )
         self._counters["jobs_submitted"] += 1
         key = job.key()
         hit = self._try_cache(job, key)
         if hit is not None:
             return hit
         dispatch_mono = time.monotonic()
+        payload = self._augment(
+            job.payload(), deadline=self.default_deadline,
+            batch_deadline=None, plan=plan,
+        )
         outcome = run_payload(
-            job.payload(),
+            payload,
             dispatch_mono=dispatch_mono,
             trace=current_tracer().enabled,
         )
@@ -170,6 +317,9 @@ class CompileService:
         max_workers: int | None = None,
         timeout: float | None = None,
         retries: int | None = None,
+        deadline: float | None = None,
+        batch_timeout: float | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> list[JobResult]:
         """Compile ``jobs``, fanning cache misses across worker processes.
 
@@ -177,20 +327,41 @@ class CompileService:
             jobs: The requests, in the order results are returned.
             max_workers: Parallelism for this batch (default: the
                 service's ``max_workers``; ``1`` runs in-process).
-            timeout: Per-job wall-clock budget in seconds, measured from
-                batch dispatch; a job's own ``timeout`` takes precedence.
-                Timed-out jobs report ``status == "timeout"`` (the
-                worker is abandoned, not interrupted).
+            timeout: Per-job **compute budget** in seconds, measured
+                from the instant the worker starts the job — queue wait
+                behind a full pool is free.  A job's own ``timeout``
+                takes precedence.  Timed-out jobs report
+                ``status == "timeout"`` (the worker is abandoned, not
+                interrupted).
             retries: Crash-retry budget for this batch (default: the
-                service's ``retries``).
+                service's ``retries``).  Retries walk the router
+                fallback chain, so a router that crashes its worker is
+                replaced by a cheaper one instead of crashing again.
+            deadline: Cooperative routing deadline in seconds per job
+                (default: the service's ``default_deadline``).  Routers
+                poll it and degrade through the fallback chain.
+            batch_timeout: Overall wall-clock bound on the whole batch,
+                measured from this call; when it expires, every
+                unfinished job reports ``status == "timeout"``.
+            fault_plan: Fault plan for this batch (default: the
+                service's plan).
 
         Returns:
             One :class:`JobResult` per job, positionally aligned with
-            the input regardless of completion order.
+            the input regardless of completion order.  Every result has
+            a terminal status — a batch never loses a job.
         """
         jobs = list(jobs)
         workers = self.max_workers if max_workers is None else max_workers
         budget = self.retries if retries is None else int(retries)
+        plan = self.fault_plan if fault_plan is None else fault_plan
+        job_deadline = (
+            self.default_deadline if deadline is None else deadline
+        )
+        batch_dl = (
+            Deadline.after(batch_timeout) if batch_timeout is not None
+            else None
+        )
         self._counters["jobs_submitted"] += len(jobs)
         self._counters["batches"] += 1
 
@@ -214,33 +385,48 @@ class CompileService:
 
         if pending:
             # Pool dispatch is only worth it with real parallelism, but
-            # timeouts can only be enforced from outside the worker, so
-            # any timed job forces the pool path — as does a crash/sleep
-            # test hook, which must never run in this process.
-            needs_pool = workers > 1 and (
-                len(pending) > 1
-                or timeout is not None
-                or self.default_timeout is not None
-                or any(jobs[i].timeout is not None for i in pending)
-                or any(
-                    "__test_hook__" in jobs[i].metadata for i in pending
+            # hard timeouts can only be enforced from outside the worker,
+            # so any timed job forces the pool path — as does a crash or
+            # hang fault (or the legacy test hook), which must never run
+            # in this process.
+            lethal = plan is not None and plan.has_action("crash", "hang")
+            needs_pool = lethal or (
+                workers > 1
+                and (
+                    len(pending) > 1
+                    or timeout is not None
+                    or self.default_timeout is not None
+                    or any(jobs[i].timeout is not None for i in pending)
+                    or any(
+                        "__test_hook__" in jobs[i].metadata for i in pending
+                    )
                 )
             )
             if not needs_pool:
                 trace = current_tracer().enabled
                 for i in pending:
+                    if batch_dl is not None and batch_dl.expired():
+                        self._counters["timeouts"] += 1
+                        results[i] = self._timeout_result(
+                            jobs[i], keys[i], None, 1,
+                            reason="batch deadline expired",
+                        )
+                        continue
                     dispatch_mono = time.monotonic()
+                    payload = self._augment(
+                        jobs[i].payload(), deadline=job_deadline,
+                        batch_deadline=batch_dl, plan=plan,
+                    )
                     outcome = run_payload(
-                        jobs[i].payload(),
-                        dispatch_mono=dispatch_mono,
-                        trace=trace,
+                        payload, dispatch_mono=dispatch_mono, trace=trace,
                     )
                     results[i] = self._finish(
                         jobs[i], keys[i], outcome, dispatch_mono, attempts=1
                     )
             else:
                 self._run_pool(
-                    jobs, keys, pending, results, workers, timeout, budget
+                    jobs, keys, pending, results, max(workers, 1), timeout,
+                    budget, job_deadline, batch_dl, plan,
                 )
 
         for i, src in duplicate_of.items():
@@ -270,144 +456,264 @@ class CompileService:
         workers: int,
         timeout: float | None,
         budget: int,
+        job_deadline: float | None,
+        batch_dl: Deadline | None,
+        plan: FaultPlan | None,
     ) -> None:
         """Dispatch ``pending`` job indices across a process pool.
 
         Each round uses a fresh pool; when the pool breaks (a worker
-        died), unfinished jobs are re-dispatched until the retry budget
-        runs out.  Pools are shut down without waiting so an abandoned
-        (timed-out) worker never stalls the batch.
+        died) or a worker ships a corrupt artefact, the affected jobs
+        are re-dispatched — with the next router of the fallback chain —
+        until the retry budget runs out.  Per-job budgets are measured
+        from the worker-start instants reported through a shared manager
+        dict, so queue wait never counts against a job's compute budget.
+        Pools are shut down without waiting when a worker was abandoned
+        mid-job, so a hung worker never stalls the batch.
         """
         attempts = {i: 0 for i in pending}
+        # How many failures are *attributable* to job i itself (it was
+        # alone in the pool that broke, or it shipped a corrupt
+        # artefact).  A job that was collateral damage of a pool-mate's
+        # crash is retried with its original router — degrading it would
+        # punish it for someone else's fault.
+        blamed = {i: 0 for i in pending}
+        last_error: dict[int, str] = {}
+        chains = {i: fallback_chain(jobs[i].config.router) for i in pending}
         remaining = set(pending)
         rounds_left = budget + 1
         isolate = False
         trace = current_tracer().enabled
-        while remaining and rounds_left > 0:
-            rounds_left -= 1
-            if max(attempts.values()) > 0:
-                self._counters["crash_retries"] += 1
-            if isolate:
-                # Recovery round: one single-worker pool per job, so a
-                # deterministic crasher can no longer take down the
-                # results of the jobs that happened to share its pool.
-                for i in sorted(remaining.copy()):
-                    attempts[i] += 1
-                    self._dispatch_one(
-                        jobs[i], keys[i], i, results, remaining,
-                        attempts[i], timeout,
-                    )
-                continue
-            pool = ProcessPoolExecutor(
-                max_workers=min(workers, len(remaining))
-            )
-            # One shared-epoch monotonic reading per future: the worker
-            # subtracts its own monotonic reading on the same system-wide
-            # clock, so queue waits survive NTP steps and suspends.
-            dispatched: dict[int, float] = {}
-            futures = {}
-            broken = False
-            abandoned = False
-            try:
-                for i in sorted(remaining):
-                    attempts[i] += 1
-                    dispatched[i] = time.monotonic()
-                    futures[i] = pool.submit(
-                        run_payload,
-                        jobs[i].payload(),
-                        dispatch_mono=dispatched[i],
-                        trace=trace,
-                    )
-            except BrokenProcessPool:
-                broken = True
-            for i in sorted(futures):
-                job_timeout = self._job_timeout(jobs[i], timeout)
-                try:
-                    # After a pool break, completed futures still hold
-                    # results; only never-run ones raise (instantly), so
-                    # keep harvesting instead of abandoning the round.
-                    if job_timeout is None and not broken:
-                        outcome = futures[i].result()
-                    else:
-                        left = (
-                            0.0
-                            if job_timeout is None
-                            else job_timeout
-                            - (time.monotonic() - dispatched[i])
+        manager = multiprocessing.Manager()
+        start_reports = manager.dict()
+        try:
+            while remaining and rounds_left > 0:
+                rounds_left -= 1
+                if batch_dl is not None and batch_dl.expired():
+                    break
+                if max(attempts.values()) > 0:
+                    self._counters["crash_retries"] += 1
+                pool_size = 1 if isolate else min(workers, len(remaining))
+                if isolate:
+                    # Recovery rounds: one single-worker pool per job, so
+                    # a deterministic crasher can no longer take down the
+                    # results of jobs that happened to share its pool.
+                    for i in sorted(remaining.copy()):
+                        if batch_dl is not None and batch_dl.expired():
+                            break
+                        pool = ProcessPoolExecutor(max_workers=1)
+                        self._pool_round(
+                            pool, [i], jobs, keys, results, remaining,
+                            attempts, blamed, last_error, chains, timeout,
+                            job_deadline, batch_dl, plan, start_reports,
+                            trace, 1,
                         )
-                        outcome = futures[i].result(timeout=max(0.0, left))
-                except _FutureTimeout:
-                    if broken:
-                        continue  # retry in the next round
-                    futures[i].cancel()
-                    abandoned = True
+                    continue
+                pool = ProcessPoolExecutor(max_workers=pool_size)
+                broken = self._pool_round(
+                    pool, sorted(remaining), jobs, keys, results, remaining,
+                    attempts, blamed, last_error, chains, timeout,
+                    job_deadline, batch_dl, plan, start_reports, trace,
+                    pool_size,
+                )
+                isolate = broken
+        finally:
+            try:
+                manager.shutdown()
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                pass
+        for i in sorted(remaining):
+            if batch_dl is not None and batch_dl.expired():
+                self._counters["timeouts"] += 1
+                results[i] = self._timeout_result(
+                    jobs[i], keys[i], None, max(attempts[i], 1),
+                    reason="batch deadline expired",
+                )
+                continue
+            self._counters["crash_failures"] += 1
+            message = last_error.get(
+                i, f"worker process crashed ({attempts[i]} attempts)"
+            )
+            results[i] = JobResult(
+                job_id=jobs[i].job_id,
+                key=keys[i],
+                status="crashed",
+                error=message,
+                attempts=attempts[i],
+                metadata=jobs[i].metadata,
+            )
+
+    def _pool_round(
+        self,
+        pool: ProcessPoolExecutor,
+        indices: list[int],
+        jobs: Sequence[CompileJob],
+        keys: Sequence[str],
+        results: list[JobResult | None],
+        remaining: set[int],
+        attempts: dict[int, int],
+        blamed: dict[int, int],
+        last_error: dict[int, str],
+        chains: dict[int, tuple[str, ...]],
+        timeout: float | None,
+        job_deadline: float | None,
+        batch_dl: Deadline | None,
+        plan: FaultPlan | None,
+        start_reports,
+        trace: bool,
+        pool_size: int,
+    ) -> bool:
+        """One dispatch-and-wait round over ``indices`` on ``pool``.
+
+        Returns True when the pool broke (a worker died), which sends
+        the caller into isolation rounds.  Jobs left in ``remaining``
+        afterwards are retry candidates.
+        """
+        futures: dict = {}
+        tokens: dict[int, str] = {}
+        dispatched: dict[int, float] = {}
+        broken = False
+        abandoned = 0
+        try:
+            for i in indices:
+                attempts[i] += 1
+                chain = chains[i]
+                # Walk the fallback chain one step per *attributed*
+                # failure; un-blamed retries keep the requested router.
+                router = chain[min(blamed[i], len(chain) - 1)]
+                override = router if router != chain[0] else None
+                if override is not None:
+                    self._counters["fallback_retries"] += 1
+                tokens[i] = f"{i}:{attempts[i]}"
+                dispatched[i] = time.monotonic()
+                payload = self._augment(
+                    jobs[i].payload(), deadline=job_deadline,
+                    batch_deadline=batch_dl, plan=plan,
+                    router_override=override,
+                )
+                futures[i] = pool.submit(
+                    run_payload,
+                    payload,
+                    dispatch_mono=dispatched[i],
+                    trace=trace,
+                    start_report=start_reports,
+                    start_token=tokens[i],
+                )
+        except BrokenProcessPool:
+            broken = True
+        outstanding = set(futures)
+        while outstanding:
+            progressed = False
+            now = time.monotonic()
+            for i in sorted(outstanding):
+                future = futures[i]
+                if future.done():
+                    outstanding.discard(i)
+                    progressed = True
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        if len(indices) == 1:
+                            blamed[i] += 1  # alone in the pool: its fault
+                        continue  # stays in remaining -> retried
+                    except Exception as exc:  # noqa: BLE001 — pool plumbing
+                        broken = True
+                        if len(indices) == 1:
+                            blamed[i] += 1
+                        last_error[i] = f"{type(exc).__name__}: {exc}"
+                        continue
+                    problem = self._artifact_problem(outcome)
+                    if problem is not None:
+                        # A corrupt artefact is a worker malfunction
+                        # attributable to this job: treat like a crash
+                        # (retry down the chain, never cache).
+                        self._counters["corrupt_artifacts"] += 1
+                        blamed[i] += 1
+                        last_error[i] = f"corrupt artifact: {problem}"
+                        continue
+                    results[i] = self._finish(
+                        jobs[i], keys[i], outcome, dispatched[i], attempts[i]
+                    )
+                    remaining.discard(i)
+                    continue
+                job_timeout = self._job_timeout(jobs[i], timeout)
+                started = start_reports.get(tokens[i])
+                if (
+                    job_timeout is not None
+                    and started is not None
+                    and now - started > job_timeout
+                ):
+                    # Compute budget exhausted (measured from worker
+                    # start).  The worker cannot be interrupted; abandon
+                    # it and let pool teardown skip the join.
+                    future.cancel()
+                    outstanding.discard(i)
+                    abandoned += 1
+                    progressed = True
                     self._counters["timeouts"] += 1
                     results[i] = self._timeout_result(
                         jobs[i], keys[i], job_timeout, attempts[i]
                     )
                     remaining.discard(i)
-                except BrokenProcessPool:
-                    broken = True
-                    continue
-                else:
-                    results[i] = self._finish(
-                        jobs[i], keys[i], outcome, dispatched[i], attempts[i]
-                    )
-                    remaining.discard(i)
-            # Join the pool threads when every worker is accounted for —
-            # tearing down without waiting is only needed when a worker
-            # was abandoned mid-job, and it races interpreter exit.
-            pool.shutdown(wait=not (abandoned or broken), cancel_futures=True)
-            isolate = broken
-        for i in sorted(remaining):
-            self._counters["crash_failures"] += 1
-            results[i] = JobResult(
-                job_id=jobs[i].job_id,
-                key=keys[i],
-                status="error",
-                error=f"worker process crashed ({attempts[i]} attempts)",
-                attempts=attempts[i],
-                metadata=jobs[i].metadata,
-            )
+            if batch_dl is not None and batch_dl.expired():
+                # Batch deadline: abandon everything still outstanding;
+                # the mop-up in _run_pool marks them timeout.
+                for i in sorted(outstanding):
+                    futures[i].cancel()
+                    abandoned += 1
+                outstanding.clear()
+                break
+            if abandoned >= pool_size and outstanding:
+                # Every live worker is occupied by an abandoned (hung)
+                # job; queued futures would never start.  Pull them back
+                # for the next round's fresh pool.
+                stalled = [
+                    i for i in sorted(outstanding)
+                    if start_reports.get(tokens[i]) is None
+                    and futures[i].cancel()
+                ]
+                for i in stalled:
+                    outstanding.discard(i)
+                    attempts[i] -= 1  # never ran: not a real attempt
+                    progressed = True
+                if not outstanding:
+                    break
+            if outstanding and not progressed:
+                time.sleep(_POLL_INTERVAL)
+        pool.shutdown(wait=not (abandoned or broken), cancel_futures=True)
+        return broken
 
-    def _dispatch_one(
+    @staticmethod
+    def _artifact_problem(outcome: dict) -> str | None:
+        if outcome.get("status") not in ("ok", "degraded"):
+            return None
+        return validate_artifact(outcome.get("artifact"))
+
+    def _augment(
         self,
-        job: CompileJob,
-        key: str,
-        index: int,
-        results: list[JobResult | None],
-        remaining: set[int],
-        attempts: int,
-        timeout: float | None,
-    ) -> None:
-        """Run one job in its own single-worker pool (recovery rounds)."""
-        pool = ProcessPoolExecutor(max_workers=1)
-        dispatch_mono = time.monotonic()
-        job_timeout = self._job_timeout(job, timeout)
-        abandoned = False
-        try:
-            future = pool.submit(
-                run_payload,
-                job.payload(),
-                dispatch_mono=dispatch_mono,
-                trace=current_tracer().enabled,
-            )
-            outcome = future.result(timeout=job_timeout)
-        except _FutureTimeout:
-            abandoned = True
-            self._counters["timeouts"] += 1
-            results[index] = self._timeout_result(
-                job, key, job_timeout, attempts
-            )
-            remaining.discard(index)
-        except BrokenProcessPool:
-            abandoned = True  # worker died; nothing left to join cleanly
-        else:
-            results[index] = self._finish(
-                job, key, outcome, dispatch_mono, attempts
-            )
-            remaining.discard(index)
-        pool.shutdown(wait=not abandoned, cancel_futures=True)
+        payload: dict,
+        *,
+        deadline: float | None,
+        batch_deadline: Deadline | None,
+        plan: FaultPlan | None,
+        router_override: str | None = None,
+    ) -> dict:
+        """Attach the resilience keys to a worker payload.
+
+        With no plan, no deadline and no override the payload is
+        returned untouched — byte-identical to the pre-resilience
+        engine's, which keeps clean-path artefacts stable.
+        """
+        if plan is not None:
+            payload["faults"] = plan.to_dict()
+        if deadline is not None:
+            payload["deadline_s"] = deadline
+        if batch_deadline is not None:
+            payload["batch_deadline"] = batch_deadline.to_dict()
+        if router_override is not None:
+            payload["router_override"] = router_override
+        return payload
 
     def _job_timeout(
         self, job: CompileJob, batch_timeout: float | None
@@ -419,13 +725,22 @@ class CompileService:
         return self.default_timeout
 
     def _timeout_result(
-        self, job: CompileJob, key: str, job_timeout: float | None, attempts: int
+        self,
+        job: CompileJob,
+        key: str,
+        job_timeout: float | None,
+        attempts: int,
+        *,
+        reason: str | None = None,
     ) -> JobResult:
+        message = reason or (
+            f"exceeded the {job_timeout}s compute budget"
+        )
         return JobResult(
             job_id=job.job_id,
             key=key,
             status="timeout",
-            error=f"exceeded the {job_timeout}s budget",
+            error=message,
             attempts=attempts,
             metadata=job.metadata,
         )
@@ -481,12 +796,16 @@ class CompileService:
             tracer.absorb(spans)
             for name, value in outcome.get("trace_counters", {}).items():
                 tracer.counter(name, value)
-        if outcome["status"] != "ok":
-            self._counters["errors"] += 1
+        status = outcome["status"]
+        if status not in ("ok", "degraded"):
+            if status == "timeout":
+                self._counters["timeouts"] += 1
+            else:
+                self._counters["errors"] += 1
             return JobResult(
                 job_id=job.job_id,
                 key=key,
-                status="error",
+                status=status,
                 error=outcome.get("error", "unknown failure"),
                 attempts=attempts,
                 metrics={
@@ -496,8 +815,32 @@ class CompileService:
                 metadata=job.metadata,
             )
         artifact = outcome["artifact"]
-        if self.cache is not None:
-            self.cache.put(key, artifact)
+        problem = validate_artifact(artifact)
+        if problem is not None:
+            # In-process path (the pool path screens before _finish):
+            # a corrupt artefact must never reach the cache or caller.
+            self._counters["corrupt_artifacts"] += 1
+            self._counters["errors"] += 1
+            return JobResult(
+                job_id=job.job_id,
+                key=key,
+                status="crashed",
+                error=f"corrupt artifact: {problem}",
+                attempts=attempts,
+                metrics={
+                    "queue_wait_s": round(queue_wait, 6),
+                    "compile_s": round(compile_s, 6),
+                },
+                metadata=job.metadata,
+            )
+        if status == "ok":
+            if self.cache is not None:
+                self.cache.put(key, artifact)
+        else:
+            # Degraded artefacts answer under a *different* configuration
+            # than the key commits to — caching one would serve fallback
+            # output to every future clean request.
+            self._counters["degraded"] += 1
         self._counters["fresh_compiles"] += 1
         self._compile_seconds += compile_s
         self._queue_wait_seconds += queue_wait
@@ -510,7 +853,7 @@ class CompileService:
         return JobResult(
             job_id=job.job_id,
             key=key,
-            status="ok",
+            status=status,
             artifact=artifact,
             attempts=attempts,
             metrics=metrics,
@@ -527,6 +870,7 @@ class CompileService:
                 "jobs_submitted", "batches", "cache_hits",
                 "batch_dedup_hits", "fresh_compiles", "errors",
                 "timeouts", "crash_retries", "crash_failures",
+                "degraded", "corrupt_artifacts", "fallback_retries",
             )
         }
         service["compile_seconds"] = round(self._compile_seconds, 6)

@@ -22,7 +22,10 @@ from ..qasm import QasmError
 from .artifact import artifact_to_result
 from .keys import canonical_qasm, compute_key, device_fingerprint
 
-__all__ = ["CompileJob", "JobResult"]
+__all__ = ["CompileJob", "JOB_STATUSES", "JobResult"]
+
+#: The terminal status taxonomy of a batch job (see :class:`JobResult`).
+JOB_STATUSES = ("ok", "degraded", "timeout", "crashed", "invalid")
 
 
 @dataclass
@@ -125,13 +128,27 @@ class JobResult:
     Attributes:
         job_id: Identifier of the originating job.
         key: The job's cache key.
-        status: ``"ok"``, ``"error"``, or ``"timeout"``.
+        status: The terminal outcome, one of :data:`JOB_STATUSES`:
+
+            * ``"ok"`` — compiled as requested; artefact present and
+              cached.
+            * ``"degraded"`` — compiled, but through the router fallback
+              chain (the requested router failed or timed out); artefact
+              present, carries a ``resilience`` record, and is **not**
+              cached under the clean key.
+            * ``"timeout"`` — the compute budget ran out (cooperative
+              :class:`~repro.resilience.deadline.DeadlineExceeded`, a
+              hard per-job budget, or the batch deadline).
+            * ``"crashed"`` — the worker process died, an injected fault
+              fired, or the artefact failed validation on every attempt.
+            * ``"invalid"`` — the request itself is bad (parse error,
+              unknown device/config field, …); retrying cannot help.
         cache_hit: ``"memory"``, ``"disk"``, ``"batch"`` (deduplicated
             against an identical job earlier in the same batch), or
             ``None`` for a fresh compile.
-        artifact: The serialised compilation result (``None`` unless
-            ``status == "ok"``).
-        error: One-line failure description for error/timeout results.
+        artifact: The serialised compilation result (``None`` unless the
+            job completed: ``status`` in ``("ok", "degraded")``).
+        error: One-line failure description for failed results.
         attempts: Number of compile attempts (>1 after crash retries).
         metrics: Per-job numbers: ``queue_wait_s``, ``compile_s``,
             ``total_s``, and the artefact's gate/depth metrics.
@@ -150,15 +167,21 @@ class JobResult:
 
     @property
     def ok(self) -> bool:
+        """Compiled exactly as requested (excludes degraded results)."""
         return self.status == "ok"
+
+    @property
+    def completed(self) -> bool:
+        """An artefact was produced (``ok`` or ``degraded``)."""
+        return self.status in ("ok", "degraded")
 
     def result(self) -> CompilationResult:
         """Rebuild the full :class:`CompilationResult`.
 
         Raises:
-            RuntimeError: when the job did not succeed.
+            RuntimeError: when the job produced no artefact.
         """
-        if not self.ok or self.artifact is None:
+        if not self.completed or self.artifact is None:
             raise RuntimeError(
                 f"job {self.job_id} has no artifact (status={self.status})"
             )

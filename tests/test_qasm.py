@@ -91,6 +91,14 @@ class TestParserBasics:
         circuit = parse_qasm("qreg q[2];\ncx\n q[0],\n q[1];")
         assert circuit.gates[0].name == "cnot"
 
+    def test_line_break_separates_tokens(self):
+        # Regression: the statement splitter used to drop line breaks,
+        # fusing a gate name ending one line with the operand opening
+        # the next ("h\nq[1];" parsed as the unknown gate "hq").
+        circuit = parse_qasm("qreg q[2];\nh\nq[1];")
+        assert [g.name for g in circuit.gates] == ["h"]
+        assert circuit.gates[0].qubits == (1,)
+
 
 class TestParserErrors:
     def test_unknown_gate(self):
@@ -120,6 +128,25 @@ class TestParserErrors:
     def test_error_carries_line_number(self):
         with pytest.raises(QasmError, match="line 3"):
             parse_qasm("qreg q[1];\nh q[0];\nbad q[0];")
+
+    def test_error_position_on_shared_line(self):
+        # Regression: the second statement of a shared line used to
+        # report a drifting position; it must point at its own start.
+        src = "OPENQASM 2.0;\nqreg q[2];\nh q[0]; zz q[1];"
+        with pytest.raises(QasmError) as excinfo:
+            parse_qasm(src)
+        err = excinfo.value
+        assert err.line == 3
+        assert err.column == 9
+        assert "line 3, col 9" in str(err)
+        assert err.message.startswith("unsupported gate")
+
+    def test_error_line_of_multiline_statement(self):
+        # A statement spanning lines is reported where it starts.
+        with pytest.raises(QasmError) as excinfo:
+            parse_qasm("qreg q[1];\nwarp\nq[0];")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 1
 
     def test_malformed_qreg(self):
         with pytest.raises(QasmError):

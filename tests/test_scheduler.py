@@ -104,3 +104,30 @@ class TestScheduleObject:
     def test_table_mentions_latency(self, s17):
         table = self._simple(s17).table()
         assert "latency" in table and "cycle" in table
+
+    def test_ordering_deterministic_under_item_permutation(self):
+        # Regression: the gate lists were ordered by start cycle only
+        # (circuit() by (start, qubits)), so items agreeing on those
+        # keys kept their incidental input order and the same schedule
+        # serialised differently depending on how it was built.  The
+        # explicit (start, qubits, name) tie-break makes the order a
+        # function of the schedule's content alone.
+        from itertools import permutations
+
+        from repro.core.gates import Gate
+
+        items = [
+            ScheduledGate(Gate("measure", (0,)), 0, 1),
+            ScheduledGate(Gate("x", (0,), condition=(0, 1)), 0, 1),
+            ScheduledGate(Gate("y", (1,)), 0, 1),
+        ]
+        reference = None
+        for perm in permutations(items):
+            schedule = Schedule(list(perm), 2)
+            fingerprint = (
+                [g.name for g in schedule.circuit()],
+                schedule.table(),
+            )
+            if reference is None:
+                reference = fingerprint
+            assert fingerprint == reference

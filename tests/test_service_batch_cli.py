@@ -62,6 +62,7 @@ class TestBatchManifest:
         assert report["summary"] == {
             "total": 5,
             "ok": 5,
+            "statuses": {"ok": 5},
             "seconds": report["summary"]["seconds"],
             "throughput": report["summary"]["throughput"],
         }
@@ -129,6 +130,69 @@ class TestBatchManifest:
         code, text = _run(["batch", str(path)])
         assert code == 0
         assert "1/1 ok" in text
+
+
+class TestBatchResilienceFlags:
+    def test_inline_fault_plan_degrades_but_exits_zero(self, manifest_dir):
+        # A raise-fault on every sabre routing attempt degrades those
+        # jobs to the fallback router; degraded counts as completed, so
+        # the exit code stays 0 and the summary breaks statuses down.
+        plan = json.dumps({
+            "faults": [{"stage": "routing", "action": "raise",
+                        "router": "sabre", "times": None}],
+        })
+        code, text = _run(
+            [
+                "batch",
+                str(manifest_dir / "manifest.json"),
+                "--jobs", "1",
+                "--faults", plan,
+            ]
+        )
+        assert code == 0
+        assert "degraded" in text
+        assert "5/5 ok" not in text
+
+    def test_fault_plan_file(self, manifest_dir):
+        path = manifest_dir / "plan.json"
+        path.write_text(json.dumps({
+            "faults": [{"stage": "routing", "action": "raise",
+                        "router": "sabre", "times": None}],
+        }))
+        code, text = _run(
+            [
+                "batch",
+                str(manifest_dir / "manifest.json"),
+                "--jobs", "1",
+                "--faults", str(path),
+            ]
+        )
+        assert code == 0
+        assert "degraded" in text
+
+    def test_bad_fault_plan_is_usage_error(self, manifest_dir, capsys):
+        code, _ = _run(
+            [
+                "batch",
+                str(manifest_dir / "manifest.json"),
+                "--faults", '{"faults": [{"stage": "x", "action": "bad"}]}',
+            ]
+        )
+        assert code == 2
+        assert "bad fault plan" in capsys.readouterr().err
+
+    def test_deadline_flag_accepted(self, manifest_dir):
+        # A generous deadline must not change outcomes; jobs stay ok.
+        code, text = _run(
+            [
+                "batch",
+                str(manifest_dir / "manifest.json"),
+                "--jobs", "1",
+                "--deadline", "30",
+            ]
+        )
+        assert code == 0
+        assert "5/5 ok" in text
 
 
 class TestBatchErrors:

@@ -54,7 +54,7 @@ class TestSubmit:
             config=PassConfig(),
         )
         res = service.submit(job)
-        assert res.status == "error" and not res.ok
+        assert res.status == "invalid" and not res.ok
         assert res.artifact is None and res.error
 
     def test_no_cache_service(self):
@@ -109,7 +109,7 @@ class TestSubmitBatch:
         )
         results = service.submit_batch([_job(job_id="good"), bad])
         assert results[0].ok
-        assert results[1].status == "error"
+        assert results[1].status == "invalid"
 
 
 class TestFaultTolerance:
@@ -122,17 +122,36 @@ class TestFaultTolerance:
         slow.timeout = 0.3
         res = service.submit_batch([slow])[0]
         assert res.status == "timeout" and not res.ok
-        assert "0.3s budget" in res.error
+        assert "0.3s compute budget" in res.error
 
     def test_crash_exhausts_retries(self):
         service = CompileService(CompileCache(), max_workers=2, retries=1)
         crasher = _job(job_id="crash")
         crasher.metadata["__test_hook__"] = "crash"
         res = service.submit_batch([crasher])[0]
-        assert res.status == "error"
+        assert res.status == "crashed"
         assert "crashed" in res.error
         assert res.attempts == 2
         assert service.stats()["service"]["crash_failures"] == 1
+
+    def test_compute_budget_measured_from_worker_start(self):
+        # Regression: per-job budgets used to be measured from batch
+        # dispatch, so jobs queued behind a full pool were billed for
+        # their queue wait.  Two workers, four ~0.5s jobs, 0.9s budget:
+        # with dispatch-measured budgets the second wave sits ~0.5s in
+        # the queue and times out spuriously; with worker-start budgets
+        # all four complete.
+        service = CompileService(CompileCache(), max_workers=2)
+        jobs = []
+        for s in range(4):
+            job = _job(seed=20 + s, job_id=f"w{s}")
+            job.metadata["__test_hook__"] = "sleep:0.5"
+            job.timeout = 0.9
+            jobs.append(job)
+        results = service.submit_batch(jobs)
+        assert all(r.ok for r in results), [
+            (r.job_id, r.status, r.error) for r in results
+        ]
 
     def test_crash_does_not_starve_other_jobs(self):
         service = CompileService(CompileCache(), max_workers=2, retries=1)
@@ -141,7 +160,7 @@ class TestFaultTolerance:
         good = _job(seed=5, job_id="good")
         results = service.submit_batch([crasher, good])
         by_id = {r.job_id: r for r in results}
-        assert by_id["crash"].status == "error"
+        assert by_id["crash"].status == "crashed"
         assert by_id["good"].ok
 
 

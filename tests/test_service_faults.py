@@ -1,0 +1,220 @@
+"""End-to-end fault injection through the compile service.
+
+The acceptance scenario of the resilience layer: seeded fault plans
+(crash / hang / raise / corrupt) cross the process boundary into pool
+workers, every job still ends in exactly one terminal status, poisoned
+jobs never starve or corrupt their batch-mates, and nothing degraded or
+corrupt ever reaches the cache.
+"""
+
+import pytest
+
+from repro.core.pipeline import PassConfig
+from repro.devices import get_device
+from repro.qasm import to_openqasm
+from repro.resilience import FaultPlan, FaultSpec
+from repro.service import CompileCache, CompileJob, CompileService
+from repro.service.jobs import JOB_STATUSES
+from repro.workloads import random_circuit
+
+
+def _job(seed=1, router="sabre", **kwargs):
+    qasm = to_openqasm(
+        random_circuit(5, 12, seed=seed, two_qubit_fraction=0.6)
+    )
+    return CompileJob.create(
+        qasm, get_device("ibm_qx4"), PassConfig(router=router), **kwargs
+    )
+
+
+class TestLethalPlansNeedPool:
+    def test_submit_rejects_crash_plan(self):
+        plan = FaultPlan(specs=(FaultSpec(stage="worker", action="crash"),))
+        service = CompileService(CompileCache(), fault_plan=plan)
+        with pytest.raises(ValueError, match="submit_batch"):
+            service.submit(_job())
+
+    def test_submit_rejects_hang_plan(self):
+        plan = FaultPlan(specs=(FaultSpec(stage="worker", action="hang"),))
+        service = CompileService(CompileCache(), fault_plan=plan)
+        with pytest.raises(ValueError, match="submit_batch"):
+            service.submit(_job())
+
+    def test_submit_allows_raise_plan(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="routing", action="raise", router="sabre"),
+        ))
+        service = CompileService(CompileCache(), fault_plan=plan)
+        res = service.submit(_job())
+        assert res.status == "degraded"
+
+
+class TestDegradedResults:
+    def test_routing_fault_degrades_in_process(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="routing", action="raise", router="sabre"),
+        ))
+        service = CompileService(CompileCache(), fault_plan=plan)
+        res = service.submit(_job(job_id="deg"))
+        assert res.status == "degraded"
+        assert res.completed and not res.ok
+        info = res.artifact["resilience"]
+        assert info["degraded"] is True
+        assert info["fallback_path"] == ["sabre", "naive"]
+
+    def test_degraded_artifact_never_cached(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="routing", action="raise", router="sabre"),
+        ))
+        cache = CompileCache()
+        service = CompileService(cache, fault_plan=plan)
+        job = _job(job_id="deg")
+        res = service.submit(job)
+        assert res.status == "degraded"
+        artifact, tier = cache.lookup(job.key())
+        assert artifact is None and tier is None
+        assert service.stats()["service"]["degraded"] == 1
+        # A later clean submit compiles fresh and caches normally.
+        clean = CompileService(cache)
+        res2 = clean.submit(_job(job_id="clean"))
+        assert res2.ok and res2.cache_hit is None
+        assert "resilience" not in res2.artifact
+        assert cache.lookup(job.key())[0] is not None
+
+    def test_job_id_scoped_fault_spares_batch_mates(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="routing", action="raise",
+                      router="sabre", job_id="victim"),
+        ))
+        service = CompileService(CompileCache())
+        jobs = [
+            _job(seed=1, job_id="victim"),
+            _job(seed=2, job_id="ok1"),
+            _job(seed=3, job_id="ok2"),
+        ]
+        results = service.submit_batch(jobs, fault_plan=plan)
+        by_id = {r.job_id: r for r in results}
+        assert by_id["victim"].status == "degraded"
+        assert by_id["ok1"].ok and by_id["ok2"].ok
+        assert "resilience" not in by_id["ok1"].artifact
+
+
+class TestCorruptArtifacts:
+    def _plan(self, job_id=None):
+        return FaultPlan(specs=(
+            FaultSpec(stage="artifact", action="corrupt", job_id=job_id),
+        ))
+
+    def test_in_process_corruption_detected(self):
+        cache = CompileCache()
+        service = CompileService(cache, fault_plan=self._plan())
+        job = _job(job_id="bad")
+        res = service.submit(job)
+        assert res.status == "crashed"
+        assert "corrupt artifact" in res.error
+        assert res.artifact is None
+        assert cache.lookup(job.key())[0] is None
+        assert service.stats()["service"]["corrupt_artifacts"] == 1
+
+    def test_pool_corruption_retried_then_terminal(self):
+        # The corrupt fault fires on every attempt (fresh per-job
+        # injector), so retries are exhausted and the job ends crashed;
+        # clean batch-mates are untouched.
+        cache = CompileCache()
+        service = CompileService(cache, max_workers=2, retries=1)
+        jobs = [_job(seed=1, job_id="bad"), _job(seed=2, job_id="good")]
+        results = service.submit_batch(
+            jobs, fault_plan=self._plan(job_id="bad")
+        )
+        by_id = {r.job_id: r for r in results}
+        assert by_id["bad"].status == "crashed"
+        assert "corrupt artifact" in by_id["bad"].error
+        assert by_id["good"].ok
+        assert cache.lookup(jobs[0].key())[0] is None
+        assert cache.lookup(jobs[1].key())[0] is not None
+        assert service.stats()["service"]["corrupt_artifacts"] >= 2
+
+
+class TestCrashAndHang:
+    def test_crash_fault_kills_worker_and_walks_fallback(self):
+        # The crash fires only for the sabre attempt, so the fallback
+        # retry (naive) survives and the job degrades instead of dying.
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="routing", action="crash",
+                      router="sabre", times=None),
+        ))
+        service = CompileService(CompileCache(), max_workers=2, retries=2)
+        res = service.submit_batch(
+            [_job(job_id="crashy")], fault_plan=plan
+        )[0]
+        assert res.status == "degraded"
+        info = res.artifact["resilience"]
+        assert info["requested_router"] == "sabre"
+        assert info["router_used"] == "naive"
+        assert res.attempts >= 2
+        assert service.stats()["service"]["fallback_retries"] >= 1
+
+    def test_hang_fault_times_out(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="worker", action="hang",
+                      delay=10.0, times=None),
+        ))
+        service = CompileService(CompileCache(), max_workers=2)
+        res = service.submit_batch(
+            [_job(job_id="stuck")], timeout=0.5, fault_plan=plan
+        )[0]
+        assert res.status == "timeout"
+        assert "compute budget" in res.error
+
+    def test_batch_timeout_bounds_hung_batch(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="worker", action="hang",
+                      delay=10.0, job_id="stuck", times=None),
+        ))
+        service = CompileService(CompileCache(), max_workers=2)
+        results = service.submit_batch(
+            [_job(seed=1, job_id="stuck"), _job(seed=2, job_id="fine")],
+            batch_timeout=2.5, fault_plan=plan,
+        )
+        by_id = {r.job_id: r for r in results}
+        assert by_id["stuck"].status == "timeout"
+        assert "batch deadline" in by_id["stuck"].error
+        assert by_id["fine"].ok
+
+    def test_twenty_jobs_one_crash_one_hang_all_terminal(self):
+        # The headline acceptance scenario: a 20-job batch with one
+        # deterministic crasher and one hanger returns 20 terminal
+        # statuses in input order — the pool never deadlocks and no job
+        # is lost or reported twice.
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="worker", action="crash",
+                      job_id="j3", times=None),
+            FaultSpec(stage="worker", action="hang",
+                      job_id="j7", delay=20.0, times=None),
+        ))
+        service = CompileService(CompileCache(), max_workers=4, retries=2)
+        jobs = [_job(seed=s, job_id=f"j{s}") for s in range(20)]
+        results = service.submit_batch(jobs, timeout=2.0, fault_plan=plan)
+
+        assert [r.job_id for r in results] == [f"j{s}" for s in range(20)]
+        assert all(r.status in JOB_STATUSES for r in results)
+        by_id = {r.job_id: r for r in results}
+        assert by_id["j3"].status == "crashed"
+        assert by_id["j7"].status == "timeout"
+        healthy = [r for r in results if r.job_id not in ("j3", "j7")]
+        assert all(r.ok for r in healthy), [
+            (r.job_id, r.status, r.error) for r in healthy
+        ]
+
+    def test_clean_payloads_not_augmented(self):
+        # Byte-stability: without a plan, deadline, or override the
+        # worker payload is exactly the job's own — resilience must be
+        # invisible when unused.
+        service = CompileService(CompileCache())
+        job = _job(seed=4)
+        augmented = service._augment(
+            job.payload(), deadline=None, batch_deadline=None, plan=None,
+        )
+        assert augmented == job.payload()
+        res = service.submit(_job(seed=4))
+        assert "resilience" not in res.artifact
