@@ -710,6 +710,7 @@ def _cmd_batch(args, out) -> int:
         if status != "ok"
     )
     stats = service.stats()
+    service.close()
     print(
         f"\n{n_ok}/{n} ok"
         + (f" ({breakdown})" if breakdown else "")

@@ -25,7 +25,7 @@ import tempfile
 
 from .base import RoutingError
 
-__all__ = ["solve_layer_native"]
+__all__ = ["kernel_stats", "solve_layer_native", "warm_kernel"]
 
 _SOURCE = os.path.join(os.path.dirname(__file__), "_astar_kernel.c")
 
@@ -33,11 +33,19 @@ _SOURCE = os.path.join(os.path.dirname(__file__), "_astar_kernel.c")
 _lib = None
 _lib_resolved = False
 
+#: How many times this process ran the expensive build/load path (the
+#: compile-or-dlopen in :func:`_build_library`, past the opt-out check).
+#: Warm-pool workers report this so tests can assert the kernel is
+#: built at most once per worker lifetime, never once per job.
+_build_calls = 0
+
 
 def _build_library():
     """Compile and load the kernel; return a CDLL or None."""
+    global _build_calls
     if os.environ.get("REPRO_NO_NATIVE"):
         return None
+    _build_calls += 1
     compiler = (
         os.environ.get("CC")
         or shutil.which("cc")
@@ -93,6 +101,30 @@ def _get_lib():
         _lib = _build_library()
         _lib_resolved = True
     return _lib
+
+
+def warm_kernel() -> bool:
+    """Resolve (compile/load) the kernel now; True when it is usable.
+
+    Warm-pool workers call this once from their initializer so the
+    build cost is paid at worker start, never on a job's critical path.
+    Honours ``REPRO_NO_NATIVE`` like every other entry point.
+    """
+    return _get_lib() is not None
+
+
+def kernel_stats() -> dict:
+    """Build/load bookkeeping of this process, for pool introspection.
+
+    ``build_calls`` counts trips through the expensive build-or-dlopen
+    path; ``resolved`` says the tri-state was settled (either way);
+    ``available`` says the native kernel is loaded and usable.
+    """
+    return {
+        "resolved": _lib_resolved,
+        "available": _lib is not None,
+        "build_calls": _build_calls,
+    }
 
 
 _MAX_SEQUENCE = 4096

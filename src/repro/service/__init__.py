@@ -14,7 +14,9 @@ circuit/device pairs.  This package wraps the Fig. 2 pipeline
 * :mod:`repro.service.jobs` — the :class:`CompileJob` /
   :class:`JobResult` API;
 * :mod:`repro.service.engine` — :class:`CompileService` with
-  ``submit``, parallel ``submit_batch``, and ``stats``.
+  ``submit``, parallel ``submit_batch``, and ``stats``;
+* :mod:`repro.service.pool` — the persistent :class:`WarmPool` of
+  preloaded compile workers behind ``submit_batch``.
 
 The ``repro batch`` CLI command and
 :mod:`repro.perf.service_bench` build on this package; see
@@ -26,12 +28,14 @@ from .cache import CompileCache
 from .engine import CompileService
 from .jobs import CompileJob, JobResult
 from .keys import canonical_qasm, compute_key, device_fingerprint
+from .pool import WarmPool
 
 __all__ = [
     "CompileCache",
     "CompileJob",
     "CompileService",
     "JobResult",
+    "WarmPool",
     "artifact_to_result",
     "canonical_qasm",
     "compute_key",

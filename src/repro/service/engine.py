@@ -5,9 +5,10 @@ into a servable engine:
 
 * :meth:`CompileService.submit` — one job, in-process, through the
   content-addressed cache;
-* :meth:`CompileService.submit_batch` — a list of jobs fanned across a
-  ``ProcessPoolExecutor`` with per-job compute budgets, an overall batch
-  deadline, bounded retry-with-fallback when a worker process dies,
+* :meth:`CompileService.submit_batch` — a list of jobs fanned across
+  the service's warm worker pool with per-job compute budgets, an
+  overall batch deadline, bounded retry-with-fallback when a worker
+  process dies,
   in-batch deduplication of identical requests, and **deterministic
   result ordering** (results[i] always corresponds to jobs[i], whatever
   order the workers finish in);
@@ -19,16 +20,29 @@ return plain-dict outcomes, so nothing un-picklable ever crosses the
 process boundary; the parent owns the cache, so a batch warms it for
 every later request regardless of which worker compiled what.
 
+Parallel batches run on a **persistent warm worker pool**
+(:class:`repro.service.pool.WarmPool`): workers are forked once per
+service, preload the device library and the native A* kernel in their
+initializer, and are reused across batches and retry rounds.  Jobs are
+dispatched in chunks; each worker streams ``start``/``done`` events back
+over its own lightweight channel (there is no per-batch
+``multiprocessing.Manager`` process any more).
+
 Resilience (see ``docs/resilience.md``): every job ends in exactly one
 of the terminal statuses ``ok | degraded | timeout | crashed | invalid``
 (:data:`repro.service.jobs.JOB_STATUSES`) — a batch never loses a job.
 Per-job budgets are **compute budgets measured from worker start** (the
-worker reports its start instant through a shared manager dict), not
-from batch dispatch, so jobs queued behind a full pool are not billed
-for their queue wait.  A separate ``batch_timeout`` bounds the whole
-batch.  Crashed workers are retried down the router fallback chain
-(:func:`repro.core.pipeline.fallback_chain`) instead of blindly, and
-worker-shipped artefacts are validated
+worker posts its start instant on the pool's event channel), not from
+batch dispatch, so jobs queued behind a full pool are not billed for
+their queue wait.  A separate ``batch_timeout`` bounds the whole batch.
+A worker that crashes or is abandoned on a hang is recycled alone —
+surviving warm workers keep their preloaded state.  Crashed jobs are
+retried down the router fallback chain
+(:func:`repro.core.pipeline.fallback_chain`) instead of blindly: the
+pool reports which job the dead worker was actually running, so only
+that job is blamed (and degraded on retry) while chunk-mates that never
+started are re-queued with their original router at no attempt cost.
+Worker-shipped artefacts are validated
 (:func:`repro.service.artifact.validate_artifact`) before they can reach
 the cache.  Only clean ``ok`` artefacts are ever cached — a degraded
 compile must not impersonate the requested configuration.
@@ -36,12 +50,9 @@ compile must not impersonate the requested configuration.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
-from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+from collections import Counter, deque
 from contextlib import nullcontext
 from typing import Iterable, Sequence
 
@@ -60,11 +71,15 @@ from ..resilience.faults import (
 from .artifact import artifact_metrics, result_to_artifact, validate_artifact
 from .cache import CompileCache
 from .jobs import CompileJob, JobResult
+from .pool import WarmPool
 
 __all__ = ["CompileService", "run_payload"]
 
 #: Parent-side poll interval of the batch wait loop, seconds.
 _POLL_INTERVAL = 0.02
+
+#: Upper bound on dispatch chunk size (load balance beats IPC savings).
+_MAX_CHUNK = 8
 
 
 def run_payload(
@@ -72,12 +87,10 @@ def run_payload(
     *,
     dispatch_mono: float | None = None,
     trace: bool = False,
-    start_report=None,
-    start_token: str | None = None,
 ) -> dict:
     """Compile one job payload; always returns, never raises.
 
-    Module-level so :class:`ProcessPoolExecutor` can pickle it.  The
+    Module-level so pool workers can import it by name.  The
     ``__test_hook__`` metadata key is an internal testing aid: ``crash``
     kills the worker process (exercising the retry path) and
     ``sleep:<seconds>`` delays the compile (exercising timeouts).
@@ -108,18 +121,8 @@ def run_payload(
         trace: Record pass-level spans for this compile and ship them
             back in the outcome's ``spans`` list for the parent tracer
             to absorb.
-        start_report: Optional shared mapping (a manager dict proxy);
-            the worker stores its start instant under ``start_token``
-            before doing anything else, so the parent can measure the
-            compute budget from worker start rather than from dispatch.
-        start_token: Key for the ``start_report`` write.
     """
     started_mono = time.monotonic()
-    if start_report is not None and start_token is not None:
-        try:
-            start_report[start_token] = started_mono
-        except Exception:  # noqa: BLE001 — manager gone: batch abandoned us
-            pass
     hook = payload.get("metadata", {}).get("__test_hook__", "")
     if hook == "crash":
         os._exit(13)
@@ -248,6 +251,15 @@ class CompileService:
             chain instead of being killed.
         fault_plan: A :class:`FaultPlan` injected into every batch
             (testing/chaos runs; ``None``: no faults).
+        preload_native: Have pool workers resolve the native A* kernel
+            in their initializer (default on; moot under
+            ``REPRO_NO_NATIVE``).
+
+    The service owns one :class:`~repro.service.pool.WarmPool`, created
+    lazily on the first pooled batch and reused for every batch after
+    it.  Call :meth:`close` (or use the service as a context manager)
+    to stop the workers; an unclosed service's pool is torn down by a
+    GC finalizer, and the workers are daemonic either way.
     """
 
     def __init__(
@@ -259,6 +271,7 @@ class CompileService:
         default_timeout: float | None = None,
         default_deadline: float | None = None,
         fault_plan: FaultPlan | None = None,
+        preload_native: bool = True,
     ) -> None:
         self.cache = CompileCache() if cache is _DEFAULT_CACHE else cache
         self.max_workers = max_workers or (os.cpu_count() or 1)
@@ -266,9 +279,50 @@ class CompileService:
         self.default_timeout = default_timeout
         self.default_deadline = default_deadline
         self.fault_plan = fault_plan
+        self.preload_native = preload_native
+        self._pool: WarmPool | None = None
         self._counters: Counter = Counter()
         self._compile_seconds = 0.0
         self._queue_wait_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> WarmPool:
+        if self._pool is None or self._pool.closed:
+            self._pool = WarmPool(preload_native=self.preload_native)
+            self._counters["pools_created"] += 1
+        else:
+            self._counters["pool_reuse_batches"] += 1
+        return self._pool
+
+    def prewarm(self, workers: int | None = None, *,
+                timeout: float = 60.0) -> list[dict]:
+        """Spawn the worker pool now and wait until every worker is ready.
+
+        Separates one-time pool start-up (fork + device-library import +
+        native-kernel resolve) from steady-state dispatch, e.g. before a
+        timed benchmark phase or ahead of expected traffic.  Returns the
+        workers' preload reports.
+        """
+        pool = self._ensure_pool()
+        with trace_span("pool.prewarm", pass_="pool"):
+            pool.ensure(workers or self.max_workers)
+            return pool.wait_ready(timeout)
+
+    def close(self) -> None:
+        """Shut the warm pool down.  The service stays usable; the next
+        pooled batch starts a fresh pool."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Single submit
@@ -384,23 +438,21 @@ class CompileService:
                 pending.append(i)
 
         if pending:
-            # Pool dispatch is only worth it with real parallelism, but
-            # hard timeouts can only be enforced from outside the worker,
-            # so any timed job forces the pool path — as does a crash or
-            # hang fault (or the legacy test hook), which must never run
-            # in this process.
+            # Pool placement: crash/hang fault plans (and the legacy
+            # test hooks that simulate them) must never run in this
+            # process, and real parallelism needs more than one pending
+            # job.  A single-job batch runs inline — spawning a worker
+            # for it buys nothing — with any hard timeout applied as a
+            # *cooperative* deadline (the compile degrades through the
+            # fallback chain instead of being abandoned; only a pool can
+            # kill a truly hung worker, and hangs come from lethal
+            # plans/hooks, which still force the pool).
             lethal = plan is not None and plan.has_action("crash", "hang")
+            hooks = any(
+                "__test_hook__" in jobs[i].metadata for i in pending
+            )
             needs_pool = lethal or (
-                workers > 1
-                and (
-                    len(pending) > 1
-                    or timeout is not None
-                    or self.default_timeout is not None
-                    or any(jobs[i].timeout is not None for i in pending)
-                    or any(
-                        "__test_hook__" in jobs[i].metadata for i in pending
-                    )
-                )
+                workers > 1 and (hooks or len(pending) > 1)
             )
             if not needs_pool:
                 trace = current_tracer().enabled
@@ -412,9 +464,16 @@ class CompileService:
                             reason="batch deadline expired",
                         )
                         continue
+                    inline_deadline = job_deadline
+                    hard = self._job_timeout(jobs[i], timeout)
+                    if hard is not None:
+                        inline_deadline = (
+                            hard if inline_deadline is None
+                            else min(inline_deadline, hard)
+                        )
                     dispatch_mono = time.monotonic()
                     payload = self._augment(
-                        jobs[i].payload(), deadline=job_deadline,
+                        jobs[i].payload(), deadline=inline_deadline,
                         batch_deadline=batch_dl, plan=plan,
                     )
                     outcome = run_payload(
@@ -460,68 +519,164 @@ class CompileService:
         batch_dl: Deadline | None,
         plan: FaultPlan | None,
     ) -> None:
-        """Dispatch ``pending`` job indices across a process pool.
+        """Dispatch ``pending`` job indices across the warm worker pool.
 
-        Each round uses a fresh pool; when the pool breaks (a worker
-        died) or a worker ships a corrupt artefact, the affected jobs
-        are re-dispatched — with the next router of the fallback chain —
-        until the retry budget runs out.  Per-job budgets are measured
-        from the worker-start instants reported through a shared manager
-        dict, so queue wait never counts against a job's compute budget.
-        Pools are shut down without waiting when a worker was abandoned
-        mid-job, so a hung worker never stalls the batch.
+        Jobs go out in chunks to idle workers; per-job budgets are
+        measured from the ``start`` events workers post on the pool's
+        event channel, so queue wait never counts against a job's
+        compute budget.  A dead worker is recycled alone: the job it was
+        running is blamed (retried down the router fallback chain, up to
+        ``budget`` extra attempts), its never-started chunk-mates are
+        re-queued with their original router at no attempt cost, and
+        every other warm worker keeps running.  A job abandoned on a
+        hard timeout takes its worker with it — a hung process can never
+        stall the batch or poison the pool.
         """
+        pool = self._ensure_pool()
         attempts = {i: 0 for i in pending}
-        # How many failures are *attributable* to job i itself (it was
-        # alone in the pool that broke, or it shipped a corrupt
-        # artefact).  A job that was collateral damage of a pool-mate's
+        # How many failures are *attributable* to job i itself (the
+        # worker died while running it, or it shipped a corrupt
+        # artefact).  A job that was collateral damage of a chunk-mate's
         # crash is retried with its original router — degrading it would
         # punish it for someone else's fault.
         blamed = {i: 0 for i in pending}
         last_error: dict[int, str] = {}
         chains = {i: fallback_chain(jobs[i].config.router) for i in pending}
         remaining = set(pending)
-        rounds_left = budget + 1
-        isolate = False
         trace = current_tracer().enabled
-        manager = multiprocessing.Manager()
-        start_reports = manager.dict()
-        try:
-            while remaining and rounds_left > 0:
-                rounds_left -= 1
-                if batch_dl is not None and batch_dl.expired():
-                    break
-                if max(attempts.values()) > 0:
-                    self._counters["crash_retries"] += 1
-                pool_size = 1 if isolate else min(workers, len(remaining))
-                if isolate:
-                    # Recovery rounds: one single-worker pool per job, so
-                    # a deterministic crasher can no longer take down the
-                    # results of jobs that happened to share its pool.
-                    for i in sorted(remaining.copy()):
-                        if batch_dl is not None and batch_dl.expired():
-                            break
-                        pool = ProcessPoolExecutor(max_workers=1)
-                        self._pool_round(
-                            pool, [i], jobs, keys, results, remaining,
-                            attempts, blamed, last_error, chains, timeout,
-                            job_deadline, batch_dl, plan, start_reports,
-                            trace, 1,
-                        )
+
+        queue: deque[int] = deque(sorted(pending))
+        token_job: dict[str, int] = {}
+        token_dispatch: dict[str, float] = {}
+        started_at: dict[str, float] = {}
+        active: dict[str, int] = {}  # token -> worker id
+
+        def requeue_blamed(i: int, message: str) -> None:
+            blamed[i] += 1
+            last_error[i] = message
+            if attempts[i] <= budget:
+                self._counters["crash_retries"] += 1
+                queue.append(i)
+            # else: stays in remaining -> mop-up reports it crashed
+
+        def requeue_collateral(tokens: list[str]) -> None:
+            for token in tokens:
+                if active.pop(token, None) is None:
                     continue
-                pool = ProcessPoolExecutor(max_workers=pool_size)
-                broken = self._pool_round(
-                    pool, sorted(remaining), jobs, keys, results, remaining,
-                    attempts, blamed, last_error, chains, timeout,
-                    job_deadline, batch_dl, plan, start_reports, trace,
-                    pool_size,
+                i = token_job[token]
+                if i not in remaining:
+                    continue
+                attempts[i] -= 1  # never ran: not a real attempt
+                queue.append(i)
+
+        while queue or active:
+            if batch_dl is not None and batch_dl.expired():
+                # Batch deadline: abandon everything still in flight and
+                # recycle the busy workers (an abandoned worker can't be
+                # handed new jobs); the mop-up below marks every
+                # remaining job timeout.
+                for wid in set(active.values()):
+                    pool.discard_worker(wid)
+                active.clear()
+                queue.clear()
+                break
+            if queue:
+                busy = len(set(active.values()))
+                idle = pool.idle_workers()
+                want = min(workers, busy + len(queue))
+                if busy + len(idle) < want:
+                    with trace_span(
+                        "pool.spawn", pass_="pool",
+                        n=want - busy - len(idle),
+                    ):
+                        pool.ensure(want)
+                    idle = pool.idle_workers()
+                for wid in idle:
+                    if not queue or busy >= workers:
+                        break
+                    chunk = self._build_chunk(
+                        queue, len(pool.alive_workers()), jobs, attempts,
+                        blamed, chains, job_deadline, batch_dl, plan,
+                        token_job, token_dispatch,
+                    )
+                    with trace_span(
+                        "pool.dispatch", pass_="pool",
+                        worker=wid, jobs=len(chunk),
+                    ):
+                        pool.submit_chunk(wid, chunk, trace)
+                    for token, _, _ in chunk:
+                        active[token] = wid
+                    busy += 1
+
+            for evt in pool.poll(_POLL_INTERVAL):
+                kind = evt[0]
+                if kind == "start":
+                    started_at[evt[2]] = evt[3]
+                elif kind == "done":
+                    _, wid, token, outcome = evt
+                    i = token_job.get(token)
+                    if i is None or token not in active:
+                        continue  # stale (job already timed out)
+                    del active[token]
+                    if i not in remaining:
+                        continue
+                    problem = self._artifact_problem(outcome)
+                    if problem is not None:
+                        # A corrupt artefact is a worker malfunction
+                        # attributable to this job: treat like a crash
+                        # (retry down the chain, never cache).
+                        self._counters["corrupt_artifacts"] += 1
+                        requeue_blamed(i, f"corrupt artifact: {problem}")
+                        continue
+                    results[i] = self._finish(
+                        jobs[i], keys[i], outcome,
+                        token_dispatch[token], attempts[i],
+                    )
+                    remaining.discard(i)
+                elif kind == "exit":
+                    _, wid, exitcode, current, never_started = evt
+                    if current is None and never_started:
+                        # The start event was lost with the worker;
+                        # chunks run in order, so the head of its queue
+                        # is the job that was (about to be) running.
+                        current = never_started[0]
+                        never_started = never_started[1:]
+                    if current is not None and active.pop(
+                        current, None
+                    ) is not None:
+                        i = token_job[current]
+                        if i in remaining:
+                            requeue_blamed(
+                                i,
+                                "worker process crashed "
+                                f"(exit code {exitcode})",
+                            )
+                    requeue_collateral(list(never_started))
+
+            # Hard compute budgets, measured from worker start.
+            now = time.monotonic()
+            for token, wid in list(active.items()):
+                i = token_job[token]
+                job_timeout = self._job_timeout(jobs[i], timeout)
+                started = started_at.get(token)
+                if (
+                    job_timeout is None
+                    or started is None
+                    or now - started <= job_timeout
+                ):
+                    continue
+                # Budget exhausted.  The worker cannot be interrupted:
+                # abandon the job and recycle that one worker; its
+                # unstarted chunk-mates go back in the queue for free.
+                _, never_started = pool.discard_worker(wid)
+                del active[token]
+                self._counters["timeouts"] += 1
+                results[i] = self._timeout_result(
+                    jobs[i], keys[i], job_timeout, attempts[i]
                 )
-                isolate = broken
-        finally:
-            try:
-                manager.shutdown()
-            except Exception:  # noqa: BLE001 — best-effort teardown
-                pass
+                remaining.discard(i)
+                requeue_collateral(list(never_started))
+
         for i in sorted(remaining):
             if batch_dl is not None and batch_dl.expired():
                 self._counters["timeouts"] += 1
@@ -543,146 +698,51 @@ class CompileService:
                 metadata=jobs[i].metadata,
             )
 
-    def _pool_round(
+    def _build_chunk(
         self,
-        pool: ProcessPoolExecutor,
-        indices: list[int],
+        queue: deque,
+        n_workers: int,
         jobs: Sequence[CompileJob],
-        keys: Sequence[str],
-        results: list[JobResult | None],
-        remaining: set[int],
         attempts: dict[int, int],
         blamed: dict[int, int],
-        last_error: dict[int, str],
         chains: dict[int, tuple[str, ...]],
-        timeout: float | None,
         job_deadline: float | None,
         batch_dl: Deadline | None,
         plan: FaultPlan | None,
-        start_reports,
-        trace: bool,
-        pool_size: int,
-    ) -> bool:
-        """One dispatch-and-wait round over ``indices`` on ``pool``.
+        token_job: dict[str, int],
+        token_dispatch: dict[str, float],
+    ) -> list[tuple[str, dict, float]]:
+        """Pop the next dispatch chunk off ``queue`` and build payloads.
 
-        Returns True when the pool broke (a worker died), which sends
-        the caller into isolation rounds.  Jobs left in ``remaining``
-        afterwards are retry candidates.
+        Chunk size adapts to the backlog — roughly a quarter of a fair
+        per-worker share, capped at ``_MAX_CHUNK`` — so IPC round-trips
+        are amortized early in a large batch while the tail still load
+        balances one job at a time.
         """
-        futures: dict = {}
-        tokens: dict[int, str] = {}
-        dispatched: dict[int, float] = {}
-        broken = False
-        abandoned = 0
-        try:
-            for i in indices:
-                attempts[i] += 1
-                chain = chains[i]
-                # Walk the fallback chain one step per *attributed*
-                # failure; un-blamed retries keep the requested router.
-                router = chain[min(blamed[i], len(chain) - 1)]
-                override = router if router != chain[0] else None
-                if override is not None:
-                    self._counters["fallback_retries"] += 1
-                tokens[i] = f"{i}:{attempts[i]}"
-                dispatched[i] = time.monotonic()
-                payload = self._augment(
-                    jobs[i].payload(), deadline=job_deadline,
-                    batch_deadline=batch_dl, plan=plan,
-                    router_override=override,
-                )
-                futures[i] = pool.submit(
-                    run_payload,
-                    payload,
-                    dispatch_mono=dispatched[i],
-                    trace=trace,
-                    start_report=start_reports,
-                    start_token=tokens[i],
-                )
-        except BrokenProcessPool:
-            broken = True
-        outstanding = set(futures)
-        while outstanding:
-            progressed = False
-            now = time.monotonic()
-            for i in sorted(outstanding):
-                future = futures[i]
-                if future.done():
-                    outstanding.discard(i)
-                    progressed = True
-                    try:
-                        outcome = future.result()
-                    except BrokenProcessPool:
-                        broken = True
-                        if len(indices) == 1:
-                            blamed[i] += 1  # alone in the pool: its fault
-                        continue  # stays in remaining -> retried
-                    except Exception as exc:  # noqa: BLE001 — pool plumbing
-                        broken = True
-                        if len(indices) == 1:
-                            blamed[i] += 1
-                        last_error[i] = f"{type(exc).__name__}: {exc}"
-                        continue
-                    problem = self._artifact_problem(outcome)
-                    if problem is not None:
-                        # A corrupt artefact is a worker malfunction
-                        # attributable to this job: treat like a crash
-                        # (retry down the chain, never cache).
-                        self._counters["corrupt_artifacts"] += 1
-                        blamed[i] += 1
-                        last_error[i] = f"corrupt artifact: {problem}"
-                        continue
-                    results[i] = self._finish(
-                        jobs[i], keys[i], outcome, dispatched[i], attempts[i]
-                    )
-                    remaining.discard(i)
-                    continue
-                job_timeout = self._job_timeout(jobs[i], timeout)
-                started = start_reports.get(tokens[i])
-                if (
-                    job_timeout is not None
-                    and started is not None
-                    and now - started > job_timeout
-                ):
-                    # Compute budget exhausted (measured from worker
-                    # start).  The worker cannot be interrupted; abandon
-                    # it and let pool teardown skip the join.
-                    future.cancel()
-                    outstanding.discard(i)
-                    abandoned += 1
-                    progressed = True
-                    self._counters["timeouts"] += 1
-                    results[i] = self._timeout_result(
-                        jobs[i], keys[i], job_timeout, attempts[i]
-                    )
-                    remaining.discard(i)
-            if batch_dl is not None and batch_dl.expired():
-                # Batch deadline: abandon everything still outstanding;
-                # the mop-up in _run_pool marks them timeout.
-                for i in sorted(outstanding):
-                    futures[i].cancel()
-                    abandoned += 1
-                outstanding.clear()
-                break
-            if abandoned >= pool_size and outstanding:
-                # Every live worker is occupied by an abandoned (hung)
-                # job; queued futures would never start.  Pull them back
-                # for the next round's fresh pool.
-                stalled = [
-                    i for i in sorted(outstanding)
-                    if start_reports.get(tokens[i]) is None
-                    and futures[i].cancel()
-                ]
-                for i in stalled:
-                    outstanding.discard(i)
-                    attempts[i] -= 1  # never ran: not a real attempt
-                    progressed = True
-                if not outstanding:
-                    break
-            if outstanding and not progressed:
-                time.sleep(_POLL_INTERVAL)
-        pool.shutdown(wait=not (abandoned or broken), cancel_futures=True)
-        return broken
+        share = -(-len(queue) // max(1, n_workers * 4))
+        size = max(1, min(_MAX_CHUNK, share, len(queue)))
+        chunk: list[tuple[str, dict, float]] = []
+        for _ in range(size):
+            i = queue.popleft()
+            attempts[i] += 1
+            chain = chains[i]
+            # Walk the fallback chain one step per *attributed*
+            # failure; un-blamed retries keep the requested router.
+            router = chain[min(blamed[i], len(chain) - 1)]
+            override = router if router != chain[0] else None
+            if override is not None:
+                self._counters["fallback_retries"] += 1
+            token = f"{i}:{attempts[i]}"
+            token_job[token] = i
+            dispatch_mono = time.monotonic()
+            token_dispatch[token] = dispatch_mono
+            payload = self._augment(
+                jobs[i].payload(), deadline=job_deadline,
+                batch_deadline=batch_dl, plan=plan,
+                router_override=override,
+            )
+            chunk.append((token, payload, dispatch_mono))
+        return chunk
 
     @staticmethod
     def _artifact_problem(outcome: dict) -> str | None:
@@ -863,7 +923,7 @@ class CompileService:
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
-        """Counter snapshot: service totals plus cache tier counters."""
+        """Counter snapshot: service, cache tier, and warm-pool counters."""
         service = {
             key: self._counters[key]
             for key in (
@@ -871,6 +931,7 @@ class CompileService:
                 "batch_dedup_hits", "fresh_compiles", "errors",
                 "timeouts", "crash_retries", "crash_failures",
                 "degraded", "corrupt_artifacts", "fallback_retries",
+                "pools_created", "pool_reuse_batches",
             )
         }
         service["compile_seconds"] = round(self._compile_seconds, 6)
@@ -879,8 +940,17 @@ class CompileService:
         service["hit_rate"] = (
             round(service["cache_hits"] / lookups, 4) if lookups else 0.0
         )
+        pool_stats = self._pool.stats() if self._pool is not None else None
+        # The headline warm-pool numbers ride on the service dict too,
+        # so reports that only keep the service section still show them.
+        service["worker_spawns"] = (
+            pool_stats["worker_spawns"] if pool_stats else 0
+        )
+        service["pool_reuse_hits"] = (
+            pool_stats["pool_reuse_hits"] if pool_stats else 0
+        )
         cache_stats = self.cache.stats() if self.cache is not None else None
-        return {"service": service, "cache": cache_stats}
+        return {"service": service, "cache": cache_stats, "pool": pool_stats}
 
     def trace_report(self, tracer) -> dict:
         """Per-job span trees plus service/cache/pool counters.

@@ -1,0 +1,178 @@
+"""The warm worker pool: preload, reuse, and recycle semantics.
+
+The pool's contract (see ``docs/service.md``): workers are spawned once
+per service and preload the native A* kernel in their initializer — at
+most one build per worker *lifetime*, never one per job; single-job
+batches skip the pool entirely; batches reuse warm workers instead of
+respawning; and a crash recycles exactly the broken worker while the
+survivors keep their preloaded state.
+"""
+
+import pytest
+
+from repro.core.pipeline import PassConfig
+from repro.devices import get_device
+from repro.qasm import to_openqasm
+from repro.resilience import FaultPlan, FaultSpec
+from repro.service import CompileCache, CompileJob, CompileService
+from repro.workloads import random_circuit
+
+
+def _job(seed=1, router="sabre", **kwargs):
+    qasm = to_openqasm(
+        random_circuit(5, 12, seed=seed, two_qubit_fraction=0.6)
+    )
+    return CompileJob.create(
+        qasm, get_device("ibm_qx4"), PassConfig(router=router), **kwargs
+    )
+
+
+class TestWorkerPreload:
+    def test_kernel_built_at_most_once_per_worker(self):
+        # The ready report carries the builds the initializer ran; after
+        # a batch of A* jobs the per-worker build count must not have
+        # grown — the kernel is resolved once per worker lifetime, never
+        # on a job's critical path.
+        with CompileService(CompileCache(), max_workers=2) as service:
+            reports = service.prewarm()
+            assert len(reports) == 2
+            for rep in reports:
+                assert rep["kernel_builds"] <= 1
+                assert rep["jobs_run"] == 0
+            jobs = [
+                _job(seed=s, router="astar", job_id=f"a{s}")
+                for s in range(6)
+            ]
+            results = service.submit_batch(jobs)
+            assert all(r.ok for r in results)
+            after = service._pool.worker_stats()
+            assert after, "no worker stats collected"
+            for rep in after:
+                assert rep["kernel_builds"] <= 1
+            assert sum(rep["jobs_run"] for rep in after) == 6
+
+    def test_no_native_workers_skip_the_build(self, monkeypatch):
+        # REPRO_NO_NATIVE is inherited by the forked workers: the
+        # initializer must not touch the build path at all.
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        with CompileService(CompileCache(), max_workers=2) as service:
+            reports = service.prewarm()
+            assert len(reports) == 2
+            for rep in reports:
+                assert rep["native_preloaded"] is False
+                assert rep["kernel_builds"] == 0
+            jobs = [
+                _job(seed=s, router="astar", job_id=f"n{s}")
+                for s in range(4)
+            ]
+            results = service.submit_batch(jobs)
+            assert all(r.ok for r in results)
+            for rep in service._pool.worker_stats():
+                assert rep["kernel_builds"] == 0
+
+
+class TestPoolLifecycle:
+    def test_single_job_batch_runs_inline(self):
+        # A clean 1-job batch must not pay for any worker process.
+        service = CompileService(CompileCache(), max_workers=4)
+        res = service.submit_batch([_job(job_id="solo")])[0]
+        assert res.ok
+        assert service._pool is None
+        stats = service.stats()
+        assert stats["service"]["pools_created"] == 0
+        assert stats["service"]["worker_spawns"] == 0
+
+    def test_workers_reused_across_batches(self):
+        with CompileService(CompileCache(), max_workers=2) as service:
+            first = service.submit_batch(
+                [_job(seed=s, job_id=f"f{s}") for s in range(4)]
+            )
+            second = service.submit_batch(
+                [_job(seed=s + 10, job_id=f"g{s}") for s in range(4)]
+            )
+            assert all(r.ok for r in first + second)
+            stats = service.stats()
+            assert stats["service"]["pools_created"] == 1
+            assert stats["service"]["pool_reuse_batches"] == 1
+            # Both batches ran on the two original workers.
+            assert stats["pool"]["worker_spawns"] == 2
+            assert stats["pool"]["pool_reuse_hits"] > 0
+            assert stats["pool"]["worker_recycles"] == 0
+
+    def test_close_tears_down_workers(self):
+        service = CompileService(CompileCache(), max_workers=2)
+        service.prewarm()
+        pool = service._pool
+        assert pool.size() == 2
+        service.close()
+        assert pool.size() == 0
+        assert service._pool is None
+        # Idempotent, and the service stays usable (a new pool forms).
+        service.close()
+        res = service.submit_batch(
+            [_job(seed=s, job_id=f"r{s}") for s in range(2)]
+        )
+        assert all(r.ok for r in res)
+        assert service.stats()["service"]["pools_created"] == 2
+        service.close()
+
+
+class TestCrashRecycling:
+    def test_crash_recycles_exactly_one_worker(self):
+        # One deterministic crash mid-batch (the crash only fires for
+        # the sabre attempt; the blamed retry falls back to naive and
+        # survives): the pool replaces exactly the dead worker
+        # (worker_spawns goes 2 -> 3), the survivor stays warm, and
+        # every job still completes.
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="routing", action="crash",
+                      router="sabre", job_id="boom", times=None),
+        ))
+        with CompileService(
+            CompileCache(), max_workers=2, retries=2
+        ) as service:
+            jobs = [_job(seed=99, job_id="boom")]
+            jobs += [_job(seed=s, job_id=f"ok{s}") for s in range(8)]
+            results = service.submit_batch(jobs, fault_plan=plan)
+            by_id = {r.job_id: r for r in results}
+            assert by_id["boom"].completed
+            assert all(
+                by_id[f"ok{s}"].ok for s in range(8)
+            ), [(r.job_id, r.status) for r in results]
+            pool = service.stats()["pool"]
+            assert pool["worker_crashes"] == 1
+            assert pool["worker_recycles"] == 0
+            assert pool["worker_spawns"] == 3
+            assert pool["workers_alive"] == 2
+            # The survivor kept its preloaded state: it reports jobs
+            # across the whole batch without ever rebuilding the kernel.
+            stats = service._pool.worker_stats()
+            assert any(rep["jobs_run"] >= 2 for rep in stats)
+            for rep in stats:
+                assert rep["kernel_builds"] <= 1
+
+    def test_crash_exhaustion_leaves_pool_healthy(self):
+        # A job that crashes on every attempt burns its retries but the
+        # pool ends the batch with live warm workers for the next one.
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="worker", action="crash",
+                      job_id="doom", times=None),
+        ))
+        with CompileService(
+            CompileCache(), max_workers=2, retries=1
+        ) as service:
+            jobs = [_job(seed=98, job_id="doom")]
+            jobs += [_job(seed=s, job_id=f"ok{s}") for s in range(5)]
+            results = service.submit_batch(jobs, fault_plan=plan)
+            by_id = {r.job_id: r for r in results}
+            assert by_id["doom"].status == "crashed"
+            assert by_id["doom"].attempts == 2
+            assert all(by_id[f"ok{s}"].ok for s in range(5))
+            pool = service.stats()["pool"]
+            assert pool["worker_crashes"] == 2
+            # Clean follow-up batch runs on the surviving pool.
+            again = service.submit_batch(
+                [_job(seed=s + 20, job_id=f"b{s}") for s in range(3)]
+            )
+            assert all(r.ok for r in again)
+            assert service.stats()["service"]["pool_reuse_batches"] == 1
