@@ -15,6 +15,7 @@ Usage examples::
         --json report.json
     python -m repro batch --corpus perf --jobs 4 --compare-serial \
         --json BENCH_service.json
+    python -m repro serve --port 8571 --jobs 4 --cache-dir .repro-cache
     python -m repro bench --trace trace.json
     python -m repro trace summarize trace.json
 """
@@ -235,6 +236,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE", dest="trace_path",
         help="record per-job pass spans (merged across workers) as a "
         "Chrome-trace JSON file",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP/JSON compile gateway (async job API, "
+        "priority queues, admission control) over the warm pool",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8571,
+        help="TCP port (default 8571; 0 picks an ephemeral port, "
+        "printed on startup)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="warm-pool workers (default: CPU count)",
+    )
+    serve.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent on-disk artefact cache directory",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="compile every job fresh",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job hard compute budget (measured from worker start)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default cooperative routing deadline for jobs that do "
+        "not carry their own SLO deadline",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="crash-retry budget per job (default 1)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=256, metavar="N",
+        help="admission control: max queued jobs before submissions "
+        "are rejected with 429 (default 256)",
+    )
+    serve.add_argument(
+        "--tenant-burst", type=int, default=64, metavar="N",
+        help="admission control: per-tenant token-bucket capacity "
+        "(default 64)",
+    )
+    serve.add_argument(
+        "--tenant-rate", type=float, default=32.0, metavar="N",
+        help="admission control: per-tenant token refill rate per "
+        "second (default 32)",
+    )
+    serve.add_argument(
+        "--prewarm", action="store_true",
+        help="spawn and preload the worker pool before accepting "
+        "traffic",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true",
+        help="log every HTTP request to stderr",
     )
 
     trace_cmd = sub.add_parser(
@@ -745,6 +809,55 @@ def _cmd_batch(args, out) -> int:
     return 0 if all(r.completed for r in results) else 4
 
 
+def _cmd_serve(args, out) -> int:
+    from .service import (
+        AsyncCompileService,
+        CompileCache,
+        CompileService,
+        GatewayServer,
+    )
+
+    cache = None if args.no_cache else CompileCache(directory=args.cache_dir)
+    service = CompileService(
+        cache,
+        max_workers=args.jobs,
+        retries=args.retries,
+        default_timeout=args.timeout,
+        default_deadline=args.deadline,
+    )
+    gateway = AsyncCompileService(
+        service,
+        max_queue_depth=args.queue_depth,
+        tenant_burst=args.tenant_burst,
+        tenant_rate=args.tenant_rate,
+    )
+    gateway._owns_service = True  # serve built it, serve tears it down
+    if args.prewarm:
+        service.prewarm()
+    server = GatewayServer(
+        (args.host, args.port), gateway, verbose=args.verbose
+    )
+    # The smoke harness parses this line to find an ephemeral port, so it
+    # must be flushed before serve_forever blocks.
+    print(
+        f"gateway listening on http://{args.host}:{server.port}",
+        file=out,
+    )
+    try:
+        out.flush()
+    except (AttributeError, OSError):
+        pass
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        gateway.close(drain=True)
+    return 0
+
+
 def _cmd_trace(args, out) -> int:
     import json
 
@@ -778,6 +891,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
         "simulate": lambda: _cmd_simulate(args, out),
         "bench": lambda: _cmd_bench(args, out),
         "batch": lambda: _cmd_batch(args, out),
+        "serve": lambda: _cmd_serve(args, out),
         "trace": lambda: _cmd_trace(args, out),
     }
     try:

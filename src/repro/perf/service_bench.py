@@ -11,7 +11,11 @@ benchmark times three phases and reports circuits/second for each:
 2. **parallel cold** — ``CompileService.submit_batch`` with ``--jobs``
    workers and an empty cache;
 3. **parallel warm** — the same batch again on the now-warm cache,
-   reporting the hit rate.
+   reporting the hit rate;
+4. **gateway** — the warm workload once more through the async job
+   gateway (:class:`~repro.service.AsyncCompileService`), measuring the
+   per-job submit→result round trip the HTTP front end adds on top of
+   the cache.
 
 It also cross-checks correctness: the artefact served from the cache in
 phase 3 must be byte-identical (canonical JSON) to the artefact a fresh
@@ -161,6 +165,25 @@ def run_service_bench(
         or canonical_json(r.artifact) != serial_artifacts[r.job_id]
     ]
 
+    # Phase 4: the warm workload through the async gateway, one
+    # submit→wait round trip per job (alternating priority tiers), to
+    # price the queueing/admission layer itself: the cache is hot, so
+    # nearly all of each round trip is gateway overhead.
+    from ..service import AsyncCompileService
+
+    gw = AsyncCompileService(service)  # borrowed: close() leaves it open
+    round_trips: list[float] = []
+    t0 = time.perf_counter()
+    for i, job in enumerate(workload):
+        tier = "interactive" if i % 2 == 0 else "batch"
+        t1 = time.perf_counter()
+        handle = gw.submit(job, priority=tier)
+        handle.wait(timeout=120.0)
+        round_trips.append(time.perf_counter() - t1)
+    gateway_seconds = time.perf_counter() - t0
+    gateway_stats = gw.stats().get("gateway", {})
+    gw.close(drain=True)
+
     report_cases = []
     for job, cold_r, warm_r in zip(workload, cold, warm):
         report_cases.append(
@@ -193,6 +216,11 @@ def run_service_bench(
         "worker_spawns": pool_stats.get("worker_spawns", 0),
         "pool_reuse_hits": pool_stats.get("pool_reuse_hits", 0),
         "worker_recycles": pool_stats.get("worker_recycles", 0),
+        "gateway_round_trip_p50_ms": _percentile_ms(round_trips, 0.50),
+        "gateway_round_trip_p95_ms": _percentile_ms(round_trips, 0.95),
+        "gateway_throughput": (
+            round(n / gateway_seconds, 2) if gateway_seconds else None
+        ),
     }
     if oneshot_baseline:
         sample = _time_oneshot_cli()
@@ -209,4 +237,20 @@ def run_service_bench(
         "cases": report_cases,
         "summary": summary,
         "service_stats": stats,
+        "gateway": {
+            "seconds": round(gateway_seconds, 4),
+            "round_trip_p50_ms": summary["gateway_round_trip_p50_ms"],
+            "round_trip_p95_ms": summary["gateway_round_trip_p95_ms"],
+            "throughput": summary["gateway_throughput"],
+            "stats": gateway_stats,
+        },
     }
+
+
+def _percentile_ms(samples: list[float], q: float) -> float | None:
+    """``q``-th percentile of ``samples`` (seconds), in milliseconds."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return round(ordered[idx] * 1000.0, 3)

@@ -16,25 +16,47 @@ circuit/device pairs.  This package wraps the Fig. 2 pipeline
 * :mod:`repro.service.engine` — :class:`CompileService` with
   ``submit``, parallel ``submit_batch``, and ``stats``;
 * :mod:`repro.service.pool` — the persistent :class:`WarmPool` of
-  preloaded compile workers behind ``submit_batch``.
+  preloaded compile workers behind ``submit_batch``;
+* :mod:`repro.service.gateway` — the async job gateway:
+  :class:`AsyncCompileService` (``submit``/``await result``/event
+  streams, priority queues, admission control) over a
+  :class:`CompileService`;
+* :mod:`repro.service.httpd` — the :class:`GatewayServer` HTTP/JSON
+  front end behind the ``repro serve`` CLI command.
 
-The ``repro batch`` CLI command and
+The ``repro batch`` / ``repro serve`` CLI commands and
 :mod:`repro.perf.service_bench` build on this package; see
-``docs/service.md`` for the cache-key scheme and usage.
+``docs/service.md`` for the cache-key scheme and ``docs/gateway.md``
+for the job API and HTTP endpoints.
 """
 
 from .artifact import artifact_to_result, result_to_artifact
 from .cache import CompileCache
 from .engine import CompileService
-from .jobs import CompileJob, JobResult
+from .gateway import (
+    PRIORITIES,
+    AsyncCompileService,
+    Draining,
+    JobHandle,
+    Overloaded,
+)
+from .httpd import GatewayServer
+from .jobs import JOB_STATUSES, CompileJob, JobResult
 from .keys import canonical_qasm, compute_key, device_fingerprint
 from .pool import WarmPool
 
 __all__ = [
+    "AsyncCompileService",
     "CompileCache",
     "CompileJob",
     "CompileService",
+    "Draining",
+    "GatewayServer",
+    "JOB_STATUSES",
+    "JobHandle",
     "JobResult",
+    "Overloaded",
+    "PRIORITIES",
     "WarmPool",
     "artifact_to_result",
     "canonical_qasm",

@@ -19,7 +19,6 @@ from __future__ import annotations
 import itertools
 import json
 import os
-import warnings
 from collections import Counter, OrderedDict
 from pathlib import Path
 
@@ -50,7 +49,6 @@ class CompileCache:
         self.directory = Path(directory) if directory is not None else None
         self._memory: OrderedDict[str, dict] = OrderedDict()
         self._counters: Counter = Counter()
-        self._last_tier: str | None = None
 
     # ------------------------------------------------------------------
 
@@ -62,15 +60,15 @@ class CompileCache:
         """``(artifact, tier)`` for ``key``; ``(None, None)`` on miss.
 
         The tier (``"memory"`` or ``"disk"``) is returned *with* the
-        artefact so concurrent callers can never misattribute a hit —
-        unlike the deprecated stateful :meth:`last_tier`, which reads a
-        shared slot that any interleaved lookup may have overwritten.
+        artefact so concurrent callers can never misattribute a hit.
+        (The stateful ``last_tier()`` accessor this replaced — a shared
+        slot any interleaved lookup could overwrite — was deprecated in
+        the tracing release and has been removed.)
         """
         entry = self._memory.get(key)
         if entry is not None:
             self._memory.move_to_end(key)
             self._counters["memory_hits"] += 1
-            self._last_tier = "memory"
             return entry, "memory"
         if self.directory is not None:
             path = self._disk_path(key)
@@ -87,31 +85,14 @@ class CompileCache:
                     pass
             else:
                 self._counters["disk_hits"] += 1
-                self._last_tier = "disk"
                 self._remember(key, entry)
                 return entry, "disk"
         self._counters["misses"] += 1
-        self._last_tier = None
         return None, None
 
     def get(self, key: str) -> dict | None:
         """The cached artefact for ``key``, or ``None`` on miss."""
         return self.lookup(key)[0]
-
-    def last_tier(self) -> str | None:
-        """Deprecated: tier of the most recent hit (None after a miss).
-
-        Stateful and therefore racy across interleaved lookups — use the
-        tier returned by :meth:`lookup` instead.
-        """
-        warnings.warn(
-            "CompileCache.last_tier() is deprecated (stateful and racy "
-            "across interleaved lookups); use CompileCache.lookup(), which "
-            "returns (artifact, tier)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._last_tier
 
     def put(self, key: str, artifact: dict) -> None:
         """Store ``artifact`` under ``key`` in every enabled tier."""

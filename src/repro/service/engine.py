@@ -51,10 +51,11 @@ compile must not impersonate the requested configuration.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import Counter, deque
 from contextlib import nullcontext
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from ..core.pipeline import PassConfig, compile_with_config, fallback_chain
 from ..devices.device import Device
@@ -228,6 +229,10 @@ def run_payload(
 _DEFAULT_CACHE = object()
 
 
+def _NO_EMIT(i: int, kind: str, info=None) -> None:  # noqa: N802
+    """The free no-observer path of ``submit_batch(on_event=...)``."""
+
+
 class CompileService:
     """Compile jobs against devices, with caching and parallel batches.
 
@@ -281,6 +286,7 @@ class CompileService:
         self.fault_plan = fault_plan
         self.preload_native = preload_native
         self._pool: WarmPool | None = None
+        self._pool_lock = threading.Lock()
         self._counters: Counter = Counter()
         self._compile_seconds = 0.0
         self._queue_wait_seconds = 0.0
@@ -290,12 +296,13 @@ class CompileService:
     # ------------------------------------------------------------------
 
     def _ensure_pool(self) -> WarmPool:
-        if self._pool is None or self._pool.closed:
-            self._pool = WarmPool(preload_native=self.preload_native)
-            self._counters["pools_created"] += 1
-        else:
-            self._counters["pool_reuse_batches"] += 1
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None or self._pool.closed:
+                self._pool = WarmPool(preload_native=self.preload_native)
+                self._counters["pools_created"] += 1
+            else:
+                self._counters["pool_reuse_batches"] += 1
+            return self._pool
 
     def prewarm(self, workers: int | None = None, *,
                 timeout: float = 60.0) -> list[dict]:
@@ -313,10 +320,18 @@ class CompileService:
 
     def close(self) -> None:
         """Shut the warm pool down.  The service stays usable; the next
-        pooled batch starts a fresh pool."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        pooled batch starts a fresh pool.
+
+        Idempotent and safe to call from any thread, including while a
+        batch is in flight on another thread: the batch observes the
+        closed pool, stops dispatching, and reports every job it could
+        not finish with a terminal ``crashed`` status instead of
+        deadlocking or leaking an exception.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def __enter__(self) -> "CompileService":
         return self
@@ -350,7 +365,8 @@ class CompileService:
             return hit
         dispatch_mono = time.monotonic()
         payload = self._augment(
-            job.payload(), deadline=self.default_deadline,
+            job.payload(),
+            deadline=self._effective_deadline(job, self.default_deadline),
             batch_deadline=None, plan=plan,
         )
         outcome = run_payload(
@@ -374,6 +390,7 @@ class CompileService:
         deadline: float | None = None,
         batch_timeout: float | None = None,
         fault_plan: FaultPlan | None = None,
+        on_event: Callable[[int, str, object], None] | None = None,
     ) -> list[JobResult]:
         """Compile ``jobs``, fanning cache misses across worker processes.
 
@@ -399,6 +416,16 @@ class CompileService:
                 unfinished job reports ``status == "timeout"``.
             fault_plan: Fault plan for this batch (default: the
                 service's plan).
+            on_event: Optional per-job lifecycle callback
+                ``on_event(i, kind, info)`` where ``i`` indexes into
+                ``jobs``: ``("started", None)`` when a worker (or the
+                inline path) begins the job, ``("retrying", message)``
+                when a blamed crash re-queues it, and ``("done",
+                JobResult)`` the moment its terminal result exists —
+                before the batch as a whole returns, which is what the
+                async gateway streams job events from.  Exceptions it
+                raises are swallowed; it runs on the batch thread and
+                must be cheap.
 
         Returns:
             One :class:`JobResult` per job, positionally aligned with
@@ -419,6 +446,15 @@ class CompileService:
         self._counters["jobs_submitted"] += len(jobs)
         self._counters["batches"] += 1
 
+        if on_event is None:
+            emit = _NO_EMIT
+        else:
+            def emit(i: int, kind: str, info=None) -> None:
+                try:
+                    on_event(i, kind, info)
+                except Exception:  # noqa: BLE001 — observers can't kill a batch
+                    pass
+
         keys = [job.key() for job in jobs]
         results: list[JobResult | None] = [None] * len(jobs)
 
@@ -430,6 +466,7 @@ class CompileService:
             hit = self._try_cache(job, key)
             if hit is not None:
                 results[i] = hit
+                emit(i, "done", hit)
             elif key in first_for_key:
                 duplicate_of[i] = first_for_key[key]
                 self._counters["batch_dedup_hits"] += 1
@@ -463,8 +500,11 @@ class CompileService:
                             jobs[i], keys[i], None, 1,
                             reason="batch deadline expired",
                         )
+                        emit(i, "done", results[i])
                         continue
-                    inline_deadline = job_deadline
+                    inline_deadline = self._effective_deadline(
+                        jobs[i], job_deadline
+                    )
                     hard = self._job_timeout(jobs[i], timeout)
                     if hard is not None:
                         inline_deadline = (
@@ -476,16 +516,18 @@ class CompileService:
                         jobs[i].payload(), deadline=inline_deadline,
                         batch_deadline=batch_dl, plan=plan,
                     )
+                    emit(i, "started")
                     outcome = run_payload(
                         payload, dispatch_mono=dispatch_mono, trace=trace,
                     )
                     results[i] = self._finish(
                         jobs[i], keys[i], outcome, dispatch_mono, attempts=1
                     )
+                    emit(i, "done", results[i])
             else:
                 self._run_pool(
                     jobs, keys, pending, results, max(workers, 1), timeout,
-                    budget, job_deadline, batch_dl, plan,
+                    budget, job_deadline, batch_dl, plan, emit,
                 )
 
         for i, src in duplicate_of.items():
@@ -502,6 +544,7 @@ class CompileService:
                 metrics={**base.metrics, "queue_wait_s": 0.0, "compile_s": 0.0},
                 metadata=jobs[i].metadata,
             )
+            emit(i, "done", results[i])
 
         assert all(r is not None for r in results)
         return results  # type: ignore[return-value]
@@ -518,6 +561,7 @@ class CompileService:
         job_deadline: float | None,
         batch_dl: Deadline | None,
         plan: FaultPlan | None,
+        emit: Callable[..., None] = None,  # type: ignore[assignment]
     ) -> None:
         """Dispatch ``pending`` job indices across the warm worker pool.
 
@@ -531,8 +575,16 @@ class CompileService:
         every other warm worker keeps running.  A job abandoned on a
         hard timeout takes its worker with it — a hung process can never
         stall the batch or poison the pool.
+
+        :meth:`close` may shut the pool down from another thread while
+        this loop runs (the gateway's shutdown path): the loop notices
+        the closed pool, stops dispatching, and the mop-up below gives
+        every unfinished job a terminal ``crashed`` status.
         """
+        if emit is None:
+            emit = _NO_EMIT
         pool = self._ensure_pool()
+        service_closed = False
         attempts = {i: 0 for i in pending}
         # How many failures are *attributable* to job i itself (the
         # worker died while running it, or it shipped a corrupt
@@ -557,6 +609,7 @@ class CompileService:
             if attempts[i] <= budget:
                 self._counters["crash_retries"] += 1
                 queue.append(i)
+                emit(i, "retrying", message)
             # else: stays in remaining -> mop-up reports it crashed
 
         def requeue_collateral(tokens: list[str]) -> None:
@@ -570,6 +623,11 @@ class CompileService:
                 queue.append(i)
 
         while queue or active:
+            if pool.closed:
+                service_closed = True
+                active.clear()
+                queue.clear()
+                break
             if batch_dl is not None and batch_dl.expired():
                 # Batch deadline: abandon everything still in flight and
                 # recycle the busy workers (an abandoned worker can't be
@@ -581,37 +639,60 @@ class CompileService:
                 queue.clear()
                 break
             if queue:
-                busy = len(set(active.values()))
-                idle = pool.idle_workers()
-                want = min(workers, busy + len(queue))
-                if busy + len(idle) < want:
-                    with trace_span(
-                        "pool.spawn", pass_="pool",
-                        n=want - busy - len(idle),
-                    ):
-                        pool.ensure(want)
+                try:
+                    busy = len(set(active.values()))
                     idle = pool.idle_workers()
-                for wid in idle:
-                    if not queue or busy >= workers:
-                        break
-                    chunk = self._build_chunk(
-                        queue, len(pool.alive_workers()), jobs, attempts,
-                        blamed, chains, job_deadline, batch_dl, plan,
-                        token_job, token_dispatch,
-                    )
-                    with trace_span(
-                        "pool.dispatch", pass_="pool",
-                        worker=wid, jobs=len(chunk),
-                    ):
-                        pool.submit_chunk(wid, chunk, trace)
-                    for token, _, _ in chunk:
-                        active[token] = wid
-                    busy += 1
+                    want = min(workers, busy + len(queue))
+                    if busy + len(idle) < want:
+                        with trace_span(
+                            "pool.spawn", pass_="pool",
+                            n=want - busy - len(idle),
+                        ):
+                            pool.ensure(want)
+                        idle = pool.idle_workers()
+                    for wid in idle:
+                        if not queue or busy >= workers:
+                            break
+                        chunk = self._build_chunk(
+                            queue, len(pool.alive_workers()), jobs, attempts,
+                            blamed, chains, job_deadline, batch_dl, plan,
+                            token_job, token_dispatch,
+                        )
+                        with trace_span(
+                            "pool.dispatch", pass_="pool",
+                            worker=wid, jobs=len(chunk),
+                        ):
+                            pool.submit_chunk(wid, chunk, trace)
+                        for token, _, _ in chunk:
+                            active[token] = wid
+                        busy += 1
+                except (RuntimeError, KeyError, OSError):
+                    # close() won the race mid-dispatch: the pool (or
+                    # the worker we just picked) is gone.  Anything
+                    # else is a real bug and must propagate.
+                    if not pool.closed:
+                        raise
+                    service_closed = True
+                    active.clear()
+                    queue.clear()
+                    break
 
-            for evt in pool.poll(_POLL_INTERVAL):
+            try:
+                pool_events = pool.poll(_POLL_INTERVAL)
+            except (RuntimeError, OSError, ValueError):
+                if not pool.closed:
+                    raise
+                service_closed = True
+                active.clear()
+                queue.clear()
+                break
+            for evt in pool_events:
                 kind = evt[0]
                 if kind == "start":
                     started_at[evt[2]] = evt[3]
+                    i = token_job.get(evt[2])
+                    if i is not None and i in remaining:
+                        emit(i, "started")
                 elif kind == "done":
                     _, wid, token, outcome = evt
                     i = token_job.get(token)
@@ -633,6 +714,7 @@ class CompileService:
                         token_dispatch[token], attempts[i],
                     )
                     remaining.discard(i)
+                    emit(i, "done", results[i])
                 elif kind == "exit":
                     _, wid, exitcode, current, never_started = evt
                     if current is None and never_started:
@@ -675,6 +757,7 @@ class CompileService:
                     jobs[i], keys[i], job_timeout, attempts[i]
                 )
                 remaining.discard(i)
+                emit(i, "done", results[i])
                 requeue_collateral(list(never_started))
 
         for i in sorted(remaining):
@@ -684,11 +767,15 @@ class CompileService:
                     jobs[i], keys[i], None, max(attempts[i], 1),
                     reason="batch deadline expired",
                 )
+                emit(i, "done", results[i])
                 continue
             self._counters["crash_failures"] += 1
-            message = last_error.get(
-                i, f"worker process crashed ({attempts[i]} attempts)"
-            )
+            if service_closed:
+                message = "service was closed while the batch was running"
+            else:
+                message = last_error.get(
+                    i, f"worker process crashed ({attempts[i]} attempts)"
+                )
             results[i] = JobResult(
                 job_id=jobs[i].job_id,
                 key=keys[i],
@@ -697,6 +784,7 @@ class CompileService:
                 attempts=attempts[i],
                 metadata=jobs[i].metadata,
             )
+            emit(i, "done", results[i])
 
     def _build_chunk(
         self,
@@ -737,7 +825,8 @@ class CompileService:
             dispatch_mono = time.monotonic()
             token_dispatch[token] = dispatch_mono
             payload = self._augment(
-                jobs[i].payload(), deadline=job_deadline,
+                jobs[i].payload(),
+                deadline=self._effective_deadline(jobs[i], job_deadline),
                 batch_deadline=batch_dl, plan=plan,
                 router_override=override,
             )
@@ -783,6 +872,14 @@ class CompileService:
         if batch_timeout is not None:
             return batch_timeout
         return self.default_timeout
+
+    @staticmethod
+    def _effective_deadline(
+        job: CompileJob, batch_deadline: float | None
+    ) -> float | None:
+        """A job's own cooperative deadline beats the batch-wide one
+        (the gateway threads per-job SLO remainders through here)."""
+        return job.deadline if job.deadline is not None else batch_deadline
 
     def _timeout_result(
         self,

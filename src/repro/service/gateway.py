@@ -1,0 +1,640 @@
+"""The async job gateway: submit/await, priority queues, admission control.
+
+:class:`AsyncCompileService` turns the batch-oriented
+:class:`~repro.service.engine.CompileService` into a *server*: callers
+:meth:`~AsyncCompileService.submit` one job at a time and get a
+:class:`JobHandle` back immediately, while a single dispatcher thread
+drains an admission-controlled priority queue into the warm worker pool
+in micro-batches.  The handle offers three consumption styles:
+
+* ``await handle.result()`` — asyncio callers await the terminal
+  :class:`~repro.service.jobs.JobResult`;
+* ``handle.wait(timeout)`` — synchronous callers (the HTTP front end's
+  request threads) block on the same future;
+* ``async for event in handle.events()`` — per-job lifecycle stream
+  ``queued -> started -> retrying -> <terminal status>`` fed from the
+  engine's per-job callbacks, which in turn ride the pool's existing
+  ``start``/``done`` event channel.
+
+Admission control rejects instead of queuing without bound: a global
+queue-depth cap and a per-tenant token bucket (burst capacity plus a
+steady refill rate) raise the typed :class:`Overloaded` before a job
+ever enters the queue, and :class:`Draining` once shutdown has begun —
+the HTTP layer maps these to 429 and 503.  A per-job SLO ``deadline``
+becomes a :class:`~repro.resilience.deadline.Deadline`: jobs still
+queued when it expires short-circuit to ``status == "timeout"`` at
+dispatch time without ever touching the compile service or a pool
+worker, and jobs that do dispatch carry their *remaining* budget into
+the engine's cooperative deadline machinery.
+
+Everything in this module is stdlib-only and thread-safe: ``submit``
+may be called from any thread (HTTP handler threads, an asyncio loop,
+tests), while the dispatcher thread is the only code that ever touches
+the underlying :class:`CompileService`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import heapq
+import threading
+import time
+from collections import Counter, OrderedDict, deque
+
+from ..obs import add_counter, trace_span
+from ..resilience.deadline import Deadline
+from .engine import CompileService
+from .jobs import JOB_STATUSES, CompileJob, JobResult
+
+__all__ = [
+    "AsyncCompileService",
+    "Draining",
+    "JobHandle",
+    "Overloaded",
+    "PRIORITIES",
+]
+
+#: Priority tiers, highest first.  ``interactive`` jobs are always
+#: drained from the queue before ``batch`` jobs submitted earlier.
+PRIORITIES = ("interactive", "batch")
+
+_RANK = {name: rank for rank, name in enumerate(PRIORITIES)}
+
+#: How many queue-wait / latency samples each tier retains for the
+#: p50/p95 estimates in :meth:`AsyncCompileService.stats`.
+_SAMPLE_WINDOW = 2048
+
+
+class Overloaded(RuntimeError):
+    """A submission was rejected by admission control (never queued).
+
+    Attributes:
+        reason: ``"queue_full"`` (global queue-depth cap) or
+            ``"tenant_budget"`` (the tenant's token bucket is empty).
+        tenant: The tenant the submission was billed to.
+        retry_after: Suggested seconds to wait before retrying
+            (``None`` when the bucket cannot refill, e.g. rate 0).
+    """
+
+    def __init__(self, reason: str, message: str, *, tenant: str = "",
+                 retry_after: float | None = None):
+        super().__init__(message)
+        self.reason = reason
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class Draining(RuntimeError):
+    """The gateway is shutting down and no longer accepts jobs."""
+
+
+class _TokenBucket:
+    """Per-tenant admission budget: ``capacity`` burst, ``rate``/s refill."""
+
+    __slots__ = ("capacity", "rate", "tokens", "updated")
+
+    def __init__(self, capacity: float, rate: float):
+        self.capacity = float(capacity)
+        self.rate = float(rate)
+        self.tokens = float(capacity)
+        self.updated = time.monotonic()
+
+    def try_take(self, now: float) -> bool:
+        self.tokens = min(
+            self.capacity, self.tokens + (now - self.updated) * self.rate
+        )
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float | None:
+        if self.rate <= 0:
+            return None
+        return max(0.0, (1.0 - self.tokens) / self.rate)
+
+
+class JobHandle:
+    """A submitted job: id, live status, event stream, awaitable result.
+
+    Handles are created by :meth:`AsyncCompileService.submit` and are
+    safe to use from any thread or asyncio loop.  The lifecycle events
+    a handle emits are dicts ``{"event": ..., "t": <seconds since
+    submit>}``; the final one carries ``"terminal": True`` and its
+    ``event`` is the job's terminal status from
+    :data:`~repro.service.jobs.JOB_STATUSES`.
+    """
+
+    def __init__(self, job: CompileJob, priority: str, tenant: str,
+                 deadline: Deadline | None):
+        self.job = job
+        self.job_id = job.job_id
+        self.priority = priority
+        self.tenant = tenant
+        self.deadline = deadline
+        self.submitted_mono = time.monotonic()
+        #: Seconds the job waited in the gateway queue before dispatch
+        #: (set by the dispatcher; ``None`` while still queued).
+        self.queue_wait_s: float | None = None
+        #: Global drain order (set by the dispatcher; tests use this to
+        #: assert priority ordering deterministically).
+        self.dispatch_index: int | None = None
+        self._state = "queued"
+        self._resolved = False
+        self._future: concurrent.futures.Future = concurrent.futures.Future()
+        self._events: list[dict] = []
+        self._watchers: list[tuple] = []  # (loop, asyncio.Queue)
+        self._lock = threading.Lock()
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        """``queued``/``started``/``retrying`` or a terminal status."""
+        return self._state
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def event_log(self) -> list[dict]:
+        """Snapshot of every lifecycle event emitted so far."""
+        with self._lock:
+            return list(self._events)
+
+    # -- consumption ---------------------------------------------------
+
+    async def result(self) -> JobResult:
+        """Await the terminal :class:`JobResult` (never raises per-job
+        failures — they are statuses, not exceptions)."""
+        import asyncio
+
+        return await asyncio.wrap_future(self._future)
+
+    def wait(self, timeout: float | None = None) -> JobResult:
+        """Synchronous :meth:`result`; raises
+        :class:`concurrent.futures.TimeoutError` when ``timeout``
+        elapses first."""
+        return self._future.result(timeout)
+
+    async def events(self):
+        """Async-iterate lifecycle events, ending at the terminal one.
+
+        Events emitted before the iteration started are replayed first,
+        so a consumer that attaches late still sees the full
+        ``queued -> ... -> terminal`` history exactly once.
+        """
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        with self._lock:
+            backlog = list(self._events)
+            live = not self._resolved
+            if live:
+                self._watchers.append((loop, queue))
+        try:
+            for evt in backlog:
+                yield evt
+                if evt.get("terminal"):
+                    return
+            if live:
+                while True:
+                    evt = await queue.get()
+                    yield evt
+                    if evt.get("terminal"):
+                        return
+        finally:
+            with self._lock:
+                try:
+                    self._watchers.remove((loop, queue))
+                except ValueError:
+                    pass
+
+    # -- gateway-side plumbing -----------------------------------------
+
+    def _emit(self, event: str, **fields) -> None:
+        evt = {
+            "event": event,
+            "t": round(time.monotonic() - self.submitted_mono, 6),
+            **fields,
+        }
+        with self._lock:
+            if self._resolved:
+                return  # never emit past the terminal event
+            if event in ("queued", "started", "retrying"):
+                self._state = event
+            self._events.append(evt)
+            watchers = list(self._watchers)
+        self._post(watchers, evt)
+
+    def _resolve(self, result: JobResult) -> bool:
+        """Record the terminal result; False when already resolved."""
+        evt = {
+            "event": result.status,
+            "terminal": True,
+            "t": round(time.monotonic() - self.submitted_mono, 6),
+        }
+        with self._lock:
+            if self._resolved:
+                return False
+            self._resolved = True
+            self._state = result.status
+            self._events.append(evt)
+            watchers = list(self._watchers)
+        self._future.set_result(result)
+        self._post(watchers, evt)
+        return True
+
+    @staticmethod
+    def _post(watchers: list[tuple], evt: dict) -> None:
+        for loop, queue in watchers:
+            try:
+                loop.call_soon_threadsafe(queue.put_nowait, evt)
+            except RuntimeError:  # loop already closed
+                pass
+
+
+class AsyncCompileService:
+    """Priority-queued, admission-controlled front end of a
+    :class:`CompileService`.
+
+    Args:
+        service: The compile service to dispatch into.  ``None`` builds
+            a private one (closed again by :meth:`close`); a service you
+            pass in stays yours to close.
+        max_queue_depth: Global cap on queued-but-not-dispatched jobs;
+            submissions beyond it raise :class:`Overloaded`
+            (``queue_full``) instead of queuing without bound.
+        tenant_burst: Token-bucket capacity per tenant (max submissions
+            in one burst).
+        tenant_rate: Token refill rate per tenant, tokens/second
+            (``0``: the burst is the tenant's total budget).
+        micro_batch: Max jobs the dispatcher drains per engine batch.
+            Smaller values let late-arriving interactive jobs preempt
+            sooner; larger ones amortise dispatch overhead.  Default:
+            ``max(4, 2 * service.max_workers)``.
+        default_priority: Tier used when ``submit`` names none.
+        retain_handles: How many handles stay addressable through
+            :meth:`get` (oldest evicted first).
+        auto_dispatch: Start the dispatcher thread on first submit
+            (tests pass ``False`` and call :meth:`start` explicitly to
+            build contention deterministically).
+    """
+
+    def __init__(
+        self,
+        service: CompileService | None = None,
+        *,
+        max_queue_depth: int = 256,
+        tenant_burst: int = 64,
+        tenant_rate: float = 32.0,
+        micro_batch: int | None = None,
+        default_priority: str = "batch",
+        retain_handles: int = 4096,
+        auto_dispatch: bool = True,
+    ) -> None:
+        if default_priority not in _RANK:
+            raise ValueError(f"unknown priority {default_priority!r}")
+        self._owns_service = service is None
+        self.service = service or CompileService()
+        self.max_queue_depth = int(max_queue_depth)
+        self.tenant_burst = int(tenant_burst)
+        self.tenant_rate = float(tenant_rate)
+        self.micro_batch = micro_batch or max(4, 2 * self.service.max_workers)
+        self.default_priority = default_priority
+        self.retain_handles = int(retain_handles)
+        self._auto_dispatch = auto_dispatch
+        self._cv = threading.Condition()
+        self._queue: list[tuple[int, int, JobHandle]] = []  # heap
+        self._seq = 0
+        self._dispatch_seq = 0
+        self._buckets: dict[str, _TokenBucket] = {}
+        self._handles: OrderedDict[str, JobHandle] = OrderedDict()
+        self._counters: Counter = Counter()
+        self._status_counts: Counter = Counter()
+        self._wait_samples: dict[str, deque] = {
+            tier: deque(maxlen=_SAMPLE_WINDOW) for tier in PRIORITIES
+        }
+        self._latency_samples: dict[str, deque] = {
+            tier: deque(maxlen=_SAMPLE_WINDOW) for tier in PRIORITIES
+        }
+        self._draining = False
+        self._stop = False
+        self._dispatcher: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Submission / admission control
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        job: CompileJob,
+        *,
+        priority: str | None = None,
+        deadline: float | None = None,
+        tenant: str = "default",
+    ) -> JobHandle:
+        """Enqueue one job; returns its :class:`JobHandle` immediately.
+
+        Args:
+            job: The compile request.
+            priority: ``"interactive"`` or ``"batch"`` (default: the
+                gateway's ``default_priority``).  Interactive jobs are
+                always dispatched before queued batch jobs.
+            deadline: Per-job SLO budget in seconds, measured from this
+                call.  Expires in the queue: the job short-circuits to
+                ``timeout`` without touching a worker.  Dispatches in
+                time: the *remaining* budget rides into the engine as
+                the job's cooperative routing deadline.
+            tenant: Admission-control account this submission is billed
+                to (one token from the tenant's bucket).
+
+        Raises:
+            Overloaded: The queue-depth cap or this tenant's token
+                budget rejected the submission (typed; never queued).
+            Draining: The gateway is shutting down.
+            ValueError: Unknown priority tier.
+        """
+        tier = priority or self.default_priority
+        if tier not in _RANK:
+            raise ValueError(
+                f"unknown priority {tier!r}; expected one of {PRIORITIES}"
+            )
+        dl = Deadline.after(deadline) if deadline is not None else None
+        handle = JobHandle(job, tier, tenant, dl)
+        with self._cv:
+            self._counters["submitted"] += 1
+            if self._draining:
+                self._counters["rejected_draining"] += 1
+                raise Draining("gateway is draining; not accepting jobs")
+            if len(self._queue) >= self.max_queue_depth:
+                self._counters["rejected_queue_full"] += 1
+                add_counter("gateway.rejected")
+                raise Overloaded(
+                    "queue_full",
+                    f"gateway queue is full ({self.max_queue_depth} jobs)",
+                    tenant=tenant,
+                )
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = _TokenBucket(
+                    self.tenant_burst, self.tenant_rate
+                )
+            if not bucket.try_take(time.monotonic()):
+                self._counters["rejected_tenant_budget"] += 1
+                add_counter("gateway.rejected")
+                raise Overloaded(
+                    "tenant_budget",
+                    f"tenant {tenant!r} is out of admission tokens",
+                    tenant=tenant,
+                    retry_after=bucket.retry_after(),
+                )
+            self._counters["admitted"] += 1
+            add_counter("gateway.admitted")
+            self._seq += 1
+            heapq.heappush(self._queue, (_RANK[tier], self._seq, handle))
+            depth = len(self._queue)
+            if depth > self._counters["queue_depth_max"]:
+                self._counters["queue_depth_max"] = depth
+            self._handles[handle.job_id] = handle
+            while len(self._handles) > self.retain_handles:
+                self._handles.popitem(last=False)
+            if self._auto_dispatch and self._dispatcher is None:
+                self._start_locked()
+            self._cv.notify()
+        handle._emit("queued", priority=tier, tenant=tenant)
+        return handle
+
+    def get(self, job_id: str) -> JobHandle | None:
+        """The handle for ``job_id`` (most recent submission wins), or
+        ``None`` once evicted / never seen."""
+        with self._cv:
+            return self._handles.get(job_id)
+
+    # ------------------------------------------------------------------
+    # Dispatcher lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the dispatcher thread (idempotent)."""
+        with self._cv:
+            self._start_locked()
+
+    def _start_locked(self) -> None:
+        if self._dispatcher is None or not self._dispatcher.is_alive():
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                name="repro-gateway-dispatch",
+                daemon=True,
+            )
+            self._dispatcher.start()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def close(self, *, drain: bool = True, timeout: float = 60.0) -> None:
+        """Stop accepting jobs, then stop the dispatcher.  Idempotent.
+
+        Args:
+            drain: ``True`` lets already-queued jobs run to a terminal
+                status first; ``False`` abandons them (their handles
+                resolve ``crashed`` with a shutdown error).
+            timeout: Max seconds to wait for the dispatcher to finish.
+
+        A service passed into the constructor is left open (its owner
+        closes it); a gateway-created one is closed here.
+        """
+        abandoned: list[JobHandle] = []
+        with self._cv:
+            self._draining = True
+            self._stop = True
+            if not drain:
+                abandoned = [handle for _, _, handle in self._queue]
+                self._queue.clear()
+            elif self._queue and (
+                self._dispatcher is None or not self._dispatcher.is_alive()
+            ):
+                # auto_dispatch=False and start() never called: the
+                # queued jobs still deserve a terminal status.
+                self._start_locked()
+            self._cv.notify_all()
+            dispatcher = self._dispatcher
+        for handle in abandoned:
+            self._finish(
+                handle,
+                JobResult(
+                    job_id=handle.job_id,
+                    key="",
+                    status="crashed",
+                    error="gateway shut down before the job ran",
+                    attempts=0,
+                    metadata=handle.job.metadata,
+                ),
+            )
+        if dispatcher is not None and dispatcher.is_alive():
+            dispatcher.join(timeout)
+        if self._owns_service:
+            self.service.close()
+
+    def __enter__(self) -> "AsyncCompileService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Dispatch loop (the only code that touches the CompileService)
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._stop:
+                    self._cv.wait()
+                if not self._queue and self._stop:
+                    return
+                drained: list[JobHandle] = []
+                while self._queue and len(drained) < self.micro_batch:
+                    _, _, handle = heapq.heappop(self._queue)
+                    drained.append(handle)
+            self._run_batch(drained)
+
+    def _run_batch(self, drained: list[JobHandle]) -> None:
+        now = time.monotonic()
+        ready: list[JobHandle] = []
+        for handle in drained:
+            handle.queue_wait_s = now - handle.submitted_mono
+            handle.dispatch_index = self._dispatch_seq
+            self._dispatch_seq += 1
+            with self._cv:
+                self._wait_samples[handle.priority].append(
+                    handle.queue_wait_s
+                )
+            if handle.deadline is not None and handle.deadline.expired():
+                # Queued past its SLO: short-circuit without consuming
+                # a worker (or even touching the compile service).
+                with self._cv:
+                    self._counters["deadline_drops"] += 1
+                budget = handle.deadline.budget
+                self._finish(
+                    handle,
+                    JobResult(
+                        job_id=handle.job_id,
+                        key=handle.job.key(),
+                        status="timeout",
+                        error=(
+                            f"queued past its {budget}s SLO deadline; "
+                            "never dispatched"
+                        ),
+                        attempts=0,
+                        metadata=handle.job.metadata,
+                    ),
+                )
+                continue
+            if handle.deadline is not None:
+                remaining = max(handle.deadline.remaining(), 1e-3)
+                job = handle.job
+                job.deadline = (
+                    remaining if job.deadline is None
+                    else min(job.deadline, remaining)
+                )
+            ready.append(handle)
+        if not ready:
+            return
+
+        def on_event(i: int, kind: str, info=None) -> None:
+            handle = ready[i]
+            if kind == "started":
+                handle._emit("started")
+            elif kind == "retrying":
+                handle._emit("retrying", error=str(info or ""))
+            elif kind == "done" and info is not None:
+                self._finish(handle, info)
+
+        with self._cv:
+            self._counters["dispatched"] += len(ready)
+        jobs = [handle.job for handle in ready]
+        try:
+            with trace_span("gateway.dispatch", pass_="gateway",
+                            jobs=len(jobs)):
+                results = self.service.submit_batch(jobs, on_event=on_event)
+        except Exception as exc:  # noqa: BLE001 — keep the gateway alive
+            results = [
+                JobResult(
+                    job_id=handle.job_id,
+                    key="",
+                    status="crashed",
+                    error=f"gateway dispatch failed: "
+                          f"{type(exc).__name__}: {exc}",
+                    metadata=handle.job.metadata,
+                )
+                for handle in ready
+            ]
+        for handle, result in zip(ready, results):
+            self._finish(handle, result)
+
+    def _finish(self, handle: JobHandle, result: JobResult) -> None:
+        if not handle._resolve(result):
+            return
+        latency = time.monotonic() - handle.submitted_mono
+        with self._cv:
+            self._status_counts[result.status] += 1
+            self._latency_samples[handle.priority].append(latency)
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Gateway counters and per-tier latency percentiles, plus the
+        underlying :meth:`CompileService.stats` sections."""
+        with self._cv:
+            gw = {
+                key: self._counters[key]
+                for key in (
+                    "submitted", "admitted", "dispatched",
+                    "rejected_queue_full", "rejected_tenant_budget",
+                    "rejected_draining", "deadline_drops",
+                    "queue_depth_max",
+                )
+            }
+            gw["rejected"] = (
+                gw["rejected_queue_full"] + gw["rejected_tenant_budget"]
+                + gw["rejected_draining"]
+            )
+            gw["queue_depth"] = len(self._queue)
+            gw["draining"] = self._draining
+            gw["completed"] = {
+                status: self._status_counts[status]
+                for status in JOB_STATUSES
+                if self._status_counts[status]
+            }
+            waits = {t: list(s) for t, s in self._wait_samples.items()}
+            lats = {t: list(s) for t, s in self._latency_samples.items()}
+        tiers = {}
+        for tier in PRIORITIES:
+            tiers[tier] = {
+                "n": len(lats[tier]),
+                "queue_wait_p50_ms": _percentile_ms(waits[tier], 0.50),
+                "queue_wait_p95_ms": _percentile_ms(waits[tier], 0.95),
+                "latency_p50_ms": _percentile_ms(lats[tier], 0.50),
+                "latency_p95_ms": _percentile_ms(lats[tier], 0.95),
+            }
+        gw["tiers"] = tiers
+        all_lats = [x for tier in PRIORITIES for x in lats[tier]]
+        gw["job_latency_p50_ms"] = _percentile_ms(all_lats, 0.50)
+        gw["job_latency_p95_ms"] = _percentile_ms(all_lats, 0.95)
+        report = self.service.stats()
+        report["gateway"] = gw
+        return report
+
+
+def _percentile_ms(samples: list[float], q: float) -> float | None:
+    """The q-th percentile of ``samples`` (seconds), in milliseconds."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return round(ordered[idx] * 1000.0, 3)

@@ -40,6 +40,13 @@ class CompileJob:
             reported back on the matching :class:`JobResult`.
         timeout: Per-job wall-clock budget in seconds for batch runs
             (``None``: the service default).
+        deadline: Per-job *cooperative* routing deadline in seconds —
+            routers poll it and degrade through the fallback chain
+            instead of being killed.  Overrides any batch-wide
+            ``deadline`` for this job; the async gateway sets it to the
+            remaining SLO budget at dispatch time.  Not part of the
+            cache key (it changes when an answer arrives, not what the
+            clean answer is).
         metadata: Free-form caller annotations, passed through to the
             result untouched.
     """
@@ -49,6 +56,7 @@ class CompileJob:
     config: PassConfig = field(default_factory=PassConfig)
     job_id: str = ""
     timeout: float | None = None
+    deadline: float | None = None
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -64,6 +72,7 @@ class CompileJob:
         *,
         job_id: str = "",
         timeout: float | None = None,
+        deadline: float | None = None,
         metadata: dict | None = None,
     ) -> "CompileJob":
         """Build a job from rich objects, normalising every field.
@@ -96,6 +105,7 @@ class CompileJob:
             config=cfg,
             job_id=job_id,
             timeout=timeout,
+            deadline=deadline,
             metadata=dict(metadata or {}),
         )
 

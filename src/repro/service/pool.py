@@ -290,13 +290,22 @@ class WarmPool:
         just before death is never misread as a crash.
         """
         waitables = []
-        for worker in self._workers.values():
-            waitables.append(worker.events._reader)
-            waitables.append(worker.proc.sentinel)
+        # Copy: shutdown() (possibly from another thread — the engine's
+        # close() is documented concurrency-safe) clears the dict and
+        # closes channels while we iterate.
+        for worker in list(self._workers.values()):
+            try:
+                waitables.append(worker.events._reader)
+                waitables.append(worker.proc.sentinel)
+            except (OSError, ValueError):  # torn down under us
+                continue
         if not waitables:
             time.sleep(min(timeout, 0.005))
             return []
-        _connection_wait(waitables, timeout)
+        try:
+            _connection_wait(waitables, timeout)
+        except OSError:  # a channel died between listing and waiting
+            pass
         events: list[tuple] = []
         for worker in list(self._workers.values()):
             events.extend(self._drain(worker))

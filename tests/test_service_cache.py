@@ -141,16 +141,13 @@ class TestCompileCacheTiers:
         # The disk hit was promoted into the memory tier.
         assert fresh.lookup("deadbeef") == ({"payload": [1, 2, 3]}, "memory")
 
-    def test_last_tier_shim_deprecated(self):
+    def test_last_tier_shim_removed(self):
+        # The deprecated stateful accessor is gone; lookup() returns the
+        # tier with the artefact instead.
         cache = CompileCache()
         cache.put("k1", {"x": 1})
-        assert cache.get("k1") == {"x": 1}
-        with pytest.warns(DeprecationWarning, match="last_tier"):
-            assert cache.last_tier() == "memory"
-
-    def test_last_tier_initialised_before_any_lookup(self):
-        with pytest.warns(DeprecationWarning):
-            assert CompileCache().last_tier() is None
+        assert cache.lookup("k1") == ({"x": 1}, "memory")
+        assert not hasattr(cache, "last_tier")
 
     def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
         cache = CompileCache(directory=tmp_path)

@@ -292,3 +292,84 @@ class TestStats:
         assert "added_swaps" in data["metrics"]
         full = res.to_dict(include_artifact=True)
         assert full["artifact"]["routing"]["added_swaps"] >= 0
+
+
+class TestClose:
+    def test_close_is_idempotent(self):
+        service = CompileService(CompileCache(), max_workers=2)
+        service.submit_batch([_job(seed=s) for s in range(2)])
+        service.close()
+        service.close()  # second close is a no-op, not an error
+
+    def test_service_usable_again_after_close(self):
+        service = CompileService(CompileCache(), max_workers=2)
+        assert service.submit_batch([_job(seed=7)])[0].ok
+        service.close()
+        # A new batch lazily respawns the pool.
+        assert service.submit_batch([_job(seed=8)])[0].ok
+        service.close()
+
+    def test_concurrent_close_during_inflight_batch(self):
+        import threading
+
+        service = CompileService(CompileCache(), max_workers=2)
+        jobs = [
+            _job(
+                seed=20 + i, job_id=f"slow{i}",
+                metadata={"__test_hook__": "sleep:0.5"},
+            )
+            for i in range(4)
+        ]
+        closer = threading.Timer(0.15, service.close)
+        closer.start()
+        try:
+            results = service.submit_batch(jobs)
+        finally:
+            closer.join()
+        # No exception escaped, and every job still reached exactly one
+        # terminal status (completed before the close, or reported as
+        # crashed by the shutdown mop-up).
+        from repro.service import JOB_STATUSES
+
+        assert len(results) == len(jobs)
+        assert all(r.status in JOB_STATUSES for r in results)
+        service.close()
+
+
+class TestBatchEvents:
+    def test_on_event_lifecycle_ordering(self):
+        events = []
+        service = CompileService(CompileCache(), max_workers=2)
+        jobs = [_job(seed=30 + i, job_id=f"e{i}") for i in range(3)]
+        results = service.submit_batch(
+            jobs, on_event=lambda i, kind, info=None: events.append((i, kind))
+        )
+        service.close()
+        assert all(r.ok for r in results)
+        for i in range(len(jobs)):
+            kinds = [kind for j, kind in events if j == i]
+            assert kinds[-1] == "done"
+            assert kinds.index("started") < kinds.index("done")
+
+    def test_on_event_fires_done_for_cache_hits(self):
+        events = []
+        service = CompileService(CompileCache())
+        job = _job(seed=31)
+        service.submit(job)
+        service.submit_batch(
+            [job], on_event=lambda i, kind, info=None:
+            events.append((kind, info))
+        )
+        kinds = [kind for kind, _ in events]
+        assert kinds == ["done"]
+        assert events[0][1].cache_hit == "memory"
+        service.close()
+
+    def test_on_event_exceptions_do_not_kill_the_batch(self):
+        def bomb(i, kind, info=None):
+            raise RuntimeError("observer bug")
+
+        service = CompileService(CompileCache())
+        results = service.submit_batch([_job(seed=32)], on_event=bomb)
+        assert results[0].ok
+        service.close()
