@@ -691,7 +691,15 @@ def _cmd_batch(args, out) -> int:
                 file=out,
             )
         print(
-            f"  artifacts_match_serial={summary['artifacts_match_serial']}",
+            f"  router sweep  {summary['sweep_seconds']:>8}s "
+            f"({summary['sweep_cases']} jobs, "
+            f"stage hit rate {summary['stage_hit_rate']:.0%}, "
+            f"{summary['sweep_speedup']}x vs serial)",
+            file=out,
+        )
+        print(
+            f"  artifacts_match_serial={summary['artifacts_match_serial']} "
+            f"sweep_artifacts_match={summary['sweep_artifacts_match']}",
             file=out,
         )
         if args.json_path:
@@ -701,7 +709,11 @@ def _cmd_batch(args, out) -> int:
             print(f"wrote {args.json_path}", file=out)
         if tracer is not None:
             _write_trace(args, tracer, out, meta={"bench_summary": summary})
-        return 0 if summary["artifacts_match_serial"] else 3
+        matches = (
+            summary["artifacts_match_serial"]
+            and summary["sweep_artifacts_match"]
+        )
+        return 0 if matches else 3
 
     if args.corpus == "perf":
         from .perf import corpus_jobs

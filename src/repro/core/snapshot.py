@@ -44,6 +44,8 @@ __all__ = [
     "ExecutionSnapshot",
     "gate_to_obj",
     "gate_from_obj",
+    "placement_to_obj",
+    "placement_from_obj",
     "schedule_to_obj",
     "schedule_from_obj",
 ]
@@ -76,6 +78,22 @@ def gate_from_obj(obj: Mapping) -> Gate:
         tuple(obj.get("params", ())),
         tuple(condition) if condition is not None else None,
     )
+
+
+def placement_to_obj(placement: Placement) -> dict:
+    """A placement as a JSON-able dict (inverse of
+    :func:`placement_from_obj`) — the paper's program->physical integer
+    array plus the program-qubit count."""
+    return {
+        "prog_to_phys": placement.prog_to_phys(),
+        "num_program": placement.num_program,
+    }
+
+
+def placement_from_obj(obj: Mapping) -> Placement:
+    """Rebuild a :class:`~repro.mapping.placement.Placement` from
+    :func:`placement_to_obj` output."""
+    return Placement(obj["prog_to_phys"], obj["num_program"])
 
 
 def schedule_to_obj(schedule: Schedule) -> dict:

@@ -15,7 +15,13 @@ benchmark times three phases and reports circuits/second for each:
 4. **gateway** — the warm workload once more through the async job
    gateway (:class:`~repro.service.AsyncCompileService`), measuring the
    per-job submit→result round trip the HTTP front end adds on top of
-   the cache.
+   the cache;
+5. **router sweep** — one fixed circuit compiled under every router ×
+   scheduler combination on a fresh cache: every full-pipeline key is
+   distinct (100% cold before stage sharding), but the per-stage
+   entries reuse the placement across routers and each routed circuit
+   across schedulers.  Reports the stage-hit rate and byte-compares
+   every swept artefact against a fresh serial compile.
 
 It also cross-checks correctness: the artefact served from the cache in
 phase 3 must be byte-identical (canonical JSON) to the artefact a fresh
@@ -41,7 +47,7 @@ from ..service.keys import canonical_json
 from ..workloads import random_circuit
 from .bench import _DEVICES, _INSTANCES, _ROUTERS
 
-__all__ = ["corpus_jobs", "run_service_bench"]
+__all__ = ["corpus_jobs", "router_sweep_jobs", "run_service_bench"]
 
 #: Router-option variants of the corpus, as (router, options) configs —
 #: mirrors :data:`repro.perf.bench._VARIANTS`, which stores them as
@@ -86,6 +92,35 @@ def corpus_jobs(limit: int | None = None) -> list[CompileJob]:
             )
         )
     return jobs[:limit] if limit is not None else jobs
+
+
+#: The router-sweep grid: every router × every scheduler, one circuit.
+_SWEEP_ROUTERS = ("sabre", "astar", "naive", "latency")
+_SWEEP_SCHEDULES = ("asap", "alap", "constraints")
+
+
+def router_sweep_jobs() -> list[CompileJob]:
+    """The router-sweep workload: one circuit, 4 routers × 3 schedulers.
+
+    Production-shaped traffic per ISSUE/ROADMAP: sweeping routers and
+    scheduler tweaks over a fixed circuit and placement.  Every job has
+    a distinct full-pipeline cache key, so before stage-level sharding
+    this workload was 100% cold.
+    """
+    device = _DEVICES["ibm_qx5"]()
+    qasm = to_openqasm(random_circuit(12, 60, seed=42, two_qubit_fraction=0.6))
+    jobs: list[CompileJob] = []
+    for router_name in _SWEEP_ROUTERS:
+        for sched in _SWEEP_SCHEDULES:
+            jobs.append(
+                CompileJob.create(
+                    qasm,
+                    device,
+                    PassConfig(router=router_name, schedule=sched),
+                    job_id=f"sweep/{router_name}/{sched}",
+                )
+            )
+    return jobs
 
 
 def _time_oneshot_cli() -> float | None:
@@ -184,6 +219,34 @@ def run_service_bench(
     gateway_stats = gw.stats().get("gateway", {})
     gw.close(drain=True)
 
+    # Phase 5: router sweep on a fresh in-memory cache.  Runs inline
+    # (one worker) so the parent-side stage store serves every probe and
+    # the counters are exact; the serial baseline below compiles the
+    # same grid with no stage store for the byte-compare and timing.
+    sweep_jobs = router_sweep_jobs()
+    sweep_serial: dict[str, str] = {}
+    t0 = time.perf_counter()
+    for job in sweep_jobs:
+        result = compile_with_config(
+            parse_qasm(job.qasm), Device.from_dict(job.device), job.config
+        )
+        sweep_serial[job.job_id] = canonical_json(
+            result_to_artifact(result, config=job.config)
+        )
+    sweep_serial_seconds = time.perf_counter() - t0
+
+    sweep_service = CompileService(CompileCache(), max_workers=1)
+    t0 = time.perf_counter()
+    sweep_results = sweep_service.submit_batch(sweep_jobs)
+    sweep_seconds = time.perf_counter() - t0
+    sweep_mismatches = [
+        r.job_id
+        for r in sweep_results
+        if not r.ok or canonical_json(r.artifact) != sweep_serial[r.job_id]
+    ]
+    sweep_cache = sweep_service.stats()["cache"]
+    sweep_service.close()
+
     report_cases = []
     for job, cold_r, warm_r in zip(workload, cold, warm):
         report_cases.append(
@@ -221,6 +284,17 @@ def run_service_bench(
         "gateway_throughput": (
             round(n / gateway_seconds, 2) if gateway_seconds else None
         ),
+        "sweep_cases": len(sweep_jobs),
+        "sweep_seconds": round(sweep_seconds, 4),
+        "sweep_serial_seconds": round(sweep_serial_seconds, 4),
+        "sweep_speedup": (
+            round(sweep_serial_seconds / sweep_seconds, 2)
+            if sweep_seconds else None
+        ),
+        "sweep_artifacts_match": not sweep_mismatches,
+        "stage_hits": sweep_cache["stage_hits"],
+        "stage_misses": sweep_cache["stage_misses"],
+        "stage_hit_rate": sweep_cache["stage_hit_rate"],
     }
     if oneshot_baseline:
         sample = _time_oneshot_cli()
@@ -243,6 +317,18 @@ def run_service_bench(
             "round_trip_p95_ms": summary["gateway_round_trip_p95_ms"],
             "throughput": summary["gateway_throughput"],
             "stats": gateway_stats,
+        },
+        "router_sweep": {
+            "routers": list(_SWEEP_ROUTERS),
+            "schedules": list(_SWEEP_SCHEDULES),
+            "cases": len(sweep_jobs),
+            "seconds": summary["sweep_seconds"],
+            "serial_seconds": summary["sweep_serial_seconds"],
+            "speedup": summary["sweep_speedup"],
+            "artifacts_match": summary["sweep_artifacts_match"],
+            "mismatches": sweep_mismatches,
+            "stage_hit_rate": sweep_cache["stage_hit_rate"],
+            "stages": sweep_cache["stages"],
         },
     }
 

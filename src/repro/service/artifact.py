@@ -21,9 +21,13 @@ from __future__ import annotations
 from typing import Mapping
 
 from ..core.pipeline import CompilationResult, PassConfig
-from ..core.snapshot import schedule_from_obj, schedule_to_obj
+from ..core.snapshot import (
+    placement_from_obj,
+    placement_to_obj,
+    schedule_from_obj,
+    schedule_to_obj,
+)
 from ..devices.device import Device
-from ..mapping.placement import Placement
 from ..mapping.routing import RoutingResult
 from ..qasm import parse_qasm, to_openqasm
 from .keys import ARTIFACT_SCHEMA
@@ -34,17 +38,6 @@ __all__ = [
     "artifact_metrics",
     "validate_artifact",
 ]
-
-
-def _placement_to_obj(placement: Placement) -> dict:
-    return {
-        "prog_to_phys": placement.prog_to_phys(),
-        "num_program": placement.num_program,
-    }
-
-
-def _placement_from_obj(obj: Mapping) -> Placement:
-    return Placement(obj["prog_to_phys"], obj["num_program"])
 
 
 def result_to_artifact(
@@ -73,8 +66,8 @@ def result_to_artifact(
         "routing": {
             "router": result.routed.router,
             "added_swaps": result.routed.added_swaps,
-            "initial": _placement_to_obj(result.routed.initial),
-            "final": _placement_to_obj(result.routed.final),
+            "initial": placement_to_obj(result.routed.initial),
+            "final": placement_to_obj(result.routed.final),
         },
         "flips": result.flips,
         "placer": result.placer,
@@ -124,8 +117,8 @@ def artifact_to_result(artifact: Mapping) -> CompilationResult:
     routing = artifact["routing"]
     routed = RoutingResult(
         circuit=parse_qasm(artifact["routed_qasm"]),
-        initial=_placement_from_obj(routing["initial"]),
-        final=_placement_from_obj(routing["final"]),
+        initial=placement_from_obj(routing["initial"]),
+        final=placement_from_obj(routing["final"]),
         added_swaps=routing["added_swaps"],
         router=routing["router"],
     )

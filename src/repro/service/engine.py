@@ -70,7 +70,7 @@ from ..resilience.faults import (
     use_faults,
 )
 from .artifact import artifact_metrics, result_to_artifact, validate_artifact
-from .cache import CompileCache
+from .cache import CacheStageStore, CompileCache
 from .jobs import CompileJob, JobResult
 from .pool import WarmPool
 
@@ -88,6 +88,7 @@ def run_payload(
     *,
     dispatch_mono: float | None = None,
     trace: bool = False,
+    stage_store: CacheStageStore | None = None,
 ) -> dict:
     """Compile one job payload; always returns, never raises.
 
@@ -108,6 +109,14 @@ def run_payload(
     * ``router_override`` — route with this router instead of the
       config's (a fallback retry after a crash); the result is marked
       degraded.
+    * ``stage_cache_dir`` — the parent cache's disk directory.  A pool
+      worker opens its own disk-only view of it
+      (:class:`CompileCache` with the memory tier off) and probes the
+      per-stage entries before running each stage, then ships the
+      per-stage hit/miss counters back in the outcome's
+      ``stage_counters`` for the parent to merge.  Inline callers pass
+      ``stage_store`` directly instead.  Fault-plan runs never touch
+      the stage cache.
 
     The outcome's ``status`` is one of ``ok | degraded | timeout |
     crashed | invalid`` — the same taxonomy the parent reports.
@@ -133,6 +142,20 @@ def run_payload(
     plan = None
     if payload.get("faults"):
         plan = FaultPlan.from_dict(payload["faults"])
+    local_store = None
+    if plan is not None:
+        # Fault runs must never read or warm the stage cache: injected
+        # failures and corruption hooks would otherwise interleave with
+        # real traffic's intermediates.
+        stage_store = None
+    elif stage_store is None and payload.get("stage_cache_dir"):
+        local_store = CacheStageStore(
+            CompileCache(
+                max_memory_entries=0,
+                directory=payload["stage_cache_dir"],
+            )
+        )
+        stage_store = local_store
     deadline = None
     if payload.get("deadline_s") is not None:
         deadline = Deadline.after(float(payload["deadline_s"]))
@@ -166,7 +189,8 @@ def run_payload(
                         override = None
                         run_config = config
                     result = compile_with_config(
-                        circuit, device, run_config, deadline=deadline
+                        circuit, device, run_config, deadline=deadline,
+                        stage_store=stage_store,
                     )
                     if override is not None:
                         # A fallback retry: record the full degradation
@@ -217,6 +241,12 @@ def run_payload(
             "compile_seconds": time.perf_counter() - t0,
         }
     outcome["started_mono"] = started_mono
+    if local_store is not None:
+        # Worker-local counters; the parent owns the aggregate (inline
+        # stores hit the parent cache directly and ship nothing).
+        counters = local_store.cache.stage_counters()
+        if counters:
+            outcome["stage_counters"] = counters
     if dispatch_mono is not None:
         outcome["dispatch_mono"] = dispatch_mono
     if tracer is not None:
@@ -259,6 +289,14 @@ class CompileService:
         preload_native: Have pool workers resolve the native A* kernel
             in their initializer (default on; moot under
             ``REPRO_NO_NATIVE``).
+        stage_cache: Probe and populate the cache's per-stage entries
+            (placement / routing / lower / schedule) on full-key misses,
+            so e.g. a router sweep re-keys only the stages downstream of
+            the changed knob.  Inline compiles share the service cache's
+            stage namespace directly; pool workers probe the disk tier
+            via the payload's ``stage_cache_dir`` (a memory-only service
+            cache keeps stage entries parent-side only).  Default on;
+            moot when ``cache`` is ``None``.
 
     The service owns one :class:`~repro.service.pool.WarmPool`, created
     lazily on the first pooled batch and reused for every batch after
@@ -277,6 +315,7 @@ class CompileService:
         default_deadline: float | None = None,
         fault_plan: FaultPlan | None = None,
         preload_native: bool = True,
+        stage_cache: bool = True,
     ) -> None:
         self.cache = CompileCache() if cache is _DEFAULT_CACHE else cache
         self.max_workers = max_workers or (os.cpu_count() or 1)
@@ -285,6 +324,7 @@ class CompileService:
         self.default_deadline = default_deadline
         self.fault_plan = fault_plan
         self.preload_native = preload_native
+        self.stage_cache = bool(stage_cache)
         self._pool: WarmPool | None = None
         self._pool_lock = threading.Lock()
         self._counters: Counter = Counter()
@@ -373,8 +413,16 @@ class CompileService:
             payload,
             dispatch_mono=dispatch_mono,
             trace=current_tracer().enabled,
+            stage_store=self._stage_store(plan),
         )
         return self._finish(job, key, outcome, dispatch_mono, attempts=1)
+
+    def _stage_store(self, plan: FaultPlan | None) -> CacheStageStore | None:
+        """The parent-side stage store for inline compiles (``None``
+        when stage caching is off, uncached, or a fault plan is live)."""
+        if not self.stage_cache or self.cache is None or plan is not None:
+            return None
+        return CacheStageStore(self.cache)
 
     # ------------------------------------------------------------------
     # Batch submit
@@ -493,6 +541,7 @@ class CompileService:
             )
             if not needs_pool:
                 trace = current_tracer().enabled
+                inline_store = self._stage_store(plan)
                 for i in pending:
                     if batch_dl is not None and batch_dl.expired():
                         self._counters["timeouts"] += 1
@@ -519,6 +568,7 @@ class CompileService:
                     emit(i, "started")
                     outcome = run_payload(
                         payload, dispatch_mono=dispatch_mono, trace=trace,
+                        stage_store=inline_store,
                     )
                     results[i] = self._finish(
                         jobs[i], keys[i], outcome, dispatch_mono, attempts=1
@@ -848,14 +898,21 @@ class CompileService:
         plan: FaultPlan | None,
         router_override: str | None = None,
     ) -> dict:
-        """Attach the resilience keys to a worker payload.
+        """Attach the resilience and stage-cache keys to a worker payload.
 
         With no plan, no deadline and no override the payload is
-        returned untouched — byte-identical to the pre-resilience
-        engine's, which keeps clean-path artefacts stable.
+        returned untouched apart from ``stage_cache_dir`` (a pure cache
+        hint that never influences artefact bytes) — the clean-path
+        artefacts stay stable.
         """
         if plan is not None:
             payload["faults"] = plan.to_dict()
+        elif (
+            self.stage_cache
+            and self.cache is not None
+            and self.cache.directory is not None
+        ):
+            payload["stage_cache_dir"] = str(self.cache.directory)
         if deadline is not None:
             payload["deadline_s"] = deadline
         if batch_deadline is not None:
@@ -947,6 +1004,9 @@ class CompileService:
         # which would silently turn a clock bug into a zero wait.
         queue_wait = outcome.get("started_mono", dispatch_mono) - dispatch_mono
         compile_s = outcome.get("compile_seconds", 0.0)
+        stage_counters = outcome.get("stage_counters")
+        if stage_counters and self.cache is not None:
+            self.cache.merge_stage_counters(stage_counters)
         spans = outcome.get("spans")
         if spans:
             tracer = current_tracer()
@@ -1047,6 +1107,10 @@ class CompileService:
             pool_stats["pool_reuse_hits"] if pool_stats else 0
         )
         cache_stats = self.cache.stats() if self.cache is not None else None
+        # Headline stage-cache numbers ride on the service dict too, so
+        # reports that only keep the service section still show them.
+        for name in ("stage_hits", "stage_misses", "stage_hit_rate"):
+            service[name] = cache_stats[name] if cache_stats else 0
         return {"service": service, "cache": cache_stats, "pool": pool_stats}
 
     def trace_report(self, tracer) -> dict:

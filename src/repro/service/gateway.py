@@ -110,6 +110,14 @@ class _TokenBucket:
         return False
 
     def retry_after(self) -> float | None:
+        """Seconds until the next token, ``None`` when it never refills.
+
+        ``rate=0`` is a legitimate burst-only budget (``capacity``
+        admissions, then closed): dividing by the rate would raise
+        ``ZeroDivisionError``, so the guard must stay ahead of the
+        division and callers must treat ``None`` as "do not advertise a
+        retry time" (the HTTP front end omits the ``Retry-After``
+        header entirely)."""
         if self.rate <= 0:
             return None
         return max(0.0, (1.0 - self.tokens) / self.rate)

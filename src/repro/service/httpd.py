@@ -33,6 +33,7 @@ the bound address before serving.
 from __future__ import annotations
 
 import json
+import math
 import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlsplit
@@ -137,7 +138,10 @@ class GatewayRequestHandler(BaseHTTPRequestHandler):
         except Overloaded as exc:
             headers = {}
             if exc.retry_after is not None:
-                headers["Retry-After"] = f"{exc.retry_after:.3f}"
+                # RFC 9110 §10.2.3: delay-seconds is a non-negative
+                # *integer*.  Round up so clients never retry early; a
+                # 0.0 budget still advertises "Retry-After: 0".
+                headers["Retry-After"] = str(math.ceil(exc.retry_after))
             self._send(
                 429,
                 {"error": str(exc), "reason": exc.reason,

@@ -38,10 +38,15 @@ __all__ = [
     "canonical_qasm",
     "device_fingerprint",
     "compute_key",
+    "stage_key",
 ]
 
 #: Bump when the artefact dict layout changes incompatibly.
 ARTIFACT_SCHEMA = 1
+
+#: Bump when any *stage* entry layout changes incompatibly
+#: (independent of the full-artefact schema: the two evolve separately).
+STAGE_SCHEMA = 1
 
 
 def canonical_json(obj) -> str:
@@ -93,6 +98,41 @@ def compute_key(
             "qasm": qasm,
             "device": device_data,
             "config": config.to_dict(),
+        }
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def stage_key(
+    stage: str,
+    inputs: dict,
+    config: dict,
+    *,
+    version: str = __version__,
+) -> str:
+    """The cache key (64 hex digits) of one pipeline *stage*.
+
+    Commits to the stage name, the stage's content-addressed input
+    snapshot (circuits as canonical OpenQASM text, the device as its
+    dict form — exactly what :func:`repro.core.pipeline.compile_circuit`
+    hands its ``stage_store``), that stage's slice of the pass config
+    (:meth:`repro.core.pipeline.PassConfig.stage_slice`), the stage
+    schema and the library version.  Because only the *relevant* config
+    slice is hashed, a placement entry survives a router change and a
+    routing entry survives a scheduler change — invalidation by
+    addressing, per stage.
+
+    Raises:
+        TypeError: when ``inputs``/``config`` contain values with no
+            canonical JSON form (such entries are uncacheable).
+    """
+    payload = canonical_json(
+        {
+            "stage_schema": STAGE_SCHEMA,
+            "version": version,
+            "stage": stage,
+            "inputs": inputs,
+            "config": config,
         }
     )
     return hashlib.sha256(payload.encode()).hexdigest()

@@ -242,6 +242,42 @@ class TestCompileCacheTiers:
         cache.clear()
         assert cache.get("k") is None
 
+    def test_unwritable_cache_dir_counts_disk_error(self, tmp_path):
+        # Regression: put() used to run the cache-directory mkdir
+        # *outside* its try block, so a directory that cannot be created
+        # raised out of put() instead of being counted like every other
+        # disk failure.  A plain file squatting on the parent path makes
+        # mkdir fail regardless of privileges (chmod is moot as root).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        cache = CompileCache(directory=blocker / "cache")
+        cache.put("k1", {"v": 1})  # must not raise
+        stats = cache.stats()
+        assert stats["puts"] == 1
+        assert stats["disk_errors"] == 1
+        # The memory tier still serves the artefact.
+        assert cache.get("k1") == {"v": 1}
+
+    def test_put_stores_copy_so_caller_mutation_is_invisible(self, tmp_path):
+        # Regression: _remember used to keep the caller's dict by
+        # reference, so annotating an artefact after put() silently
+        # corrupted the memory tier while the disk tier kept the
+        # original bytes — the two tiers answered differently.
+        cache = CompileCache(directory=tmp_path)
+        artifact = {"metrics": {"added_swaps": 3}, "metadata": {}}
+        cache.put("alias", artifact)
+        artifact["metadata"]["annotated"] = True
+        artifact["metrics"]["added_swaps"] = 999
+
+        from_memory, tier = cache.lookup("alias")
+        assert tier == "memory"
+        fresh = CompileCache(directory=tmp_path)
+        from_disk, tier = fresh.lookup("alias")
+        assert tier == "disk"
+        assert from_memory == from_disk == {
+            "metrics": {"added_swaps": 3}, "metadata": {},
+        }
+
 
 class TestCacheCorrectness:
     """Cached artefacts must be byte-identical to fresh compiles."""

@@ -203,6 +203,22 @@ class TestAdmissionControl:
         gw.submit(_job(seed=76, job_id="r2"))  # refilled: admitted
         gw.close()
 
+    def test_token_bucket_rate_zero_never_divides(self):
+        # Burst-only budget: rate=0 must mean "no retry time", never a
+        # ZeroDivisionError from dividing by the refill rate.
+        from repro.service.gateway import _TokenBucket
+
+        bucket = _TokenBucket(capacity=2, rate=0.0)
+        now = time.monotonic()
+        assert bucket.try_take(now)
+        assert bucket.try_take(now)
+        assert not bucket.try_take(now)
+        assert bucket.retry_after() is None
+        # The bucket stays closed forever: even an hour of simulated
+        # elapsed time refills nothing.
+        assert not bucket.try_take(now + 3600.0)
+        assert bucket.retry_after() is None
+
     def test_draining_rejects_submissions(self, service):
         gw = AsyncCompileService(service)
         gw.close()

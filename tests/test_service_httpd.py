@@ -240,12 +240,64 @@ class TestOverloadAndDrain:
             })
             assert code == 429
             assert body["reason"] == "tenant_budget"
-            assert float(headers["Retry-After"]) >= 0
+            # RFC 9110 delay-seconds: a non-negative *integer*, rounded
+            # up so clients never retry before the bucket refills.
+            value = headers["Retry-After"]
+            assert value.isdigit(), value
+            assert int(value) >= 1
         finally:
             server.shutdown()
             server.server_close()
             gateway.close()
             service.close()
+
+    def test_burst_only_tenant_429_omits_retry_after(self):
+        # tenant_rate=0 is a legitimate burst-only budget: the bucket
+        # never refills, so there is no honest retry time to advertise
+        # (and computing one used to be a division by the zero rate).
+        service = CompileService(CompileCache(), max_workers=2)
+        gateway = AsyncCompileService(
+            service, auto_dispatch=False, tenant_burst=1, tenant_rate=0.0
+        )
+        server = GatewayServer(("127.0.0.1", 0), gateway)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = _Client(server.port)
+        try:
+            code, _, _ = client.post("/jobs", {
+                "qasm": _qasm(15), "device": "ibm_qx4",
+            })
+            assert code == 202
+            code, body, headers = client.post("/jobs", {
+                "qasm": _qasm(16), "device": "ibm_qx4",
+            })
+            assert code == 429
+            assert body["reason"] == "tenant_budget"
+            assert headers.get("Retry-After") is None
+        finally:
+            server.shutdown()
+            server.server_close()
+            gateway.close()
+            service.close()
+
+    def test_zero_retry_after_still_emits_header(self, stack):
+        # retry_after == 0.0 means "retry immediately", which is still a
+        # statement — the header must say "0", not disappear.
+        from repro.service.gateway import Overloaded
+
+        _, gateway, _, client = stack
+
+        def reject(*args, **kwargs):
+            raise Overloaded(
+                "tenant_budget", "budget exhausted",
+                tenant="default", retry_after=0.0,
+            )
+
+        gateway.submit = reject
+        code, _, headers = client.post("/jobs", {
+            "qasm": _qasm(17), "device": "ibm_qx4",
+        })
+        assert code == 429
+        assert headers["Retry-After"] == "0"
 
     def test_draining_returns_503(self, stack):
         _, gateway, _, client = stack
