@@ -31,6 +31,7 @@ from .core.pipeline import compile_circuit
 from .devices import Device, available_devices, get_device
 from .mapping.placement import PLACERS
 from .mapping.routing import ROUTERS
+from .mapping.routing.base import RoutingError
 from .qasm import QasmError, parse_qasm, schedule_to_cqasm, to_cqasm, to_openqasm
 from .verify import equivalent_mapped
 from .viz import draw_circuit, draw_device, draw_schedule
@@ -157,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--repeats", type=int, default=1,
         help="timing repeats per case, best-of-N (default 1)",
+    )
+    bench.add_argument(
+        "--large", action="store_true",
+        help="also run the 80-119 qubit large-device corpus "
+        "(exercises the multi-word native kernels)",
     )
     bench.add_argument(
         "--trace", metavar="FILE", dest="trace_path",
@@ -327,6 +333,10 @@ def _add_device_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--rows", type=int, default=None, help="grid rows")
     parser.add_argument("--cols", type=int, default=None, help="grid cols")
+    parser.add_argument(
+        "--row-len", type=int, default=None,
+        help="qubits per row for the heavy_hex device",
+    )
 
 
 def _resolve_device(args: argparse.Namespace) -> Device:
@@ -341,6 +351,10 @@ def _resolve_device(args: argparse.Namespace) -> Device:
         if args.qubits is None:
             raise SystemExit(f"{args.device} device needs --qubits")
         params = {"num_qubits": args.qubits}
+    elif args.device == "heavy_hex":
+        if args.rows is None or args.row_len is None:
+            raise SystemExit("heavy_hex device needs --rows and --row-len")
+        params = {"rows": args.rows, "row_len": args.row_len}
     return get_device(args.device, **params)
 
 
@@ -385,19 +399,24 @@ def _cmd_map(args, out) -> int:
 
     tracer, trace_ctx = _make_tracer(args)
     with trace_ctx:
-        result = compile_circuit(
-            circuit,
-            device,
-            placer=args.placer,
-            router=args.router,
-            decompose=not args.no_decompose,
-            optimize=args.optimize,
-            schedule=None if args.schedule == "none" else args.schedule,
-        )
+        try:
+            result = compile_circuit(
+                circuit,
+                device,
+                placer=args.placer,
+                router=args.router,
+                decompose=not args.no_decompose,
+                optimize=args.optimize,
+                schedule=None if args.schedule == "none" else args.schedule,
+            )
+        except RoutingError as exc:
+            raise CliError(f"routing failed: {exc}") from exc
     if tracer is not None:
         _write_trace(args, tracer, out)
 
     if args.verify:
+        from .verify import STATEVECTOR_LIMIT
+
         unitary_only = all(
             g.is_unitary or g.is_barrier for g in result.native.gates
         )
@@ -405,6 +424,13 @@ def _cmd_map(args, out) -> int:
             print(
                 "warning: circuit contains measurements; skipping the "
                 "unitary equivalence check",
+                file=sys.stderr,
+            )
+        elif result.native.num_qubits > STATEVECTOR_LIMIT:
+            print(
+                f"warning: {result.native.num_qubits}-qubit device exceeds "
+                f"the {STATEVECTOR_LIMIT}-qubit statevector limit; skipping "
+                "the equivalence check",
                 file=sys.stderr,
             )
         elif not equivalent_mapped(
@@ -488,7 +514,7 @@ def _cmd_bench(args, out) -> int:
 
     tracer, trace_ctx = _make_tracer(args)
     with trace_ctx:
-        report = run_bench(repeats=args.repeats)
+        report = run_bench(repeats=args.repeats, include_large=args.large)
     print(f"{'case':<42} {'seconds':>9} {'seed_s':>9} {'swaps':>6} match",
           file=out)
     for case in report["cases"]:
@@ -512,6 +538,16 @@ def _cmd_bench(args, out) -> int:
             f"{summary['hot_case_speedup']}x vs seed",
             file=out,
         )
+    kernel = summary["kernel"]
+    print(
+        f"kernel: available={kernel['available']} "
+        f"native_layers={kernel['native_layers']} "
+        f"python_layers={kernel['python_layers']} "
+        f"batch_calls={kernel['batch_calls']} "
+        f"sabre_native={kernel['sabre_native_calls']} "
+        f"sabre_python={kernel['sabre_python_calls']}",
+        file=out,
+    )
     if args.json_path:
         with open(args.json_path, "w") as fh:
             json.dump(report, fh, indent=2)

@@ -8,6 +8,7 @@ from .library import (
     available_devices,
     get_device,
     grid_device,
+    heavy_hex_device,
     ibm_qx4,
     ibm_qx5,
     linear_device,
@@ -24,6 +25,7 @@ __all__ = [
     "available_devices",
     "get_device",
     "grid_device",
+    "heavy_hex_device",
     "ion_trap_device",
     "ibm_qx4",
     "ibm_qx5",

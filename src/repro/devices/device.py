@@ -276,12 +276,24 @@ class Device:
         # must not serve each other's paths.
         @lru_cache(maxsize=None)
         def _path(a: int, b: int) -> tuple[int, ...]:
-            return tuple(nx.shortest_path(self.undirected, a, b))
+            try:
+                return tuple(nx.shortest_path(self.undirected, a, b))
+            except nx.NetworkXNoPath:
+                raise ValueError(
+                    f"no path between qubits {a} and {b} on device "
+                    f"{self.name!r}: the coupling graph is disconnected"
+                ) from None
 
         return _path
 
     def shortest_path(self, a: int, b: int) -> list[int]:
-        """A shortest undirected path from ``a`` to ``b`` (inclusive)."""
+        """A shortest undirected path from ``a`` to ``b`` (inclusive).
+
+        Raises:
+            ValueError: When ``a`` and ``b`` lie in different connected
+                components (:meth:`distance` returns the
+                ``num_qubits**2`` sentinel for such pairs instead).
+        """
         return list(self._shortest_path_cache(a, b))
 
     # ------------------------------------------------------------------
@@ -408,14 +420,17 @@ class Device:
         positions = None
         if "positions" in data:
             positions = {int(q): tuple(p) for q, p in data["positions"].items()}
-        # Edges in the dict are fully expanded; pass symmetric=False so
-        # they are not doubled again, the flag is restored afterwards.
-        device = cls(
+        # Dicts produced by to_dict carry fully expanded edges, but a
+        # hand-written config may list each connection once.  Passing the
+        # flag through the constructor expands reverse orientations in
+        # both cases (the expansion is idempotent on expanded inputs), so
+        # `symmetric=True` always implies `has_edge` both ways.
+        return cls(
             data["name"],
             data["num_qubits"],
             [tuple(e) for e in data["edges"]],
             data["native_gates"],
-            symmetric=False,
+            symmetric=bool(data.get("symmetric", True)),
             two_qubit_gate=data.get("two_qubit_gate", "cnot"),
             durations=data.get("durations"),
             cycle_time_ns=data.get("cycle_time_ns", 20.0),
@@ -423,8 +438,6 @@ class Device:
             constraints=constraints,
             features=data.get("features", ()),
         )
-        device.symmetric = bool(data.get("symmetric", True))
-        return device
 
     def to_json(self, path: str | Path | None = None) -> str:
         """Serialise to JSON, optionally writing ``path``."""

@@ -25,6 +25,7 @@ from .topologies import (
     SURFACE17_ROWS,
     all_to_all_edges,
     grid_edges,
+    heavy_hex_edges,
     ibm_qx4_edges,
     ibm_qx5_edges,
     linear_edges,
@@ -43,6 +44,7 @@ __all__ = [
     "ring_device",
     "grid_device",
     "all_to_all_device",
+    "heavy_hex_device",
 ]
 
 #: Native single-qubit set of the IBM QX devices: the Euler-decomposition
@@ -218,6 +220,17 @@ def all_to_all_device(num_qubits: int, two_qubit_gate: str = "cnot") -> Device:
     return _generic(f"ions{num_qubits}", num_qubits, edges, positions, two_qubit_gate)
 
 
+def heavy_hex_device(
+    rows: int, row_len: int, two_qubit_gate: str = "cnot"
+) -> Device:
+    """A heavy-hexagon lattice (IBM Falcon/Eagle style) with bridges."""
+    edges, positions = heavy_hex_edges(rows, row_len)
+    num_qubits = len(positions)
+    return _generic(
+        f"heavyhex{num_qubits}", num_qubits, edges, positions, two_qubit_gate
+    )
+
+
 def _generic(
     name: str,
     num_qubits: int,
@@ -248,7 +261,10 @@ _FIXED: dict[str, Callable[[], Device]] = {
     "surface7": surface7,
 }
 
-_PARAMETRIC = {"linear", "ring", "grid", "all_to_all", "dots", "iontrap", "photonic"}
+_PARAMETRIC = {
+    "linear", "ring", "grid", "all_to_all", "heavy_hex", "dots", "iontrap",
+    "photonic",
+}
 
 
 def available_devices() -> list[str]:
@@ -278,6 +294,8 @@ def get_device(name: str, **params) -> Device:
         return grid_device(**params)
     if key == "all_to_all":
         return all_to_all_device(**params)
+    if key == "heavy_hex":
+        return heavy_hex_device(**params)
     if key == "dots":
         from .dots import quantum_dot_device
 

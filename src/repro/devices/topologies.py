@@ -17,6 +17,7 @@ __all__ = [
     "ring_edges",
     "grid_edges",
     "all_to_all_edges",
+    "heavy_hex_edges",
     "ibm_qx4_edges",
     "ibm_qx5_edges",
     "surface_edges",
@@ -79,6 +80,40 @@ def all_to_all_edges(num_qubits: int) -> tuple[Edges, Positions]:
         )
         for i in range(num_qubits)
     }
+    return edges, positions
+
+
+def heavy_hex_edges(rows: int, row_len: int) -> tuple[Edges, Positions]:
+    """A heavy-hexagon lattice in the style of IBM's Falcon/Eagle chips.
+
+    ``rows`` horizontal chains of ``row_len`` qubits each, joined through
+    dedicated *bridge* qubits: between row ``r`` and ``r + 1`` a bridge
+    sits every four columns, anchored at column 0 after even-numbered
+    rows and column 2 after odd-numbered ones, which staggers the
+    vertical links into the hexagon pattern.  Row qubits are numbered
+    row-major first, bridges afterwards gap by gap.  Every qubit has
+    degree at most three — the property that gives the topology its
+    name and its low crosstalk.  ``rows=7, row_len=15`` yields a
+    129-qubit device comparable to a 127-qubit Eagle.
+    """
+    edges: Edges = []
+    positions: Positions = {}
+    row_start = []
+    q = 0
+    for r in range(rows):
+        row_start.append(q)
+        for c in range(row_len):
+            positions[q] = (float(c), float(-2 * r))
+            if c:
+                edges.append((q - 1, q))
+            q += 1
+    for r in range(rows - 1):
+        anchor = 0 if r % 2 == 0 else 2
+        for c in range(anchor, row_len, 4):
+            positions[q] = (float(c), float(-2 * r - 1))
+            edges.append((row_start[r] + c, q))
+            edges.append((q, row_start[r + 1] + c))
+            q += 1
     return edges, positions
 
 

@@ -43,7 +43,7 @@ import itertools
 from ...obs import add_counter
 from ...resilience.deadline import current_deadline
 from .base import RoutingError
-from ._astar_native import solve_layer_native
+from ._astar_native import note_python_layer, solve_layer_native
 
 __all__ = ["solve_layer_packed"]
 
@@ -134,7 +134,8 @@ def solve_layer_packed(
     if deadline is None:
         native = solve_layer_native(
             n, nbits, active, pair_slots, future_slots, future_weights,
-            future_active, edges, dflat, key0, max_expansions,
+            future_active, edges, dflat, [start_p2h[q] for q in active],
+            max_expansions,
         )
         if native is not None:
             add_counter("astar.native_layers", 1)
@@ -158,6 +159,7 @@ def solve_layer_packed(
     pending0 = pending_of(key0)
     if pending0 == 0:
         add_counter("astar.python_layers", 1)
+        note_python_layer()
         return []
 
     counter = itertools.count()
@@ -195,6 +197,7 @@ def solve_layer_packed(
                 entry = parents[key]
             sequence.reverse()
             add_counter("astar.python_layers", 1)
+            note_python_layer()
             add_counter("astar.nodes_expanded", expansions)
             add_counter("astar.nodes_pruned", pruned)
             add_counter("astar.swaps_emitted", len(sequence))

@@ -1,20 +1,37 @@
-/* Native A* layer-search kernel.
+/* Native mapping kernels: A* layer search + SABRE candidate scoring.
  *
- * Mirror of the pure-Python kernel in `_astar_impl.py`, compiled on
- * demand by `_astar_native.py` (plain `cc -O2 -shared`; no build system,
- * no third-party dependency).  The two implementations must stay
- * semantically identical: same packed-integer state keys, same candidate
- * edge enumeration order (ascending edge id over the sorted undirected
- * edge list), same `(priority, counter)` tie-breaking, and the same IEEE
- * double arithmetic — every float expression here matches the Python
- * expression operation for operation, so priorities are bit-identical
- * and the search pops nodes in exactly the same order.  The Python side
- * verifies availability and falls back transparently, so this file is an
- * accelerator, never a behaviour change.
+ * Mirror of the pure-Python kernels in `_astar_impl.py` / `sabre.py`,
+ * compiled on demand by `_astar_native.py` (plain `cc -O2 -shared`; no
+ * build system, no third-party dependency).  The implementations must
+ * stay semantically identical to their Python references: same search
+ * state identity, same candidate enumeration order (ascending edge id
+ * over the sorted undirected edge list), same `(priority, counter)`
+ * tie-breaking, and the same IEEE double arithmetic — every float
+ * expression here matches the Python expression operation for
+ * operation, so priorities are bit-identical and the search pops nodes
+ * in exactly the same order.  The Python side verifies availability and
+ * falls back transparently, so this file is an accelerator, never a
+ * behaviour change.
  *
- * Returns (see solve_layer): >= 0 swap-sequence length, -1 search
- * exhausted, -2 expansion budget exceeded, -3 capacity/allocation
- * failure (caller falls back to the Python kernel).
+ * State representation: a search state packs the physical position of
+ * each *active* program-qubit slot into a multi-word bitset.  `nbits`
+ * bits per slot, `spw = 64 / nbits` slots per 64-bit word (slots never
+ * straddle a word boundary), `nwords = ceil(m / spw)` words per key.
+ * This lifts the old single-word cap: devices are no longer limited to
+ * 64 qubits, 64 edges, or `m * nbits <= 64` packed keys.
+ *
+ * Entry points:
+ *   solve_layer        one A* layer search (preprocessed slot inputs)
+ *   solve_layers_batch every layer of a circuit in one FFI crossing
+ *                      (per-layer preprocessing + placement evolution
+ *                      run natively; amortises ctypes marshalling)
+ *   sabre_score_batch  score every candidate SWAP of one SABRE decision
+ *                      via the _SwapScorer delta rule
+ *
+ * Return codes (solve_layer / solve_layers_batch): >= 0 swap-sequence
+ * length (total across layers for the batch), -1 search exhausted,
+ * -2 expansion budget exceeded, -3 capacity/allocation failure (caller
+ * falls back to the Python kernel).
  */
 
 #include <stdint.h>
@@ -24,18 +41,17 @@
 typedef struct {
     double priority;
     uint64_t counter;
-    uint64_t key;
+    int32_t node;   /* index into the node/key arenas */
     int32_t g;
-    int32_t pending;
+    int64_t pending;
     double lookahead;
 } Entry;
 
 typedef struct {
-    uint64_t key;
     int32_t g;
     int32_t parent; /* node index of the parent record, -1 for root */
-    int8_t swap_pa;
-    int8_t swap_pb;
+    int32_t swap_pa;
+    int32_t swap_pb;
 } Node;
 
 /* ---- binary min-heap on (priority, counter) ---- */
@@ -95,16 +111,7 @@ static Entry heap_pop(Heap *h) {
     return top;
 }
 
-/* ---- open-addressing hash map: key -> node index ---- */
-
-typedef struct {
-    Node *nodes;
-    int32_t n_nodes;
-    int32_t cap_nodes;
-    int32_t *table; /* power-of-two sized, -1 = empty */
-    uint64_t table_mask;
-    int64_t table_cap;
-} Map;
+/* ---- open-addressing hash map: multi-word key -> node index ---- */
 
 static uint64_t mix64(uint64_t x) {
     x ^= x >> 33;
@@ -115,6 +122,31 @@ static uint64_t mix64(uint64_t x) {
     return x;
 }
 
+typedef struct {
+    Node *nodes;
+    uint64_t *keys;  /* node i's key lives at keys[i * nwords] */
+    int32_t n_nodes;
+    int32_t cap_nodes;
+    int32_t *table;  /* power-of-two sized, -1 = empty */
+    uint64_t table_mask;
+    int64_t table_cap;
+    int32_t nwords;
+} Map;
+
+static uint64_t key_hash(const uint64_t *key, int32_t nwords) {
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (int32_t i = 0; i < nwords; i++)
+        h = mix64(h ^ key[i]);
+    return h;
+}
+
+static int key_eq(const uint64_t *a, const uint64_t *b, int32_t nwords) {
+    for (int32_t i = 0; i < nwords; i++)
+        if (a[i] != b[i])
+            return 0;
+    return 1;
+}
+
 static int map_grow_table(Map *m) {
     int64_t ncap = m->table_cap * 2;
     int32_t *nt = (int32_t *)malloc((size_t)ncap * sizeof(int32_t));
@@ -123,7 +155,7 @@ static int map_grow_table(Map *m) {
     memset(nt, 0xFF, (size_t)ncap * sizeof(int32_t));
     uint64_t nmask = (uint64_t)ncap - 1;
     for (int32_t i = 0; i < m->n_nodes; i++) {
-        uint64_t j = mix64(m->nodes[i].key) & nmask;
+        uint64_t j = key_hash(m->keys + (size_t)i * m->nwords, m->nwords) & nmask;
         while (nt[j] >= 0)
             j = (j + 1) & nmask;
         nt[j] = i;
@@ -136,19 +168,21 @@ static int map_grow_table(Map *m) {
 }
 
 /* Find the node for `key`, or create a fresh record (g = INT32_MAX).
- * Returns the node index, or -1 on allocation failure. */
-static int32_t map_find_or_add(Map *m, uint64_t key) {
-    uint64_t j = mix64(key) & m->table_mask;
+ * Returns the node index, or -1 on allocation failure.  May realloc the
+ * key arena: callers must not hold raw pointers into `m->keys` across a
+ * call (copy the popped key into a local buffer first). */
+static int32_t map_find_or_add(Map *m, const uint64_t *key) {
+    uint64_t j = key_hash(key, m->nwords) & m->table_mask;
     while (m->table[j] >= 0) {
         int32_t idx = m->table[j];
-        if (m->nodes[idx].key == key)
+        if (key_eq(m->keys + (size_t)idx * m->nwords, key, m->nwords))
             return idx;
         j = (j + 1) & m->table_mask;
     }
     if ((int64_t)m->n_nodes * 10 >= m->table_cap * 7) {
         if (!map_grow_table(m))
             return -1;
-        j = mix64(key) & m->table_mask;
+        j = key_hash(key, m->nwords) & m->table_mask;
         while (m->table[j] >= 0)
             j = (j + 1) & m->table_mask;
     }
@@ -158,10 +192,16 @@ static int32_t map_find_or_add(Map *m, uint64_t key) {
         if (!nn)
             return -1;
         m->nodes = nn;
+        uint64_t *nk = (uint64_t *)realloc(
+            m->keys, (size_t)ncap * m->nwords * sizeof(uint64_t));
+        if (!nk)
+            return -1;
+        m->keys = nk;
         m->cap_nodes = ncap;
     }
     int32_t idx = m->n_nodes++;
-    m->nodes[idx].key = key;
+    memcpy(m->keys + (size_t)idx * m->nwords, key,
+           (size_t)m->nwords * sizeof(uint64_t));
     m->nodes[idx].g = INT32_MAX;
     m->nodes[idx].parent = -1;
     m->nodes[idx].swap_pa = -1;
@@ -170,68 +210,84 @@ static int32_t map_find_or_add(Map *m, uint64_t key) {
     return idx;
 }
 
-int64_t solve_layer(
-    int32_t n, int32_t nbits, int32_t m,
-    const int32_t *edge_pa, const int32_t *edge_pb, int32_t n_edges,
-    const int32_t *dflat,
-    const int32_t *pair_sa, const int32_t *pair_sb, int32_t n_pairs,
-    const int32_t *fut_sa, const int32_t *fut_sb, int32_t n_future,
-    const double *fut_w,
-    const uint8_t *future_active,
-    const int32_t *tf_idx, const int32_t *tf_start, /* tf_start: m+1 ints */
-    uint64_t key0,
+/* ---- one A* layer search over multi-word packed states ---- */
+
+typedef struct {
+    int32_t n;        /* physical qubits */
+    int32_t nbits;    /* bits per slot */
+    int32_t m;        /* active slots */
+    int32_t nwords;   /* key words */
+    uint64_t mask;    /* (1 << nbits) - 1 */
+    int32_t n_edges;
+    int32_t ewords;   /* edge-mask words */
+    const int32_t *edge_pa;
+    const int32_t *edge_pb;
+    const int32_t *dflat;
+    int32_t n_pairs;
+    const int32_t *pair_sa;
+    const int32_t *pair_sb;
+    int32_t n_future;
+    const int32_t *fut_sa;
+    const int32_t *fut_sb;
+    const double *fut_w;
+    const uint8_t *future_active;  /* per slot */
+    const int32_t *tf_idx;
+    const int32_t *tf_start;       /* m + 1 entries */
+    const uint64_t *qmask;         /* n rows x ewords incident-edge masks */
+    const int32_t *slot_word;      /* word index per slot */
+    const int32_t *slot_shift;     /* bit shift per slot */
+} Search;
+
+static int64_t slot_pos_of(const Search *s, const uint64_t *key, int32_t slot) {
+    return (int64_t)((key[s->slot_word[slot]] >> s->slot_shift[slot]) & s->mask);
+}
+
+static int64_t run_search(
+    const Search *s,
+    const uint64_t *key0,
     int64_t max_expansions,
     int32_t *out_pa, int32_t *out_pb, int32_t max_out)
 {
-    if (n > 64 || n_edges > 64 || (int64_t)m * nbits > 64)
-        return -3;
-
-    uint64_t mask = ((uint64_t)1 << nbits) - 1;
-    int32_t shift_a[64], shift_b[64], fshift_a[64], fshift_b[64];
-    if (n_pairs > 64 || n_future > 64)
-        return -3;
-    for (int32_t i = 0; i < n_pairs; i++) {
-        shift_a[i] = pair_sa[i] * nbits;
-        shift_b[i] = pair_sb[i] * nbits;
-    }
-    for (int32_t i = 0; i < n_future; i++) {
-        fshift_a[i] = fut_sa[i] * nbits;
-        fshift_b[i] = fut_sb[i] * nbits;
-    }
-    uint64_t qmask[64];
-    memset(qmask, 0, sizeof(qmask));
-    for (int32_t e = 0; e < n_edges; e++) {
-        qmask[edge_pa[e]] |= (uint64_t)1 << e;
-        qmask[edge_pb[e]] |= (uint64_t)1 << e;
-    }
+    const int32_t n = s->n;
+    const int32_t nwords = s->nwords;
 
     /* Root heuristic terms (mirrors pending_of / lookahead_of). */
-    int32_t pending0 = 0;
-    for (int32_t i = 0; i < n_pairs; i++)
-        pending0 += dflat[((key0 >> shift_a[i]) & mask) * n
-                          + ((key0 >> shift_b[i]) & mask)] - 1;
+    int64_t pending0 = 0;
+    for (int32_t i = 0; i < s->n_pairs; i++)
+        pending0 += s->dflat[slot_pos_of(s, key0, s->pair_sa[i]) * n
+                             + slot_pos_of(s, key0, s->pair_sb[i])] - 1;
     if (pending0 == 0)
         return 0;
     double lookahead0 = 0.0;
-    for (int32_t i = 0; i < n_future; i++)
-        lookahead0 += fut_w[i] * (double)(dflat[((key0 >> fshift_a[i]) & mask) * n
-                                               + ((key0 >> fshift_b[i]) & mask)] - 1);
+    for (int32_t i = 0; i < s->n_future; i++)
+        lookahead0 += s->fut_w[i] * (double)(
+            s->dflat[slot_pos_of(s, key0, s->fut_sa[i]) * n
+                     + slot_pos_of(s, key0, s->fut_sb[i])] - 1);
 
     Heap heap;
     heap.cap = 1 << 14;
     heap.size = 0;
     heap.data = (Entry *)malloc((size_t)heap.cap * sizeof(Entry));
     Map map;
+    map.nwords = nwords;
     map.cap_nodes = 1 << 14;
     map.n_nodes = 0;
     map.nodes = (Node *)malloc((size_t)map.cap_nodes * sizeof(Node));
+    map.keys = (uint64_t *)malloc(
+        (size_t)map.cap_nodes * nwords * sizeof(uint64_t));
     map.table_cap = 1 << 15;
     map.table_mask = (uint64_t)map.table_cap - 1;
     map.table = (int32_t *)malloc((size_t)map.table_cap * sizeof(int32_t));
-    if (!heap.data || !map.nodes || !map.table) {
-        free(heap.data);
-        free(map.nodes);
-        free(map.table);
+    /* Scratch: occupancy (phys -> slot), candidate edge mask, popped key
+     * and neighbour key buffers. */
+    int32_t *occ = (int32_t *)malloc((size_t)n * sizeof(int32_t));
+    uint64_t *emask = (uint64_t *)malloc((size_t)s->ewords * sizeof(uint64_t));
+    uint64_t *ckey = (uint64_t *)malloc((size_t)nwords * sizeof(uint64_t));
+    uint64_t *nkey = (uint64_t *)malloc((size_t)nwords * sizeof(uint64_t));
+    if (!heap.data || !map.nodes || !map.keys || !map.table
+        || !occ || !emask || !ckey || !nkey) {
+        free(heap.data); free(map.nodes); free(map.keys); free(map.table);
+        free(occ); free(emask); free(ckey); free(nkey);
         return -3;
     }
     memset(map.table, 0xFF, (size_t)map.table_cap * sizeof(int32_t));
@@ -244,7 +300,7 @@ int64_t solve_layer(
     Entry e0;
     e0.priority = (double)pending0 / 2.0 + lookahead0;
     e0.counter = counter++;
-    e0.key = key0;
+    e0.node = root;
     e0.g = 0;
     e0.pending = pending0;
     e0.lookahead = lookahead0;
@@ -254,15 +310,10 @@ int64_t solve_layer(
     }
 
     int64_t expansions = 0;
-    int8_t occ[64];
 
     while (heap.size > 0) {
         Entry e = heap_pop(&heap);
-        int32_t ni = map_find_or_add(&map, e.key);
-        if (ni < 0) {
-            rc = -3;
-            goto done;
-        }
+        int32_t ni = e.node;
         if (e.g > map.nodes[ni].g)
             continue;
         if (e.pending == 0) {
@@ -284,88 +335,102 @@ int64_t solve_layer(
             rc = -2;
             goto done;
         }
-        uint64_t key = e.key;
-        memset(occ, 0xFF, (size_t)n);
-        for (int32_t i = 0; i < m; i++)
-            occ[(key >> (i * nbits)) & mask] = (int8_t)i;
+        /* The key arena may move on pushes below: work on a copy. */
+        memcpy(ckey, map.keys + (size_t)ni * nwords,
+               (size_t)nwords * sizeof(uint64_t));
+        memset(occ, 0xFF, (size_t)n * sizeof(int32_t));
+        for (int32_t i = 0; i < s->m; i++)
+            occ[slot_pos_of(s, ckey, i)] = i;
         /* Candidate edges: operands of unsatisfied pairs, plus operands
          * of satisfied pairs whose program qubit has look-ahead work. */
-        uint64_t emask = 0;
-        for (int32_t i = 0; i < n_pairs; i++) {
-            uint64_t oa = (key >> shift_a[i]) & mask;
-            uint64_t ob = (key >> shift_b[i]) & mask;
-            if (dflat[oa * n + ob] > 1) {
-                emask |= qmask[oa] | qmask[ob];
+        memset(emask, 0, (size_t)s->ewords * sizeof(uint64_t));
+        for (int32_t i = 0; i < s->n_pairs; i++) {
+            int64_t oa = slot_pos_of(s, ckey, s->pair_sa[i]);
+            int64_t ob = slot_pos_of(s, ckey, s->pair_sb[i]);
+            if (s->dflat[oa * n + ob] > 1) {
+                const uint64_t *qa = s->qmask + oa * s->ewords;
+                const uint64_t *qb = s->qmask + ob * s->ewords;
+                for (int32_t w = 0; w < s->ewords; w++)
+                    emask[w] |= qa[w] | qb[w];
             } else {
-                if (future_active[pair_sa[i]])
-                    emask |= qmask[oa];
-                if (future_active[pair_sb[i]])
-                    emask |= qmask[ob];
+                if (s->future_active[s->pair_sa[i]]) {
+                    const uint64_t *qa = s->qmask + oa * s->ewords;
+                    for (int32_t w = 0; w < s->ewords; w++)
+                        emask[w] |= qa[w];
+                }
+                if (s->future_active[s->pair_sb[i]]) {
+                    const uint64_t *qb = s->qmask + ob * s->ewords;
+                    for (int32_t w = 0; w < s->ewords; w++)
+                        emask[w] |= qb[w];
+                }
             }
         }
         int32_t ng = e.g + 1;
-        while (emask) {
-            int32_t eid = __builtin_ctzll(emask);
-            emask &= emask - 1;
-            int32_t pa = edge_pa[eid];
-            int32_t pb = edge_pb[eid];
-            int32_t x = occ[pa];
-            int32_t y = occ[pb];
-            uint64_t exor = (uint64_t)(pa ^ pb);
-            uint64_t nkey = key;
-            if (x >= 0)
-                nkey ^= exor << (x * nbits);
-            if (y >= 0)
-                nkey ^= exor << (y * nbits);
-            int32_t si = map_find_or_add(&map, nkey);
-            if (si < 0) {
-                rc = -3;
-                goto done;
-            }
-            if (ng < map.nodes[si].g) {
-                map.nodes[si].g = ng;
-                map.nodes[si].parent = ni;
-                map.nodes[si].swap_pa = (int8_t)pa;
-                map.nodes[si].swap_pb = (int8_t)pb;
-                int32_t nsum = 0;
-                for (int32_t i = 0; i < n_pairs; i++)
-                    nsum += dflat[((nkey >> shift_a[i]) & mask) * n
-                                  + ((nkey >> shift_b[i]) & mask)];
-                int32_t npending = nsum - n_pairs;
-                double d_look = 0.0;
-                if (x >= 0) {
-                    for (int32_t t = tf_start[x]; t < tf_start[x + 1]; t++) {
-                        int32_t i = tf_idx[t];
-                        d_look += fut_w[i] * (double)(
-                            dflat[((nkey >> fshift_a[i]) & mask) * n
-                                  + ((nkey >> fshift_b[i]) & mask)]
-                            - dflat[((key >> fshift_a[i]) & mask) * n
-                                    + ((key >> fshift_b[i]) & mask)]);
-                    }
-                }
-                if (y >= 0) {
-                    for (int32_t t = tf_start[y]; t < tf_start[y + 1]; t++) {
-                        int32_t i = tf_idx[t];
-                        if (fut_sa[i] == x || fut_sb[i] == x)
-                            continue; /* already counted via x */
-                        d_look += fut_w[i] * (double)(
-                            dflat[((nkey >> fshift_a[i]) & mask) * n
-                                  + ((nkey >> fshift_b[i]) & mask)]
-                            - dflat[((key >> fshift_a[i]) & mask) * n
-                                    + ((key >> fshift_b[i]) & mask)]);
-                    }
-                }
-                double nlookahead = e.lookahead + d_look;
-                Entry ne;
-                ne.priority = (double)ng + (double)npending / 2.0 + nlookahead;
-                ne.counter = counter++;
-                ne.key = nkey;
-                ne.g = ng;
-                ne.pending = npending;
-                ne.lookahead = nlookahead;
-                if (!heap_push(&heap, ne)) {
+        for (int32_t w = 0; w < s->ewords; w++) {
+            uint64_t bits = emask[w];
+            while (bits) {
+                int32_t eid = (int32_t)(w * 64 + __builtin_ctzll(bits));
+                bits &= bits - 1;
+                int32_t pa = s->edge_pa[eid];
+                int32_t pb = s->edge_pb[eid];
+                int32_t x = occ[pa];
+                int32_t y = occ[pb];
+                uint64_t exor = (uint64_t)(pa ^ pb);
+                memcpy(nkey, ckey, (size_t)nwords * sizeof(uint64_t));
+                if (x >= 0)
+                    nkey[s->slot_word[x]] ^= exor << s->slot_shift[x];
+                if (y >= 0)
+                    nkey[s->slot_word[y]] ^= exor << s->slot_shift[y];
+                int32_t si = map_find_or_add(&map, nkey);
+                if (si < 0) {
                     rc = -3;
                     goto done;
+                }
+                if (ng < map.nodes[si].g) {
+                    map.nodes[si].g = ng;
+                    map.nodes[si].parent = ni;
+                    map.nodes[si].swap_pa = pa;
+                    map.nodes[si].swap_pb = pb;
+                    int64_t nsum = 0;
+                    for (int32_t i = 0; i < s->n_pairs; i++)
+                        nsum += s->dflat[slot_pos_of(s, nkey, s->pair_sa[i]) * n
+                                         + slot_pos_of(s, nkey, s->pair_sb[i])];
+                    int64_t npending = nsum - s->n_pairs;
+                    double d_look = 0.0;
+                    if (x >= 0) {
+                        for (int32_t t = s->tf_start[x]; t < s->tf_start[x + 1]; t++) {
+                            int32_t i = s->tf_idx[t];
+                            d_look += s->fut_w[i] * (double)(
+                                s->dflat[slot_pos_of(s, nkey, s->fut_sa[i]) * n
+                                         + slot_pos_of(s, nkey, s->fut_sb[i])]
+                                - s->dflat[slot_pos_of(s, ckey, s->fut_sa[i]) * n
+                                           + slot_pos_of(s, ckey, s->fut_sb[i])]);
+                        }
+                    }
+                    if (y >= 0) {
+                        for (int32_t t = s->tf_start[y]; t < s->tf_start[y + 1]; t++) {
+                            int32_t i = s->tf_idx[t];
+                            if (s->fut_sa[i] == x || s->fut_sb[i] == x)
+                                continue; /* already counted via x */
+                            d_look += s->fut_w[i] * (double)(
+                                s->dflat[slot_pos_of(s, nkey, s->fut_sa[i]) * n
+                                         + slot_pos_of(s, nkey, s->fut_sb[i])]
+                                - s->dflat[slot_pos_of(s, ckey, s->fut_sa[i]) * n
+                                           + slot_pos_of(s, ckey, s->fut_sb[i])]);
+                        }
+                    }
+                    double nlookahead = e.lookahead + d_look;
+                    Entry ne;
+                    ne.priority = (double)ng + (double)npending / 2.0 + nlookahead;
+                    ne.counter = counter++;
+                    ne.node = si;
+                    ne.g = ng;
+                    ne.pending = npending;
+                    ne.lookahead = nlookahead;
+                    if (!heap_push(&heap, ne)) {
+                        rc = -3;
+                        goto done;
+                    }
                 }
             }
         }
@@ -374,6 +439,360 @@ int64_t solve_layer(
 done:
     free(heap.data);
     free(map.nodes);
+    free(map.keys);
     free(map.table);
+    free(occ);
+    free(emask);
+    free(ckey);
+    free(nkey);
     return rc;
+}
+
+/* Fill the per-qubit incident-edge bitmasks (n rows x ewords). */
+static void build_qmask(
+    uint64_t *qmask, int32_t n, int32_t ewords,
+    const int32_t *edge_pa, const int32_t *edge_pb, int32_t n_edges)
+{
+    memset(qmask, 0, (size_t)n * ewords * sizeof(uint64_t));
+    for (int32_t e = 0; e < n_edges; e++) {
+        qmask[(size_t)edge_pa[e] * ewords + e / 64] |= (uint64_t)1 << (e % 64);
+        qmask[(size_t)edge_pb[e] * ewords + e / 64] |= (uint64_t)1 << (e % 64);
+    }
+}
+
+/* ---- entry point: one preprocessed layer ---- */
+
+int64_t solve_layer(
+    int32_t n, int32_t nbits, int32_t m,
+    const int32_t *edge_pa, const int32_t *edge_pb, int32_t n_edges,
+    const int32_t *dflat,
+    const int32_t *pair_sa, const int32_t *pair_sb, int32_t n_pairs,
+    const int32_t *fut_sa, const int32_t *fut_sb, int32_t n_future,
+    const double *fut_w,
+    const uint8_t *future_active,
+    const int32_t *tf_idx, const int32_t *tf_start, /* tf_start: m+1 ints */
+    const int32_t *slot_pos,                        /* m physical positions */
+    int64_t max_expansions,
+    int32_t *out_pa, int32_t *out_pb, int32_t max_out)
+{
+    if (nbits <= 0 || nbits > 63 || m <= 0)
+        return -3;
+    int32_t spw = 64 / nbits;
+    int32_t nwords = (m + spw - 1) / spw;
+    int32_t ewords = (n_edges + 63) / 64;
+    if (ewords < 1)
+        ewords = 1;
+
+    int32_t *slot_word = (int32_t *)malloc((size_t)m * 2 * sizeof(int32_t));
+    uint64_t *qmask = (uint64_t *)malloc(
+        (size_t)n * ewords * sizeof(uint64_t));
+    uint64_t *key0 = (uint64_t *)calloc((size_t)nwords, sizeof(uint64_t));
+    if (!slot_word || !qmask || !key0) {
+        free(slot_word); free(qmask); free(key0);
+        return -3;
+    }
+    int32_t *slot_shift = slot_word + m;
+    for (int32_t i = 0; i < m; i++) {
+        slot_word[i] = i / spw;
+        slot_shift[i] = (i % spw) * nbits;
+        key0[slot_word[i]] |= (uint64_t)slot_pos[i] << slot_shift[i];
+    }
+    build_qmask(qmask, n, ewords, edge_pa, edge_pb, n_edges);
+
+    Search s;
+    s.n = n; s.nbits = nbits; s.m = m; s.nwords = nwords;
+    s.mask = (nbits == 63) ? 0x7FFFFFFFFFFFFFFFULL
+                           : (((uint64_t)1 << nbits) - 1);
+    s.n_edges = n_edges; s.ewords = ewords;
+    s.edge_pa = edge_pa; s.edge_pb = edge_pb;
+    s.dflat = dflat;
+    s.n_pairs = n_pairs; s.pair_sa = pair_sa; s.pair_sb = pair_sb;
+    s.n_future = n_future; s.fut_sa = fut_sa; s.fut_sb = fut_sb;
+    s.fut_w = fut_w;
+    s.future_active = future_active;
+    s.tf_idx = tf_idx; s.tf_start = tf_start;
+    s.qmask = qmask;
+    s.slot_word = slot_word; s.slot_shift = slot_shift;
+
+    int64_t rc = run_search(&s, key0, max_expansions, out_pa, out_pb, max_out);
+    free(slot_word);
+    free(qmask);
+    free(key0);
+    return rc;
+}
+
+/* ---- entry point: every layer of one circuit in a single crossing ----
+ *
+ * Inputs are CSR-concatenated per-layer gate lists over *program*
+ * qubits; the per-layer preprocessing (active-slot discovery, slot
+ * tables, look-ahead touch lists) and the placement evolution between
+ * layers run natively.  `p2h` is the full program->physical permutation
+ * (dummies included, length n) and is updated in place as each layer's
+ * SWAPs are applied — pass a copy.  `out_start` receives n_layers + 1
+ * offsets into the output swap arrays.
+ */
+
+int64_t solve_layers_batch(
+    int32_t n, int32_t nbits,
+    const int32_t *edge_pa, const int32_t *edge_pb, int32_t n_edges,
+    const int32_t *dflat,
+    int32_t n_layers,
+    const int32_t *pair_a, const int32_t *pair_b, const int32_t *pair_start,
+    const int32_t *fut_a, const int32_t *fut_b, const double *fut_w_all,
+    const int32_t *fut_start,
+    int32_t *p2h,
+    int64_t max_expansions,
+    int32_t *out_pa, int32_t *out_pb, int32_t *out_start, int32_t max_out)
+{
+    if (nbits <= 0 || nbits > 63 || n <= 0)
+        return -3;
+    int32_t spw = 64 / nbits;
+    int32_t ewords = (n_edges + 63) / 64;
+    if (ewords < 1)
+        ewords = 1;
+
+    /* Upper bounds for the per-layer scratch: an active slot count can
+     * never exceed n, and touch lists hold at most two entries per
+     * look-ahead gate. */
+    int32_t max_fut = 0;
+    for (int32_t l = 0; l < n_layers; l++) {
+        int32_t nf = fut_start[l + 1] - fut_start[l];
+        if (nf > max_fut)
+            max_fut = nf;
+    }
+    int32_t max_pairs = 0;
+    for (int32_t l = 0; l < n_layers; l++) {
+        int32_t np = pair_start[l + 1] - pair_start[l];
+        if (np > max_pairs)
+            max_pairs = np;
+    }
+
+    uint64_t *qmask = (uint64_t *)malloc((size_t)n * ewords * sizeof(uint64_t));
+    int32_t *slot_word = (int32_t *)malloc((size_t)n * 2 * sizeof(int32_t));
+    int32_t *h2p = (int32_t *)malloc((size_t)n * sizeof(int32_t));
+    int32_t *slot_of = (int32_t *)malloc((size_t)n * sizeof(int32_t));
+    int32_t *active = (int32_t *)malloc((size_t)n * sizeof(int32_t));
+    uint8_t *markq = (uint8_t *)calloc((size_t)n, 1);
+    int32_t *pair_sa = (int32_t *)malloc((size_t)(max_pairs > 0 ? max_pairs : 1)
+                                         * 2 * sizeof(int32_t));
+    int32_t *fut_sa = (int32_t *)malloc((size_t)(max_fut > 0 ? max_fut : 1)
+                                        * 2 * sizeof(int32_t));
+    uint8_t *future_active = (uint8_t *)malloc((size_t)n);
+    int32_t *tf_idx = (int32_t *)malloc(
+        (size_t)(max_fut > 0 ? 2 * max_fut : 1) * sizeof(int32_t));
+    int32_t *tf_start = (int32_t *)malloc((size_t)(n + 1) * sizeof(int32_t));
+    int32_t *tf_cur = (int32_t *)malloc((size_t)(n + 1) * sizeof(int32_t));
+    int32_t *slot_pos = (int32_t *)malloc((size_t)n * sizeof(int32_t));
+    uint64_t *key0 = (uint64_t *)malloc(
+        (size_t)((n + spw - 1) / spw) * sizeof(uint64_t));
+    int64_t total = -3;
+    if (!qmask || !slot_word || !h2p || !slot_of || !active || !markq
+        || !pair_sa || !fut_sa || !future_active || !tf_idx || !tf_start
+        || !tf_cur || !slot_pos || !key0)
+        goto cleanup;
+    {
+        int32_t *slot_shift = slot_word + n;
+        int32_t *pair_sb = pair_sa + (max_pairs > 0 ? max_pairs : 1);
+        int32_t *fut_sb = fut_sa + (max_fut > 0 ? max_fut : 1);
+        for (int32_t i = 0; i < n; i++) {
+            slot_word[i] = i / spw;
+            slot_shift[i] = (i % spw) * nbits;
+            h2p[p2h[i]] = i;
+        }
+        build_qmask(qmask, n, ewords, edge_pa, edge_pb, n_edges);
+
+        int32_t used = 0;
+        out_start[0] = 0;
+        for (int32_t l = 0; l < n_layers; l++) {
+            int32_t p0 = pair_start[l], p1 = pair_start[l + 1];
+            int32_t f0 = fut_start[l], f1 = fut_start[l + 1];
+            int32_t n_pairs = p1 - p0;
+            int32_t n_future = f1 - f0;
+            /* Active program qubits, ascending (mirrors Python's
+             * sorted-set construction). */
+            for (int32_t i = p0; i < p1; i++) {
+                markq[pair_a[i]] = 1;
+                markq[pair_b[i]] = 1;
+            }
+            for (int32_t i = f0; i < f1; i++) {
+                markq[fut_a[i]] = 1;
+                markq[fut_b[i]] = 1;
+            }
+            int32_t m = 0;
+            for (int32_t q = 0; q < n; q++) {
+                if (markq[q]) {
+                    slot_of[q] = m;
+                    active[m++] = q;
+                    markq[q] = 0;
+                }
+            }
+            if (m == 0) {
+                out_start[l + 1] = used;
+                continue;
+            }
+            for (int32_t i = 0; i < n_pairs; i++) {
+                pair_sa[i] = slot_of[pair_a[p0 + i]];
+                pair_sb[i] = slot_of[pair_b[p0 + i]];
+            }
+            memset(future_active, 0, (size_t)m);
+            memset(tf_cur, 0, (size_t)(m + 1) * sizeof(int32_t));
+            for (int32_t i = 0; i < n_future; i++) {
+                int32_t sa = slot_of[fut_a[f0 + i]];
+                int32_t sb = slot_of[fut_b[f0 + i]];
+                fut_sa[i] = sa;
+                fut_sb[i] = sb;
+                future_active[sa] = 1;
+                future_active[sb] = 1;
+                tf_cur[sa]++;
+                if (sb != sa)
+                    tf_cur[sb]++;
+            }
+            tf_start[0] = 0;
+            for (int32_t sl = 0; sl < m; sl++)
+                tf_start[sl + 1] = tf_start[sl] + tf_cur[sl];
+            memcpy(tf_cur, tf_start, (size_t)(m + 1) * sizeof(int32_t));
+            for (int32_t i = 0; i < n_future; i++) {
+                tf_idx[tf_cur[fut_sa[i]]++] = i;
+                if (fut_sb[i] != fut_sa[i])
+                    tf_idx[tf_cur[fut_sb[i]]++] = i;
+            }
+            for (int32_t i = 0; i < m; i++)
+                slot_pos[i] = p2h[active[i]];
+
+            int32_t nwords = (m + spw - 1) / spw;
+            memset(key0, 0, (size_t)nwords * sizeof(uint64_t));
+            for (int32_t i = 0; i < m; i++)
+                key0[slot_word[i]] |= (uint64_t)slot_pos[i] << slot_shift[i];
+
+            Search s;
+            s.n = n; s.nbits = nbits; s.m = m; s.nwords = nwords;
+            s.mask = (nbits == 63) ? 0x7FFFFFFFFFFFFFFFULL
+                                   : (((uint64_t)1 << nbits) - 1);
+            s.n_edges = n_edges; s.ewords = ewords;
+            s.edge_pa = edge_pa; s.edge_pb = edge_pb;
+            s.dflat = dflat;
+            s.n_pairs = n_pairs; s.pair_sa = pair_sa; s.pair_sb = pair_sb;
+            s.n_future = n_future; s.fut_sa = fut_sa; s.fut_sb = fut_sb;
+            s.fut_w = fut_w_all + f0;
+            s.future_active = future_active;
+            s.tf_idx = tf_idx; s.tf_start = tf_start;
+            s.qmask = qmask;
+            s.slot_word = slot_word; s.slot_shift = slot_shift;
+
+            int64_t rc = run_search(&s, key0, max_expansions,
+                                    out_pa + used, out_pb + used,
+                                    max_out - used);
+            if (rc < 0) {
+                total = rc;
+                goto cleanup;
+            }
+            /* Apply the layer's SWAPs to the evolving placement
+             * (mirrors Placement.apply_swap). */
+            for (int32_t i = 0; i < (int32_t)rc; i++) {
+                int32_t pa = out_pa[used + i];
+                int32_t pb = out_pb[used + i];
+                int32_t x = h2p[pa], y = h2p[pb];
+                h2p[pa] = y;
+                h2p[pb] = x;
+                p2h[x] = pb;
+                p2h[y] = pa;
+            }
+            used += (int32_t)rc;
+            out_start[l + 1] = used;
+        }
+        total = used;
+    }
+
+cleanup:
+    free(qmask); free(slot_word); free(h2p); free(slot_of); free(active);
+    free(markq); free(pair_sa); free(fut_sa); free(future_active);
+    free(tf_idx); free(tf_start); free(tf_cur); free(slot_pos); free(key0);
+    return total;
+}
+
+/* ---- entry point: SABRE candidate scoring (mirror of _SwapScorer) ----
+ *
+ * Scores every candidate SWAP of one routing decision via the delta
+ * rule: only the gates with an operand on the swapped physical qubits
+ * are re-evaluated; everything else reuses the cached base sums.  The
+ * accumulation order matches the Python scorer exactly — the entries
+ * touching `pa` in index order, then those touching `pb` (skipping the
+ * ones already seen via `pa`) — so the result is bit-identical for
+ * integer *and* float distance matrices.
+ *
+ * Returns 0 on success, -3 on allocation failure (caller falls back to
+ * the Python scorer).
+ */
+
+int32_t sabre_score_batch(
+    const int32_t *ent_qa, const int32_t *ent_qb, const uint8_t *ent_front,
+    int32_t n_entries,
+    const double *dist, int32_t n,
+    double front_base, double front_n,
+    double ext_base, int32_t ext_n, double weight,
+    const int32_t *cand_pa, const int32_t *cand_pb, int32_t n_cand,
+    double *out)
+{
+    /* by_phys CSR: entry indices per physical qubit, in index order
+     * (counting sort over the entry list preserves it). */
+    int32_t *start = (int32_t *)calloc((size_t)n + 1, sizeof(int32_t));
+    int32_t *cur = (int32_t *)malloc(((size_t)n + 1) * sizeof(int32_t));
+    int32_t *idx = (int32_t *)malloc(
+        (size_t)(n_entries > 0 ? 2 * n_entries : 1) * sizeof(int32_t));
+    if (!start || !cur || !idx) {
+        free(start); free(cur); free(idx);
+        return -3;
+    }
+    for (int32_t i = 0; i < n_entries; i++) {
+        start[ent_qa[i] + 1]++;
+        if (ent_qb[i] != ent_qa[i])
+            start[ent_qb[i] + 1]++;
+    }
+    for (int32_t q = 0; q < n; q++)
+        start[q + 1] += start[q];
+    memcpy(cur, start, ((size_t)n + 1) * sizeof(int32_t));
+    for (int32_t i = 0; i < n_entries; i++) {
+        idx[cur[ent_qa[i]]++] = i;
+        if (ent_qb[i] != ent_qa[i])
+            idx[cur[ent_qb[i]]++] = i;
+    }
+
+    for (int32_t c = 0; c < n_cand; c++) {
+        int32_t pa = cand_pa[c];
+        int32_t pb = cand_pb[c];
+        double d_front = 0.0;
+        double d_ext = 0.0;
+        for (int32_t t = start[pa]; t < start[pa + 1]; t++) {
+            int32_t i = idx[t];
+            int32_t qa = ent_qa[i], qb = ent_qb[i];
+            int32_t na = (qa == pa) ? pb : ((qa == pb) ? pa : qa);
+            int32_t nb = (qb == pa) ? pb : ((qb == pb) ? pa : qb);
+            double delta = dist[(size_t)na * n + nb] - dist[(size_t)qa * n + qb];
+            if (ent_front[i])
+                d_front += delta;
+            else
+                d_ext += delta;
+        }
+        for (int32_t t = start[pb]; t < start[pb + 1]; t++) {
+            int32_t i = idx[t];
+            int32_t qa = ent_qa[i], qb = ent_qb[i];
+            if (qa == pa || qb == pa)
+                continue; /* already seen via pa */
+            int32_t na = (qa == pa) ? pb : ((qa == pb) ? pa : qa);
+            int32_t nb = (qb == pa) ? pb : ((qb == pb) ? pa : qb);
+            double delta = dist[(size_t)na * n + nb] - dist[(size_t)qa * n + qb];
+            if (ent_front[i])
+                d_front += delta;
+            else
+                d_ext += delta;
+        }
+        double score = (front_base + d_front) / front_n;
+        if (ext_n)
+            score += weight * (ext_base + d_ext) / ext_n;
+        out[c] = score;
+    }
+    free(start);
+    free(cur);
+    free(idx);
+    return 0;
 }

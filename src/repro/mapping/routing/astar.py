@@ -21,10 +21,12 @@ from ...core.circuit import Circuit
 from ...core.dag import DependencyGraph
 from ...core import gates as G
 from ...devices.device import Device
+from ...obs import add_counter
 from ...resilience.deadline import current_deadline
 from ..placement import Placement
 from .base import RoutingError, RoutingResult
 from ._astar_impl import solve_layer_packed
+from ._astar_native import solve_layers_batch_native
 
 __all__ = ["route_astar"]
 
@@ -64,24 +66,59 @@ def route_astar(
         if len(gate.qubits) > 2:
             raise RoutingError(f"decompose {gate.name} before routing")
 
-    # Solve each layer's SWAP sequence against the evolving placement.
-    deadline = current_deadline()
-    layer_swaps: list[list[tuple[int, int]]] = []
+    # Per-layer gate operands and look-ahead sets, precomputed so the
+    # whole circuit can be handed to the batch kernel in one crossing.
+    all_pairs: list[list[tuple[int, int]]] = []
+    all_future: list[list[tuple[tuple[int, int], float]]] = []
     for layer_pos, layer in enumerate(layers):
-        if deadline is not None:
-            deadline.check("astar routing")
-        pairs = [dag.gate(i).qubits for i in layer]
-        future = []
+        all_pairs.append([dag.gate(i).qubits for i in layer])
+        future: list[tuple[tuple[int, int], float]] = []
         for ahead in range(1, lookahead_layers + 1):
             if layer_pos + ahead < len(layers):
                 weight = lookahead_weight**ahead
                 future.extend(
                     (dag.gate(i).qubits, weight) for i in layers[layer_pos + ahead]
                 )
-        swap_seq = _solve_layer(pairs, future, current, device, dist)
-        for pa, pb in swap_seq:
-            current.apply_swap(pa, pb)
-        layer_swaps.append(swap_seq)
+        all_future.append(future)
+
+    # Solve each layer's SWAP sequence against the evolving placement.
+    # With no cooperative deadline to poll, the batch kernel routes every
+    # layer in a single FFI crossing (the per-layer preprocessing and the
+    # placement evolution run natively); otherwise — or when the native
+    # path is unavailable — fall back to the per-layer kernels, which
+    # produce byte-identical sequences.
+    deadline = current_deadline()
+    batched = None
+    if deadline is None and layers:
+        batched = solve_layers_batch_native(
+            device.num_qubits,
+            max(1, (device.num_qubits - 1).bit_length()),
+            device.undirected_edge_list,
+            device.distance_flat,
+            all_pairs,
+            all_future,
+            current.key(),
+            _MAX_EXPANSIONS,
+        )
+    if batched is not None:
+        layer_swaps = [list(seq) for seq in batched]
+        add_counter("astar.native_layers", len(layers))
+        add_counter("astar.batched_circuits", 1)
+        add_counter(
+            "astar.swaps_emitted", sum(len(seq) for seq in layer_swaps)
+        )
+    else:
+        layer_swaps = []
+        for layer_pos, layer in enumerate(layers):
+            if deadline is not None:
+                deadline.check("astar routing")
+            swap_seq = _solve_layer(
+                all_pairs[layer_pos], all_future[layer_pos], current, device,
+                dist,
+            )
+            for pa, pb in swap_seq:
+                current.apply_swap(pa, pb)
+            layer_swaps.append(swap_seq)
 
     # Rebuild the circuit in a topological order in which two-qubit gates
     # are grouped by layer (the original gate order may interleave

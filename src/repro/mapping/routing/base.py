@@ -20,11 +20,25 @@ from ...core.circuit import Circuit
 from ...devices.device import Device
 from ..placement import Placement
 
-__all__ = ["RoutingResult", "RoutingError", "check_connectivity"]
+__all__ = ["RoutingResult", "RoutingError", "check_connectivity", "device_path"]
 
 
 class RoutingError(RuntimeError):
     """Raised when a router cannot satisfy the device constraints."""
+
+
+def device_path(device: Device, a: int, b: int) -> list[int]:
+    """:meth:`Device.shortest_path` with routing error semantics.
+
+    A disconnected qubit pair raises the device's typed ``ValueError``;
+    inside a router that is a routing failure (the pipeline's fallback
+    chain and the CLI both understand :class:`RoutingError`), so convert
+    it here instead of letting it escape as a bare ``ValueError``.
+    """
+    try:
+        return device.shortest_path(a, b)
+    except ValueError as exc:
+        raise RoutingError(str(exc)) from None
 
 
 @dataclass

@@ -26,8 +26,9 @@ from ...core.dag import DependencyGraph
 from ...core import gates as G
 from ...devices.device import Device
 from ..placement import Placement
-from .base import RoutingError, RoutingResult
+from .base import RoutingError, RoutingResult, device_path
 from .sabre import _SwapScorer, _candidate_swaps, _extended_set
+from ._astar_native import dist_buffer
 
 __all__ = ["route_latency"]
 
@@ -101,6 +102,10 @@ def route_latency(
             if all(p in done for p in dag.predecessors(succ)):
                 front.add(succ)
 
+    # Flattened distance buffer for the native scorer, built once per
+    # routing call (None when the native kernel is unavailable).
+    c_dist = dist_buffer(dist, device.num_qubits)
+
     while front:
         progressed = True
         while progressed:
@@ -119,10 +124,12 @@ def route_latency(
         if not candidates:
             raise RoutingError("no candidate swaps; is the device connected?")
 
-        scorer = _SwapScorer(blocked, extended, dag, current, dist, extended_weight)
+        scorer = _SwapScorer(
+            blocked, extended, dag, current, dist, extended_weight,
+            c_dist=c_dist,
+        )
         best_swap, best_key = None, None
-        for pa, pb in candidates:
-            dist_score = scorer.score(pa, pb)
+        for (pa, pb), dist_score in zip(candidates, scorer.scores(candidates)):
             # Looking-back: when could this SWAP start, given the gates
             # already scheduled on its qubits?
             start_delay = max(avail[pa], avail[pb])
@@ -141,8 +148,8 @@ def route_latency(
         stall += 1
         if stall > max_stall:
             gate = dag.gate(min(front))
-            path = device.shortest_path(
-                current.phys(gate.qubits[0]), current.phys(gate.qubits[1])
+            path = device_path(
+                device, current.phys(gate.qubits[0]), current.phys(gate.qubits[1])
             )
             for step in range(len(path) - 2):
                 out.append(G.swap(path[step], path[step + 1]))

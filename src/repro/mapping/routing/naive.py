@@ -15,7 +15,7 @@ from ...core.circuit import Circuit
 from ...core import gates as G
 from ...devices.device import Device
 from ..placement import Placement
-from .base import RoutingError, RoutingResult
+from .base import RoutingError, RoutingResult, device_path
 
 __all__ = ["route_naive"]
 
@@ -44,7 +44,7 @@ def route_naive(
         if len(gate.qubits) == 2 and gate.is_unitary:
             pa, pb = current.phys(gate.qubits[0]), current.phys(gate.qubits[1])
             if not device.connected(pa, pb):
-                path = device.shortest_path(pa, pb)
+                path = device_path(device, pa, pb)
                 # Walk the first operand down the path until adjacent.
                 for step in range(len(path) - 2):
                     out.append(G.swap(path[step], path[step + 1]))

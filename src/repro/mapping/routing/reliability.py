@@ -33,7 +33,7 @@ from ...core import gates as G
 from ...devices.device import Device
 from ...sim.noise import NoiseModel
 from ..placement import Placement
-from .base import RoutingError, RoutingResult
+from .base import RoutingError, RoutingResult, device_path
 from .sabre import _SwapScorer, _candidate_swaps, _extended_set, _score
 
 __all__ = ["route_reliability"]
@@ -147,8 +147,8 @@ def route_reliability(
         stall += 1
         if stall > max_stall:
             gate = dag.gate(min(front))
-            path = device.shortest_path(
-                current.phys(gate.qubits[0]), current.phys(gate.qubits[1])
+            path = device_path(
+                device, current.phys(gate.qubits[0]), current.phys(gate.qubits[1])
             )
             for step in range(len(path) - 2):
                 out.append(G.swap(path[step], path[step + 1]))

@@ -30,7 +30,8 @@ from ...devices.device import Device
 from ...obs import add_counter
 from ...resilience.deadline import current_deadline
 from ..placement import Placement
-from .base import RoutingError, RoutingResult
+from .base import RoutingError, RoutingResult, device_path
+from ._astar_native import _note_sabre_python, dist_buffer, sabre_scores_native
 
 __all__ = ["route_sabre"]
 
@@ -112,6 +113,10 @@ def route_sabre(
             if all(p in done for p in dag.predecessors(succ)):
                 front.add(succ)
 
+    # Flattened distance buffer for the native scorer, built once per
+    # routing call (None when the native kernel is unavailable).
+    c_dist = dist_buffer(dist, device.num_qubits)
+
     deadline = current_deadline()
     while front:
         # Cooperative deadline poll: one decision per iteration, so the
@@ -135,11 +140,13 @@ def route_sabre(
         if not candidates:
             raise RoutingError("no candidate swaps; is the device connected?")
 
-        scorer = _SwapScorer(blocked, extended, dag, current, dist, extended_weight)
+        scorer = _SwapScorer(
+            blocked, extended, dag, current, dist, extended_weight,
+            c_dist=c_dist,
+        )
         candidates_scored += len(candidates)
         best_swap, best_score = None, None
-        for pa, pb in candidates:
-            score = scorer.score(pa, pb)
+        for (pa, pb), score in zip(candidates, scorer.scores(candidates)):
             if swap_penalty is not None:
                 score += swap_penalty(pa, pb)
             if use_decay:
@@ -161,7 +168,7 @@ def route_sabre(
             gate = dag.gate(min(front))
             pa = current.phys(gate.qubits[0])
             pb = current.phys(gate.qubits[1])
-            path = device.shortest_path(pa, pb)
+            path = device_path(device, pa, pb)
             for step in range(len(path) - 2):
                 out.append(G.swap(path[step], path[step + 1]))
                 current.apply_swap(path[step], path[step + 1])
@@ -240,7 +247,7 @@ class _SwapScorer:
     """
 
     __slots__ = ("_entries", "_by_phys", "_front_base", "_front_n", "_ext_base",
-                 "_ext_n", "_weight", "_dist")
+                 "_ext_n", "_weight", "_dist", "_c_dist")
 
     def __init__(
         self,
@@ -250,6 +257,8 @@ class _SwapScorer:
         placement: Placement,
         dist,
         extended_weight: float,
+        *,
+        c_dist=None,
     ) -> None:
         entries: list[tuple[int, int, bool]] = []
         for gate in blocked:
@@ -280,6 +289,7 @@ class _SwapScorer:
         self._ext_n = len(extended)
         self._weight = extended_weight
         self._dist = dist
+        self._c_dist = c_dist
 
     def deltas(self, pa: int, pb: int):
         """Change of the (front, extended) distance sums under the SWAP."""
@@ -310,6 +320,31 @@ class _SwapScorer:
         if self._ext_n:
             score += self._weight * (self._ext_base + d_ext) / self._ext_n
         return score
+
+    def scores(self, candidates) -> list[float]:
+        """One base score per candidate SWAP, in ``candidates`` order.
+
+        Uses the C delta scorer when the routing call supplied a
+        ``c_dist`` buffer and the kernel is available; the per-candidate
+        Python loop otherwise.  Both paths are bit-identical — same
+        delta rule, same accumulation order, same expression shapes.
+        """
+        if self._c_dist is not None:
+            native = sabre_scores_native(
+                self._entries,
+                self._c_dist,
+                len(self._dist),
+                self._front_base,
+                self._front_n,
+                self._ext_base,
+                self._ext_n,
+                self._weight,
+                candidates,
+            )
+            if native is not None:
+                return native
+        _note_sabre_python()
+        return [self.score(pa, pb) for pa, pb in candidates]
 
 
 def _score(

@@ -24,7 +24,7 @@ from ...core import gates as G
 from ...core.gates import Gate
 from ...devices.device import Device
 from ..placement import FREE, Placement
-from .base import RoutingError, RoutingResult
+from .base import RoutingError, RoutingResult, device_path
 from .sabre import _extended_set, _score
 
 __all__ = ["route_shuttle"]
@@ -155,8 +155,8 @@ def route_shuttle(
         stall += 1
         if stall > max_stall:
             gate = dag.gate(min(front))
-            path = device.shortest_path(
-                current.phys(gate.qubits[0]), current.phys(gate.qubits[1])
+            path = device_path(
+                device, current.phys(gate.qubits[0]), current.phys(gate.qubits[1])
             )
             for step in range(len(path) - 2):
                 out.append(G.swap(path[step], path[step + 1]))

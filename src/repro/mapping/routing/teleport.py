@@ -39,7 +39,7 @@ from ...core import gates as G
 from ...core.gates import Gate
 from ...devices.device import Device
 from ..placement import FREE, Placement
-from .base import RoutingError, RoutingResult
+from .base import RoutingError, RoutingResult, device_path
 
 __all__ = ["route_teleport"]
 
@@ -79,7 +79,7 @@ def route_teleport(
 
     def swap_route(pa: int, pb: int) -> None:
         nonlocal swaps
-        path = device.shortest_path(pa, pb)
+        path = device_path(device, pa, pb)
         for step in range(len(path) - 2):
             out.append(G.swap(path[step], path[step + 1]))
             current.apply_swap(path[step], path[step + 1])

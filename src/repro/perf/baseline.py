@@ -67,4 +67,15 @@ SEED_BASELINE: dict[str, dict] = {
     "variants/sabre_nodecay": {"swaps": 47, "fingerprint": "483e224b8211de3a", "seed_seconds": None},
     "variants/astar_lookahead2": {"swaps": 56, "fingerprint": "5fdb7bf2ea7e27f1", "seed_seconds": None},
     "variants/latency_commutation": {"swaps": 55, "fingerprint": "c42f4f59946446e3", "seed_seconds": None},
+    # Large-device corpus (80-119 physical qubits; repro bench --large).
+    # Captured from the pure-Python reference kernels (REPRO_NO_NATIVE=1)
+    # after the multi-word bitset rework, so the native path is checked
+    # against the Python path on every bench run; seed_seconds are the
+    # Python-path timings on the development machine.
+    "grid8x10/12q40g_s21/astar": {"swaps": 34, "fingerprint": "3e445d96c77e45aa", "seed_seconds": 0.193},
+    "grid8x10/12q40g_s21/sabre": {"swaps": 34, "fingerprint": "ab3483b46fa87b51", "seed_seconds": 0.003},
+    "grid10x10/12q40g_s9/astar": {"swaps": 52, "fingerprint": "361daf4d093a3743", "seed_seconds": 0.151},
+    "grid10x10/12q40g_s9/sabre": {"swaps": 56, "fingerprint": "a67cf2517c86106d", "seed_seconds": 0.003},
+    "heavyhex119/12q30g_s17/astar": {"swaps": 32, "fingerprint": "d0e7a722b3052597", "seed_seconds": 0.028},
+    "heavyhex119/12q30g_s17/sabre": {"swaps": 29, "fingerprint": "35dc5a05622f9ef1", "seed_seconds": 0.002},
 }

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..core.circuit import Circuit
-from ..devices import grid_device, ibm_qx5, linear_device, surface17
+from ..devices import grid_device, heavy_hex_device, ibm_qx5, linear_device, surface17
 from ..devices.device import Device
 from ..obs import trace_span
 from ..mapping.routing import (
@@ -28,11 +28,12 @@ from ..mapping.routing import (
     route_reliability,
     route_sabre,
 )
+from ..mapping.routing._astar_native import kernel_stats
 from ..workloads import random_circuit
 from .baseline import SEED_BASELINE
 from .timing import time_call
 
-__all__ = ["BenchCase", "CORPUS", "fingerprint", "run_bench"]
+__all__ = ["BenchCase", "CORPUS", "LARGE_CORPUS", "fingerprint", "run_bench"]
 
 
 def fingerprint(circuit: Circuit) -> str:
@@ -86,6 +87,25 @@ _INSTANCES = [
     ("surface17", 12, 70, 13),
 ]
 
+#: Large devices exercising the multi-word native kernels (the old
+#: single-word kernel refused anything past 64 qubits/edges).  Program
+#: circuits stay small enough for the layer-exact A* budget; the devices
+#: are the point — 80 to 119 physical qubits, grid and heavy-hex.
+_LARGE_DEVICES: dict[str, Callable[[], Device]] = {
+    "grid8x10": lambda: grid_device(8, 10),
+    "grid10x10": lambda: grid_device(10, 10),
+    "heavyhex119": lambda: heavy_hex_device(7, 14),
+}
+
+_LARGE_INSTANCES = [
+    ("grid8x10", 12, 40, 21),
+    ("grid10x10", 12, 40, 9),
+    ("heavyhex119", 12, 30, 17),
+]
+
+#: Routers benchmarked on the large devices: the two with native paths.
+_LARGE_ROUTERS = ("astar", "sabre")
+
 _VARIANTS: dict[str, Callable] = {
     "sabre_commutation": lambda c, d: route_sabre(c, d, commutation=True),
     "sabre_lookahead0": lambda c, d: route_sabre(c, d, lookahead=0),
@@ -123,25 +143,66 @@ def _build_corpus() -> list[BenchCase]:
     return cases
 
 
+def _build_large_corpus() -> list[BenchCase]:
+    return [
+        BenchCase(
+            key=f"{dev_name}/{nq}q{ng}g_s{seed}/{router_name}",
+            device_factory=_LARGE_DEVICES[dev_name],
+            num_qubits=nq,
+            num_gates=ng,
+            seed=seed,
+            route=_ROUTERS[router_name],
+        )
+        for dev_name, nq, ng, seed in _LARGE_INSTANCES
+        for router_name in _LARGE_ROUTERS
+    ]
+
+
 #: The full fixed-seed corpus (same keys as SEED_BASELINE).
 CORPUS: list[BenchCase] = _build_corpus()
+
+#: Large-device cases (80+ qubits), run with ``run_bench(include_large=True)``
+#: / ``repro bench --large``.  Baselines captured from the Python
+#: reference kernels, so each run proves native/Python equivalence.
+LARGE_CORPUS: list[BenchCase] = _build_large_corpus()
+
+
+_KERNEL_COUNTERS = (
+    "build_calls",
+    "native_layers",
+    "python_layers",
+    "batch_calls",
+    "sabre_native_calls",
+    "sabre_python_calls",
+)
 
 
 def run_bench(
     cases: list[BenchCase] | None = None,
     *,
     repeats: int = 1,
+    include_large: bool = False,
 ) -> dict:
     """Time every case; verify outputs against the seed baseline.
 
     Returns a JSON-serialisable report.  Each entry carries the measured
     seconds, swap count, circuit fingerprint, the seed's reference
     values, and a ``matches_seed`` flag; the summary totals them and
-    computes the headline speedup on the seed's slowest case.
+    computes the headline speedup on the seed's slowest case.  The
+    summary's ``kernel`` block reports the native-kernel activity during
+    the run (counter deltas plus availability), so CI can assert the
+    native path was really taken — or really avoided under
+    ``REPRO_NO_NATIVE=1``.  ``include_large=True`` appends the
+    :data:`LARGE_CORPUS` 80-119-qubit cases.
     """
+    if cases is None:
+        cases = CORPUS + LARGE_CORPUS if include_large else CORPUS
+    elif include_large:
+        cases = list(cases) + LARGE_CORPUS
+    stats_before = kernel_stats()
     report_cases = []
     all_match = True
-    for case in cases if cases is not None else CORPUS:
+    for case in cases:
         device = case.device_factory()
         circuit = case.circuit()
 
@@ -191,10 +252,18 @@ def run_bench(
         (c for c in report_cases if c["case"] == "ibm_qx5/12q120g_s120/astar"),
         None,
     )
+    stats_after = kernel_stats()
     summary = {
         "total_seconds": round(total, 4),
         "seed_total_seconds": round(seed_total, 4),
         "all_match_seed": all_match,
+        "kernel": {
+            "available": stats_after["available"],
+            **{
+                name: stats_after[name] - stats_before[name]
+                for name in _KERNEL_COUNTERS
+            },
+        },
     }
     if hot is not None and hot["seed_seconds"]:
         summary["hot_case"] = hot["case"]

@@ -1111,7 +1111,16 @@ class CompileService:
         # reports that only keep the service section still show them.
         for name in ("stage_hits", "stage_misses", "stage_hit_rate"):
             service[name] = cache_stats[name] if cache_stats else 0
-        return {"service": service, "cache": cache_stats, "pool": pool_stats}
+        # In-process native-kernel activity (worker processes report
+        # their own counters through the pool section).
+        from ..mapping.routing._astar_native import kernel_stats
+
+        return {
+            "service": service,
+            "cache": cache_stats,
+            "pool": pool_stats,
+            "kernel": kernel_stats(),
+        }
 
     def trace_report(self, tracer) -> dict:
         """Per-job span trees plus service/cache/pool counters.

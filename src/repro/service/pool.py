@@ -88,6 +88,11 @@ def _worker_main(worker_id: int, task_queue, out_queue, preload_native):
             "native_preloaded": native_preloaded,
             "native_available": stats["available"],
             "kernel_builds": stats["build_calls"] - builds_before,
+            "native_layers": stats["native_layers"],
+            "python_layers": stats["python_layers"],
+            "batch_calls": stats["batch_calls"],
+            "sabre_native_calls": stats["sabre_native_calls"],
+            "sabre_python_calls": stats["sabre_python_calls"],
             "preload_s": round(time.perf_counter() - t0, 6),
             "jobs_run": jobs_run,
         }

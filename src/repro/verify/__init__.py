@@ -1,9 +1,15 @@
 """Verification: mapped-circuit equivalence checking."""
 
-from .equivalence import apply_permutation, equivalent_circuits, equivalent_mapped
+from .equivalence import (
+    STATEVECTOR_LIMIT,
+    apply_permutation,
+    equivalent_circuits,
+    equivalent_mapped,
+)
 from .feedforward import data_qubit_fidelity, equivalent_mapped_with_feedforward
 
 __all__ = [
+    "STATEVECTOR_LIMIT",
     "apply_permutation",
     "data_qubit_fidelity",
     "equivalent_circuits",

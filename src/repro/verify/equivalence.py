@@ -35,10 +35,16 @@ __all__ = [
     "equivalent_circuits",
     "equivalent_mapped",
     "apply_permutation",
+    "STATEVECTOR_LIMIT",
 ]
 
 #: Use dense unitaries at or below this qubit count; random states above.
 _UNITARY_LIMIT = 8
+
+#: Hard ceiling for the random-state check: a dense state is 2**n
+#: amplitudes, so past this the check is physically infeasible and
+#: callers must skip verification (the CLI prints a warning).
+STATEVECTOR_LIMIT = 24
 
 
 def equivalent_circuits(a: Circuit, b: Circuit, atol: float = 1e-7) -> bool:
@@ -104,6 +110,11 @@ def _random_state_check(
 ) -> bool:
     """Compare circuits on random states: lhs|psi> vs P(sigma) rhs|psi>."""
     n = lhs.num_qubits
+    if n > STATEVECTOR_LIMIT:
+        raise ValueError(
+            f"cannot verify a {n}-qubit circuit by statevector simulation "
+            f"(limit {STATEVECTOR_LIMIT} qubits)"
+        )
     rng = np.random.default_rng(1234)
     for _ in range(trials):
         psi = rng.normal(size=2**n) + 1j * rng.normal(size=2**n)

@@ -87,6 +87,51 @@ class TestMapCommand:
         assert code == 0
         assert "equivalent" in text
 
+    def test_verify_skipped_on_large_device(self, qasm_file, capsys):
+        # Statevector verification is infeasible past STATEVECTOR_LIMIT
+        # qubits; the CLI warns and skips instead of crashing.
+        code, _ = _run(
+            [
+                "map", str(qasm_file), "--device", "grid",
+                "--rows", "5", "--cols", "5", "--verify",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "skipping" in err and "statevector limit" in err
+
+    def test_disconnected_device_reports_clean_error(
+        self, qasm_file, tmp_path, capsys
+    ):
+        # A routing failure (here: the GHZ circuit needs qubits that sit
+        # in different components of the coupling graph) must come out
+        # as the one-line CliError path, not a networkx traceback.
+        import json
+
+        config = tmp_path / "split.json"
+        config.write_text(
+            json.dumps(
+                {
+                    "name": "split",
+                    "num_qubits": 4,
+                    "edges": [[0, 1], [2, 3]],
+                    "native_gates": ["u", "h", "cnot"],
+                    "symmetric": True,
+                }
+            )
+        )
+        code, _ = _run(
+            [
+                "map", str(qasm_file), "--device-config", str(config),
+                "--router", "naive",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "routing failed" in err
+        assert "no path between qubits" in err
+        assert "networkx" not in err.lower()
+
     def test_optimize_flag_reduces_gates(self, qasm_file):
         _, plain = _run(["map", str(qasm_file), "--device", "surface17"])
         _, optimised = _run(

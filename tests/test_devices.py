@@ -58,6 +58,16 @@ class TestGraphStructure:
         device = _toy_device()
         assert device.undirected_edges() == [(0, 1), (1, 2)]
 
+    def test_shortest_path_disconnected_raises_named_qubits(self):
+        # Regression guard: networkx's NetworkXNoPath must not leak out
+        # of the Device API; routers and CLI surface this as their own
+        # typed errors.
+        device = Device("split", 4, [(0, 1), (2, 3)], ["cnot"])
+        with pytest.raises(ValueError, match=r"qubits 0 and 3.*'split'"):
+            device.shortest_path(0, 3)
+        # Connected queries on the same instance still work.
+        assert device.shortest_path(2, 3) == [2, 3]
+
     def test_shortest_path_cache_is_per_instance(self):
         # Regression guard: shortest_path memoises on (a, b) only, so a
         # cache shared between instances would let a 9-qubit line serve
@@ -197,6 +207,46 @@ class TestSerialisation:
 
     def test_dict_is_json_serialisable(self, s17):
         json.dumps(s17.to_dict())
+
+    def test_from_dict_expands_single_listed_symmetric_edges(self):
+        # Regression: a hand-written config lists each connection once
+        # and says symmetric: true; from_dict used to keep the edge set
+        # as-listed, producing a device that claimed symmetry but only
+        # had one orientation of each edge.
+        device = Device.from_dict(
+            {
+                "name": "hand",
+                "num_qubits": 3,
+                "edges": [[0, 1], [1, 2]],
+                "native_gates": ["h", "cnot"],
+                "symmetric": True,
+            }
+        )
+        assert device.symmetric is True
+        assert device.has_edge(0, 1) and device.has_edge(1, 0)
+        assert device.has_edge(1, 2) and device.has_edge(2, 1)
+        # The expansion reaches the routing-facing graph views too.
+        assert (1, 0) in device.edges and (2, 1) in device.edges
+
+    @pytest.mark.parametrize("fixture", ["qx4", "s17"])
+    def test_to_dict_from_dict_to_dict_fixed_point(self, fixture, request):
+        # Serialisation must be idempotent: re-expanding an already
+        # expanded edge list cannot change the dictionary.
+        first = request.getfixturevalue(fixture).to_dict()
+        second = Device.from_dict(first).to_dict()
+        assert second == first
+
+    def test_fixed_point_from_hand_written_config(self):
+        hand = {
+            "name": "hand",
+            "num_qubits": 3,
+            "edges": [[0, 1], [1, 2]],
+            "native_gates": ["h", "cnot"],
+            "symmetric": True,
+        }
+        first = Device.from_dict(hand).to_dict()
+        second = Device.from_dict(first).to_dict()
+        assert second == first
 
 
 class TestRegistry:

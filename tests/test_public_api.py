@@ -81,6 +81,7 @@ class TestRegistriesAgree:
             "ring": {"num_qubits": 4},
             "grid": {"rows": 2, "cols": 2},
             "all_to_all": {"num_qubits": 3},
+            "heavy_hex": {"rows": 2, "row_len": 5},
             "dots": {"rows": 2, "cols": 2},
             "iontrap": {"num_qubits": 3},
             "photonic": {"num_qubits": 3},

@@ -100,6 +100,31 @@ class TestFinalPlacementTracking:
         assert first.qubits == (2, 1)
 
 
+class TestDisconnectedDevice:
+    """Routing across components fails with the router's own typed error.
+
+    Regression guard for the Device graph contract: ``shortest_path``
+    raises ValueError on disconnected pairs, and every router that walks
+    paths must convert that into RoutingError — callers never see a
+    networkx exception type.
+    """
+
+    def _split_device(self):
+        return Device("split", 4, [(0, 1), (2, 3)], ["h", "cnot"])
+
+    @pytest.mark.parametrize("router", ["naive", "reliability"])
+    def test_path_walking_routers_raise_routing_error(self, router):
+        circuit = Circuit(4).cnot(0, 3)
+        with pytest.raises(RoutingError, match="no path between qubits"):
+            route(circuit, self._split_device(), router)
+
+    def test_error_names_the_physical_qubits(self):
+        circuit = Circuit(4).cnot(0, 3)
+        placement = Placement([1, 0, 3, 2])
+        with pytest.raises(RoutingError, match=r"qubits 1 and 2"):
+            route_naive(circuit, self._split_device(), placement)
+
+
 class TestMultiQubitGatesRejected:
     @pytest.mark.parametrize("router", ALL_ROUTERS)
     def test_toffoli_rejected(self, router, line5):

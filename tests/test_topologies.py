@@ -8,6 +8,7 @@ from repro.devices.topologies import (
     SURFACE7_ROWS,
     SURFACE17_ROWS,
     grid_edges,
+    heavy_hex_edges,
     linear_edges,
     surface_edges,
 )
@@ -129,3 +130,42 @@ class TestGenericBuilders:
         edges, _ = surface_edges(SURFACE17_ROWS)
         g = nx.Graph(edges)
         assert max(dict(g.degree).values()) <= 4
+
+
+class TestHeavyHex:
+    def test_degree_bounded_by_three(self):
+        # The defining property of the heavy-hex lattice: every qubit —
+        # row qubit or bridge — has at most three couplings.
+        edges, _ = heavy_hex_edges(7, 14)
+        g = nx.Graph(edges)
+        assert max(dict(g.degree).values()) <= 3
+
+    def test_connected(self):
+        edges, positions = heavy_hex_edges(7, 14)
+        g = nx.Graph(edges)
+        g.add_nodes_from(positions)
+        assert nx.is_connected(g)
+
+    def test_qubit_count(self):
+        # 7 rows of 14 row qubits plus the staggered bridges: even-row
+        # gaps anchor at column 0 (4 bridges per gap for row_len=14),
+        # odd-row gaps at column 2 (3 bridges).
+        _, positions = heavy_hex_edges(7, 14)
+        assert len(positions) == 7 * 14 + 4 + 3 + 4 + 3 + 4 + 3
+
+    def test_bridges_join_adjacent_rows(self):
+        edges, _ = heavy_hex_edges(3, 6)
+        g = nx.Graph(edges)
+        bridges = [q for q in g if q >= 3 * 6]
+        for b in bridges:
+            neighbours = sorted(g[b])
+            assert len(neighbours) == 2
+            # Both endpoints are row qubits in the same column, one row
+            # apart (rows are numbered row-major, row_len apart).
+            assert neighbours[1] - neighbours[0] == 6
+
+    def test_device_factory(self):
+        device = get_device("heavy_hex", rows=7, row_len=14)
+        assert device.num_qubits == 119
+        assert device.name == "heavyhex119"
+        assert device.symmetric

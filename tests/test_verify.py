@@ -74,6 +74,18 @@ class TestEquivalentMapped:
         initial = Placement.trivial(3)
         assert not equivalent_mapped(ghz3, mapped, initial, initial)
 
+    def test_too_many_qubits_raises_cleanly(self):
+        # A mapped circuit on a 100+-qubit device cannot be checked by
+        # dense statevectors; the guard must raise a clear ValueError
+        # (not a numpy allocation error) so callers can skip instead.
+        from repro.verify import STATEVECTOR_LIMIT
+
+        n = STATEVECTOR_LIMIT + 1
+        circuit = Circuit(n).x(0)
+        initial = Placement.trivial(n)
+        with pytest.raises(ValueError, match="statevector"):
+            equivalent_mapped(circuit, circuit, initial, initial)
+
     def test_nontrivial_initial_placement(self):
         original = Circuit(2).cnot(0, 1)
         initial = Placement([1, 0])
